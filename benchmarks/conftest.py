@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+The experiment suite is session-scoped: Figures 11, 12 and 13 share the
+same traces and runs (as in the paper, where one set of simulations
+feeds all three).  Scale: events are 1/16 of the paper's instruction
+counts (DESIGN.md section 3), so h in {512, 4096} events stands in for
+the paper's {8K, 64K} instructions.
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, ExperimentSuite
+
+#: Events per thread for the full benchmark runs (2/4/8-thread traces).
+BENCH_EVENTS_PER_THREAD = 32768
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return ExperimentSuite(
+        ExperimentConfig(events_per_thread=BENCH_EVENTS_PER_THREAD)
+    )
+
+
+def emit(text: str) -> None:
+    """Print a regenerated table/figure under pytest -s or into the
+    captured output."""
+    print()
+    print(text)

@@ -1,0 +1,68 @@
+"""Extension bench: heartbeat delivery skew.
+
+Section 4.1 only requires heartbeats to arrive within a bounded skew;
+the model absorbs the jitter by design.  This bench perturbs the
+per-thread epoch boundaries and shows (a) zero false negatives survive
+any skew, and (b) false positives degrade gracefully -- the knob that
+matters is the epoch size, not delivery precision.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.reporting import render_table
+from repro.core.epoch import partition_with_skew
+from repro.core.framework import ButterflyEngine
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.lifeguards.sequential import SequentialAddrCheck
+from repro.trace.generator import simulated_alloc_program
+
+
+@pytest.fixture(scope="module")
+def skew_sweep():
+    rows = []
+    for skew in (0, 8, 24, 56):
+        fn_total = 0
+        flags_total = 0
+        for seed in range(10):
+            prog = simulated_alloc_program(
+                random.Random(seed), num_threads=3, total_events=3000,
+                num_locations=24, inject_error_rate=0.05,
+            )
+            part = partition_with_skew(
+                prog, 128, skew, rng=random.Random(seed)
+            )
+            guard = ButterflyAddrCheck()
+            ButterflyEngine(guard).run(part)
+            truth = SequentialAddrCheck()
+            truth.run_order(prog)
+            flagged_locs = {r.location for r in guard.errors}
+            fn_total += sum(
+                1 for r in truth.errors if r.location not in flagged_locs
+            )
+            flags_total += len(guard.errors)
+        rows.append((skew, flags_total, fn_total))
+    return rows
+
+
+def test_zero_false_negatives_under_any_skew(skew_sweep, benchmark):
+    benchmark.extra_info["assertions"] = "shape"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for skew, _flags, fn in skew_sweep:
+        assert fn == 0, skew
+
+
+def test_render(skew_sweep, benchmark):
+    def build():
+        return render_table(
+            ("max skew (events)", "total flags", "false negatives"),
+            skew_sweep,
+        )
+
+    from .conftest import emit
+
+    emit(
+        "Extension: heartbeat delivery skew (h=128 nominal)\n"
+        + benchmark.pedantic(build, rounds=1, iterations=1)
+    )

@@ -1,0 +1,91 @@
+"""Microbenchmarks for the analysis core (pytest-benchmark proper).
+
+These measure throughput of the hot paths: block summarization, the
+two-pass engine, butterfly AddrCheck's first pass, and TaintCheck's
+check resolution.  Useful for tracking regressions; absolute numbers
+are host-dependent.
+"""
+
+import random
+
+import pytest
+
+from repro.core.dataflow import DefinitionDomain, summarize_block
+from repro.core.epoch import partition_fixed
+from repro.core.framework import ButterflyEngine
+from repro.core.reaching_defs import ReachingDefinitions
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.lifeguards.taintcheck import ButterflyTaintCheck
+from repro.trace.events import Instr
+from repro.trace.generator import (
+    simulated_alloc_program,
+    simulated_taint_program,
+)
+from repro.trace.program import TraceProgram
+
+
+@pytest.fixture(scope="module")
+def alloc_program():
+    return simulated_alloc_program(
+        random.Random(7), num_threads=4, total_events=8000,
+        num_locations=256,
+    )
+
+
+@pytest.fixture(scope="module")
+def taint_program():
+    return simulated_taint_program(
+        random.Random(7), num_threads=4, total_events=2000,
+        num_locations=64,
+    )
+
+
+def test_summarize_block_throughput(benchmark):
+    prog = TraceProgram.from_lists(
+        [Instr.write(i % 64) for i in range(4096)]
+    )
+    block = partition_fixed(prog, 4096).block(0, 0)
+    domain = DefinitionDomain()
+    facts = benchmark(summarize_block, block, domain)
+    assert len(facts.gen) == 64
+
+
+def test_addrcheck_end_to_end_throughput(benchmark, alloc_program):
+    def run():
+        guard = ButterflyAddrCheck()
+        ButterflyEngine(guard).run(partition_fixed(alloc_program, 512))
+        return guard
+
+    guard = benchmark(run)
+    assert sum(w["events"] for w in guard.block_work.values()) == 8000
+
+
+def test_reaching_definitions_throughput(benchmark, alloc_program):
+    def run():
+        analysis = ReachingDefinitions(keep_history=False)
+        ButterflyEngine(analysis).run(partition_fixed(alloc_program, 512))
+        return analysis
+
+    analysis = benchmark(run)
+    assert analysis.sos.frontier >= 2
+
+
+def test_taintcheck_resolution_throughput(benchmark, taint_program):
+    def run():
+        guard = ButterflyTaintCheck()
+        ButterflyEngine(guard).run(partition_fixed(taint_program, 128))
+        return guard
+
+    guard = benchmark(run)
+    assert guard.sos.frontier >= 2
+
+
+def test_engine_overhead_on_nops(benchmark):
+    prog = TraceProgram.from_lists([Instr.nop()] * 20000)
+
+    def run():
+        guard = ButterflyAddrCheck()
+        return ButterflyEngine(guard).run(partition_fixed(prog, 1000))
+
+    stats = benchmark(run)
+    assert stats.first_pass_instructions == 20000

@@ -1,0 +1,53 @@
+"""Table 1: simulator and benchmark parameters.
+
+Regenerates both halves of the paper's Table 1 from the machine
+configuration and the benchmark registry, and checks every row against
+the published values.
+"""
+
+from repro.bench.experiments import table1
+from repro.sim.config import MachineConfig
+
+from .conftest import emit
+
+
+def test_simulation_parameters_match_paper(benchmark):
+    benchmark.extra_info["assertions"] = "shape"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    t1 = table1()
+    rows = dict(t1.simulation_rows)
+    assert rows["Cores"] == "{4,8,16} cores"
+    assert rows["Pipeline"] == "1 GHz, in-order scalar, 65nm"
+    assert rows["Line size"] == "64B"
+    assert rows["L1-I"] == "64KB, 4-way set-assoc, 1 cycle latency"
+    assert rows["L1-D"] == "64KB, 4-way set-assoc, 2 cycle latency"
+    assert rows["L2"] == "{2,4,8}MB, 8-way set-assoc, 4 banks, 6 cycle latency"
+    assert rows["Memory"] == "512MB, 90 cycle latency"
+    assert rows["Log buffer"] == "8KB"
+
+
+def test_benchmark_rows_match_paper(benchmark):
+    benchmark.extra_info["assertions"] = "shape"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    t1 = table1()
+    rows = {name: (suite, inp) for name, suite, inp in t1.benchmark_rows}
+    assert rows["BARNES"] == ("Splash-2", "16384 bodies")
+    assert rows["FFT"] == ("Splash-2", "m = 20 (2^20 sized matrix)")
+    assert rows["FMM"] == ("Splash-2", "32768 bodies")
+    assert rows["OCEAN"] == ("Splash-2", "Grid size: 258 x 258")
+    assert rows["BLACKSCHOLES"] == ("Parsec 2.0", "16384 options (simmedium)")
+    assert rows["LU"] == ("Splash-2", "Matrix size: 1024 x 1024, b = 64")
+
+
+def test_l2_scaling_sweep(benchmark):
+    benchmark.extra_info["assertions"] = "shape"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # {2,4,8} MB for {4,8,16} cores, as the table's braces indicate.
+    for cores, mb in ((4, 2), (8, 4), (16, 8)):
+        assert MachineConfig(cores=cores).l2.size_bytes == mb << 20
+
+
+def test_render_table1(benchmark):
+    rendered = benchmark(lambda: table1().render())
+    assert "Simulator and Benchmark Parameters" in rendered
+    emit(rendered)

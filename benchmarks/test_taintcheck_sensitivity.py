@@ -1,0 +1,72 @@
+"""Extension bench: TaintCheck precision/performance vs. epoch size.
+
+The paper evaluates AddrCheck only; Section 6.2 predicts TaintCheck
+behaves the same way with "more false positives with relaxed models
+than when assuming sequential consistency".  This bench runs butterfly
+TaintCheck over the secure-server workload and charts both claims:
+
+- false positives grow with the epoch size (zero once the
+  sanitize-to-use gap spans two epochs);
+- the relaxed termination condition flags at least as much as the SC
+  one at every epoch size.
+"""
+
+import pytest
+
+from repro.bench.reporting import render_table
+from repro.core.epoch import partition_by_global_order
+from repro.core.framework import ButterflyEngine
+from repro.lifeguards.sequential import SequentialTaintCheck
+from repro.lifeguards.taintcheck import ButterflyTaintCheck
+from repro.workloads.server import SecureServer
+
+from .conftest import emit
+
+EPOCHS = (256, 512, 1024, 2048, 4096)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    prog = SecureServer().generate(4, 16384, seed=1)
+    truth = SequentialTaintCheck()
+    truth.run_order(prog)
+    assert len(truth.errors) == 0  # clean run: every flag is false
+    rows = []
+    for h in EPOCHS:
+        per_mode = {}
+        for mode in ("sc", "relaxed"):
+            guard = ButterflyTaintCheck(mode=mode)
+            ButterflyEngine(guard).run(partition_by_global_order(prog, h))
+            per_mode[mode] = len(guard.errors)
+        rows.append((h, per_mode["sc"], per_mode["relaxed"]))
+    return rows
+
+
+def test_false_positives_grow_with_epoch_size(sweep, benchmark):
+    benchmark.extra_info["assertions"] = "shape"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    relaxed = [row[2] for row in sweep]
+    assert relaxed == sorted(relaxed)
+    assert relaxed[0] == 0  # small epochs prove sanitization ordered
+    assert relaxed[-1] > 0
+
+
+def test_relaxed_flags_at_least_sc(sweep, benchmark):
+    benchmark.extra_info["assertions"] = "shape"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for h, sc, relaxed in sweep:
+        assert sc <= relaxed, h
+
+
+def test_render(sweep, benchmark):
+    def build():
+        return render_table(
+            ("h (events)", "SC flags", "relaxed flags"),
+            [(h, sc, rel) for h, sc, rel in sweep],
+        )
+
+    emit(
+        "Extension: TaintCheck false positives vs. epoch size "
+        "(secure-server workload, 4 threads)\n"
+        + benchmark.pedantic(build, rounds=1, iterations=1)
+    )

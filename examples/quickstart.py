@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: butterfly analysis in five minutes.
+
+Builds a tiny two-thread trace with a cross-thread use-after-free,
+partitions it into uncertainty epochs, and runs the butterfly AddrCheck
+lifeguard -- no inter-thread dependence information required.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ButterflyAddrCheck, Instr, TraceProgram, partition_fixed
+from repro.core.framework import ButterflyEngine
+
+# -- 1. A parallel execution trace, one event sequence per thread -------
+#
+# Thread 0 allocates a buffer, writes it, and frees it.
+# Thread 1 reads the buffer much later -- after the free has become
+# globally visible -- which is a use-after-free on every possible
+# interleaving.
+
+thread0 = [
+    Instr.malloc(0x100, size=4),   # allocate [0x100, 0x104)
+    Instr.write(0x100),
+    Instr.write(0x101),
+    Instr.free(0x100, size=4),     # gone!
+    Instr.nop(),
+    Instr.nop(),
+    Instr.nop(),
+    Instr.nop(),
+]
+thread1 = [
+    Instr.nop(),
+    Instr.nop(),
+    Instr.nop(),
+    Instr.nop(),
+    Instr.nop(),
+    Instr.nop(),
+    Instr.read(0x101),             # use after free, strictly later
+    Instr.nop(),
+]
+program = TraceProgram.from_lists(thread0, thread1)
+
+# -- 2. Heartbeats cut the traces into epochs ---------------------------
+#
+# Instructions more than one epoch apart are strictly ordered;
+# instructions in adjacent epochs of different threads are potentially
+# concurrent.  Here: epochs of 2 events.
+
+partition = partition_fixed(program, epoch_size=2)
+print(f"{partition.num_epochs} epochs x {partition.num_threads} threads")
+
+# -- 3. Run the lifeguard ------------------------------------------------
+
+guard = ButterflyAddrCheck()
+stats = ButterflyEngine(guard).run(partition)
+
+print(f"analyzed {stats.first_pass_instructions} events in two passes")
+print(f"errors flagged: {len(guard.errors)}")
+for report in guard.errors:
+    print(f"  {report.kind.value:20s} location=0x{report.location:x} "
+          f"at (thread, index)={report.ref}")
+
+assert any(r.location == 0x101 for r in guard.errors), "must catch the UAF"
+print("\nthe use-after-free was caught without any dependence tracking.")

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Beyond the paper's two lifeguards: conflict detection on the window.
+
+The paper closes by arguing butterfly analysis applies to "a wide
+variety of interesting dynamic program monitoring tools".  This example
+builds one in ~100 lines of framework code (`repro.lifeguards.racecheck`):
+a happens-before-free conflict detector where the butterfly window *is*
+the happens-before relation -- no locks, vector clocks, or dependence
+tracking.
+
+Shown here:
+- a textbook unsynchronized counter increment is caught;
+- phase-disciplined sharing (handoffs separated by two epochs) stays
+  silent;
+- on the OCEAN workload, the epoch size controls how much of the
+  boundary-exchange traffic is reported as potentially racy.
+
+Run:  python examples/race_detection.py
+"""
+
+from repro import (
+    ButterflyRaceCheck,
+    Instr,
+    TraceProgram,
+    partition_by_global_order,
+    partition_fixed,
+)
+from repro.core.framework import ButterflyEngine
+from repro.workloads.registry import get_benchmark
+
+COUNTER = 0x900
+
+print("== unsynchronized counter increment ==")
+# Both threads read-modify-write the same counter with no ordering.
+thread0 = [Instr.read(COUNTER), Instr.write(COUNTER)]
+thread1 = [Instr.read(COUNTER), Instr.write(COUNTER)]
+program = TraceProgram.from_lists(thread0, thread1)
+guard = ButterflyRaceCheck()
+ButterflyEngine(guard).run(partition_fixed(program, 2))
+for race in guard.races:
+    print(f"  {race.kind} on 0x{race.location:x} at {race.body_ref}")
+assert guard.races, "the lost-update race must be reported"
+
+print("\n== two-epoch separated handoff: provably ordered ==")
+producer = [Instr.write(COUNTER)] + [Instr.nop()] * 7
+consumer = [Instr.nop()] * 7 + [Instr.read(COUNTER)]
+program = TraceProgram.from_lists(producer, consumer)
+guard = ButterflyRaceCheck()
+ButterflyEngine(guard).run(partition_fixed(program, 2))
+print(f"  conflicts: {len(guard.races)}")
+assert not guard.races
+
+print("\n== OCEAN boundary exchanges vs. the epoch size ==")
+program = get_benchmark("OCEAN").generate(4, 8192, seed=11)
+for h in (256, 1024, 4096):
+    guard = ButterflyRaceCheck()
+    ButterflyEngine(guard).run(partition_by_global_order(program, h))
+    print(f"  h={h:5d}: {len(guard.races):5d} potential conflicts")
+
+print("\nsmall epochs prove the phase-separated exchanges ordered;")
+print("large epochs surface them as potential races -- the same knob")
+print("that drives AddrCheck's false positives in Figure 13.")

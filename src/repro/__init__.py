@@ -1,0 +1,52 @@
+"""Butterfly analysis: dataflow analysis adapted to dynamic parallel monitoring.
+
+This package reproduces the system described in:
+
+    Goodstein, Vlachos, Chen, Gibbons, Kozuch, Mowry.
+    "Butterfly Analysis: Adapting Dataflow Analysis to Dynamic Parallel
+    Monitoring." ASPLOS 2010.
+
+Public entry points
+-------------------
+- :mod:`repro.trace` -- dynamic per-thread event sequences and interleavings.
+- :mod:`repro.core` -- epochs, butterfly windows, the generic two-pass
+  engine, and the canonical reaching-definitions / reaching-expressions
+  analyses.
+- :mod:`repro.lifeguards` -- butterfly and sequential AddrCheck /
+  TaintCheck lifeguards.
+- :mod:`repro.sim` -- the Log-Based Architectures (LBA) chip-multiprocessor
+  timing substrate the paper evaluates on.
+- :mod:`repro.workloads` -- Splash-2 / Parsec 2.0 synthetic workload
+  generators.
+- :mod:`repro.bench` -- the experiment harness regenerating the paper's
+  Table 1 and Figures 11-13.
+"""
+
+from repro.trace.events import Instr, Op
+from repro.trace.program import ThreadTrace, TraceProgram
+from repro.core.epoch import (
+    EpochPartition,
+    partition_by_global_order,
+    partition_fixed,
+    partition_with_skew,
+)
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.lifeguards.racecheck import ButterflyRaceCheck
+from repro.lifeguards.taintcheck import ButterflyTaintCheck
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Instr",
+    "Op",
+    "ThreadTrace",
+    "TraceProgram",
+    "EpochPartition",
+    "partition_fixed",
+    "partition_by_global_order",
+    "partition_with_skew",
+    "ButterflyAddrCheck",
+    "ButterflyRaceCheck",
+    "ButterflyTaintCheck",
+    "__version__",
+]

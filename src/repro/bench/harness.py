@@ -1,0 +1,158 @@
+"""Runs benchmark x system x parameter configurations, with caching.
+
+The scaling rule (DESIGN.md section 3): all event counts are 1/16 of
+the paper's instruction counts, so the paper's epoch sizes h in {8K,
+64K} instructions become {512, 4096} events while preserving the
+epochs-per-run and gap-vs-window ratios that drive both performance
+amortization and false-positive behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.epoch import partition_by_global_order
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.lifeguards.reports import PrecisionReport, compare_reports
+from repro.lifeguards.sequential import SequentialAddrCheck
+from repro.sim.config import LifeguardCostModel
+from repro.sim.lba import ButterflyRun, LBASystem, SimResult
+from repro.trace.program import TraceProgram
+from repro.workloads.registry import BENCHMARKS, get_benchmark
+
+#: Scale factor between the paper's instruction counts and our event
+#: counts (16x smaller traces, same structure).
+SCALE = 16
+
+#: The paper's epoch sizes, in monitored instructions.
+PAPER_EPOCHS = {"8K": 8 * 1024, "64K": 64 * 1024}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Suite-wide knobs."""
+
+    events_per_thread: int = 8192
+    thread_counts: Tuple[int, ...] = (2, 4, 8)
+    #: Scaled stand-ins for the paper's h = 8K and 64K.
+    epoch_small: int = PAPER_EPOCHS["8K"] // SCALE
+    epoch_large: int = PAPER_EPOCHS["64K"] // SCALE
+    seed: int = 1
+    costs: LifeguardCostModel = field(default_factory=LifeguardCostModel)
+
+    def epoch_label(self, h: int) -> str:
+        """Report epoch sizes in the paper's units."""
+        for label, paper_h in PAPER_EPOCHS.items():
+            if paper_h // SCALE == h:
+                return label
+        return str(h)
+
+
+@dataclass
+class RunRecord:
+    """Everything measured for one (benchmark, threads, h)."""
+
+    benchmark: str
+    threads: int
+    epoch_size: int
+    seq_unmonitored: SimResult
+    par_unmonitored: SimResult
+    timesliced: SimResult
+    butterfly: SimResult
+    precision: PrecisionReport
+
+    def normalized(self, result: SimResult) -> float:
+        """Execution time normalized to sequential unmonitored."""
+        return result.cycles / self.seq_unmonitored.cycles
+
+    @property
+    def timesliced_norm(self) -> float:
+        return self.normalized(self.timesliced)
+
+    @property
+    def butterfly_norm(self) -> float:
+        return self.normalized(self.butterfly)
+
+    @property
+    def parallel_norm(self) -> float:
+        return self.normalized(self.par_unmonitored)
+
+
+class ExperimentSuite:
+    """Caches traces and per-configuration runs across figures."""
+
+    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+        self.config = config or ExperimentConfig()
+        self._programs: Dict[Tuple[str, int], TraceProgram] = {}
+        self._baselines: Dict[Tuple[str, int], Tuple[SimResult, SimResult, SimResult]] = {}
+        self._runs: Dict[Tuple[str, int, int], RunRecord] = {}
+        self._system = LBASystem(costs=self.config.costs)
+
+    # -- building blocks --------------------------------------------------
+
+    def program(self, benchmark: str, threads: int) -> TraceProgram:
+        key = (benchmark, threads)
+        if key not in self._programs:
+            gen = get_benchmark(benchmark)
+            self._programs[key] = gen.generate(
+                threads, self.config.events_per_thread, seed=self.config.seed
+            )
+        return self._programs[key]
+
+    def baselines(
+        self, benchmark: str, threads: int
+    ) -> Tuple[SimResult, SimResult, SimResult]:
+        """(sequential unmonitored, parallel unmonitored, timesliced) --
+        epoch-size independent, shared across Figure 12's h sweep."""
+        key = (benchmark, threads)
+        if key not in self._baselines:
+            program = self.program(benchmark, threads)
+            self._baselines[key] = (
+                self._system.unmonitored_sequential(program),
+                self._system.unmonitored_parallel(program),
+                self._system.timesliced(program),
+            )
+        return self._baselines[key]
+
+    # -- full runs -----------------------------------------------------------
+
+    def run(self, benchmark: str, threads: int, epoch_size: int) -> RunRecord:
+        key = (benchmark, threads, epoch_size)
+        if key in self._runs:
+            return self._runs[key]
+        program = self.program(benchmark, threads)
+        seq_res, par_res, ts_res = self.baselines(benchmark, threads)
+
+        partition = partition_by_global_order(program, epoch_size)
+        guard = ButterflyAddrCheck(initially_allocated=program.preallocated)
+        bf: ButterflyRun = self._system.butterfly(
+            program, epoch_size, partition=partition, guard=guard
+        )
+
+        truth = SequentialAddrCheck(program.preallocated)
+        truth.run_order(program)
+        precision = compare_reports(
+            truth.errors, guard.errors, program.memory_op_count
+        )
+
+        record = RunRecord(
+            benchmark=benchmark,
+            threads=threads,
+            epoch_size=epoch_size,
+            seq_unmonitored=seq_res,
+            par_unmonitored=par_res,
+            timesliced=ts_res,
+            butterfly=bf.result,
+            precision=precision,
+        )
+        self._runs[key] = record
+        return record
+
+    def run_all(self, epoch_size: Optional[int] = None) -> Dict[Tuple[str, int, int], RunRecord]:
+        """Run the full benchmark x thread-count grid at one epoch size."""
+        h = epoch_size if epoch_size is not None else self.config.epoch_large
+        for benchmark in BENCHMARKS:
+            for threads in self.config.thread_counts:
+                self.run(benchmark, threads, h)
+        return dict(self._runs)

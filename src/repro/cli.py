@@ -1,0 +1,222 @@
+"""Command-line interface: regenerate the paper's results from a shell.
+
+Examples
+--------
+::
+
+    python -m repro table1
+    python -m repro figure11 --events 32768
+    python -m repro figure12
+    python -m repro figure13
+    python -m repro check --benchmark OCEAN --threads 4 --epoch-size 512
+    python -m repro sweep --benchmark OCEAN --threads 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.experiments import figure11, figure12, figure13, table1
+from repro.bench.harness import ExperimentConfig, ExperimentSuite
+from repro.bench.reporting import render_table
+from repro.core.framework import ButterflyEngine
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.lifeguards.racecheck import ButterflyRaceCheck
+from repro.lifeguards.reports import compare_reports
+from repro.lifeguards.sequential import SequentialAddrCheck
+from repro.sim.lba import LBASystem
+from repro.trace.serialize import load_file, save_file
+from repro.workloads.registry import BENCHMARKS, get_benchmark
+
+
+def _suite(args: argparse.Namespace) -> ExperimentSuite:
+    return ExperimentSuite(
+        ExperimentConfig(
+            events_per_thread=args.events,
+            thread_counts=tuple(args.threads),
+            seed=args.seed,
+        )
+    )
+
+
+def _add_suite_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--events", type=int, default=32768,
+        help="events per application thread (default: 32768)",
+    )
+    parser.add_argument(
+        "--threads", type=int, nargs="+", default=[2, 4, 8],
+        help="application thread counts (default: 2 4 8)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    print(table1().render())
+    return 0
+
+
+def cmd_figure11(args: argparse.Namespace) -> int:
+    print(figure11(_suite(args)).render())
+    return 0
+
+
+def cmd_figure12(args: argparse.Namespace) -> int:
+    print(figure12(_suite(args)).render())
+    return 0
+
+
+def cmd_figure13(args: argparse.Namespace) -> int:
+    print(figure13(_suite(args)).render())
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Generate a workload trace and save it to disk."""
+    program = get_benchmark(args.benchmark).generate(
+        args.threads, args.events, seed=args.seed
+    )
+    save_file(program, args.output)
+    print(f"wrote {program.total_instructions} events "
+          f"({program.num_threads} threads) to {args.output}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run one lifeguard over a workload (generated or from a file)."""
+    if args.trace:
+        program = load_file(args.trace)
+        args.threads = program.num_threads
+    else:
+        program = get_benchmark(args.benchmark).generate(
+            args.threads, args.events, seed=args.seed
+        )
+    system = LBASystem()
+    if args.lifeguard == "addrcheck":
+        run = system.butterfly(program, args.epoch_size)
+        guard = run.guard
+        truth = SequentialAddrCheck(program.preallocated)
+        truth.run_order(program)
+        precision = compare_reports(
+            truth.errors, guard.errors, program.memory_op_count
+        )
+        print(f"benchmark: {args.benchmark}, {args.threads} threads, "
+              f"h={args.epoch_size} events, "
+              f"{run.partition.num_epochs} epochs")
+        print(f"flags: {precision.flagged}  true: {precision.true_positives}"
+              f"  false positives: {precision.false_positives}"
+              f"  false negatives: {precision.false_negatives}")
+        print(f"false-positive rate: "
+              f"{precision.false_positive_rate:.4%} of memory accesses")
+    else:
+        guard = ButterflyRaceCheck()
+        from repro.core.epoch import partition_by_global_order
+
+        partition = partition_by_global_order(program, args.epoch_size)
+        ButterflyEngine(guard).run(partition)
+        print(f"benchmark: {args.benchmark}, {args.threads} threads, "
+              f"h={args.epoch_size} events")
+        print(f"potential conflicts: {len(guard.races)}")
+        for race in guard.races[: args.limit]:
+            print(f"  {race.kind:12s} loc=0x{race.location:x} "
+                  f"at {race.body_ref}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Epoch-size sweep for one benchmark (the paper's tuning knob)."""
+    program = get_benchmark(args.benchmark).generate(
+        args.threads, args.events, seed=args.seed
+    )
+    truth = SequentialAddrCheck(program.preallocated)
+    truth.run_order(program)
+    system = LBASystem()
+    baseline = system.unmonitored_sequential(program)
+    rows = []
+    for h in args.sizes:
+        run = system.butterfly(program, h)
+        precision = compare_reports(
+            truth.errors, run.guard.errors, program.memory_op_count
+        )
+        rows.append((
+            h,
+            run.partition.num_epochs,
+            f"{run.result.cycles / baseline.cycles:.2f}x",
+            precision.false_positives,
+            f"{precision.false_positive_rate:.3%}",
+        ))
+    print(render_table(
+        ("epoch size", "epochs", "slowdown", "false pos", "FP rate"), rows
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Butterfly analysis (ASPLOS 2010) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1 parameters").set_defaults(
+        func=cmd_table1
+    )
+    for name, func in (
+        ("figure11", cmd_figure11),
+        ("figure12", cmd_figure12),
+        ("figure13", cmd_figure13),
+    ):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        _add_suite_args(p)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("generate", help="generate and save a trace")
+    p.add_argument("--benchmark", default="OCEAN", choices=sorted(BENCHMARKS))
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--events", type=int, default=16384)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--output", required=True, help="output trace file")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("check", help="run a lifeguard on a workload")
+    p.add_argument("--trace", default=None,
+                   help="trace file from 'generate' (overrides --benchmark)")
+    p.add_argument("--benchmark", default="OCEAN", choices=sorted(BENCHMARKS))
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--events", type=int, default=16384)
+    p.add_argument("--epoch-size", type=int, default=512)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--lifeguard", default="addrcheck", choices=("addrcheck", "race")
+    )
+    p.add_argument("--limit", type=int, default=10,
+                   help="max conflicts to print (race mode)")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("sweep", help="epoch-size sweep for one benchmark")
+    p.add_argument("--benchmark", default="OCEAN", choices=sorted(BENCHMARKS))
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--events", type=int, default=16384)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--sizes", type=int, nargs="+",
+        default=[256, 512, 1024, 2048, 4096],
+    )
+    p.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (head).
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Running several lifeguards over one log pass.
+
+A deployment rarely wants a single property checked: the LBA log is
+captured once, so the lifeguard core can drive any number of analyses
+over the same event stream.  :class:`CompositeAnalysis` multiplexes the
+engine callbacks to its children, preserving each child's own
+summaries, SOS, and error log -- the per-epoch barriers are shared, the
+metadata is not (exactly the single-writer discipline of Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.epoch import Block, BlockId
+from repro.core.framework import ButterflyAnalysis
+from repro.core.window import Butterfly
+from repro.errors import AnalysisError
+
+
+class CompositeAnalysis(ButterflyAnalysis):
+    """Fan one engine run out to several butterfly analyses."""
+
+    def __init__(self, children: Sequence[ButterflyAnalysis]) -> None:
+        if not children:
+            raise AnalysisError("a composite needs at least one analysis")
+        self.children: Tuple[ButterflyAnalysis, ...] = tuple(children)
+
+    def first_pass(self, block: Block):
+        return tuple(child.first_pass(block) for child in self.children)
+
+    def meet(self, butterfly: Butterfly, wing_summaries: List[tuple]):
+        return tuple(
+            child.meet(butterfly, [w[i] for w in wing_summaries])
+            for i, child in enumerate(self.children)
+        )
+
+    def second_pass(self, butterfly: Butterfly, side_in: tuple) -> None:
+        for child, child_side_in in zip(self.children, side_in):
+            child.second_pass(butterfly, child_side_in)
+
+    def epoch_update(self, lid: int, summaries: Dict[BlockId, tuple]) -> None:
+        for i, child in enumerate(self.children):
+            child.epoch_update(
+                lid, {bid: s[i] for bid, s in summaries.items()}
+            )

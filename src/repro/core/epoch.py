@@ -1,0 +1,266 @@
+"""Uncertainty epochs and blocks (paper Section 4.1).
+
+A heartbeat signal partitions each thread's dynamic trace into *blocks*;
+the ``l``-th block of every thread together forms *epoch* ``l``.  Epoch
+boundaries are not synchronized across threads (heartbeat delivery skews),
+so blocks within an epoch may have different sizes -- the model only
+guarantees that instructions in non-adjacent epochs are strictly ordered.
+
+A block is addressed by ``(l, t)`` and an instruction by ``(l, t, i)``
+with ``i`` an offset from the block start, exactly the paper's notation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import PartitionError
+from repro.trace.events import Instr
+from repro.trace.program import GlobalRef, TraceProgram
+
+#: A block address (epoch id, thread id).
+BlockId = Tuple[int, int]
+#: An instruction address (epoch id, thread id, offset in block).
+InstrId = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class Block:
+    """A contiguous run of one thread's instructions within one epoch."""
+
+    lid: int
+    tid: int
+    start: int  #: offset of the first instruction within the thread trace
+    instrs: Tuple[Instr, ...]
+
+    @property
+    def block_id(self) -> BlockId:
+        return (self.lid, self.tid)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __iter__(self) -> Iterator[Instr]:
+        return iter(self.instrs)
+
+    def iter_ids(self) -> Iterator[Tuple[InstrId, Instr]]:
+        """Iterate ``((l, t, i), instr)`` pairs."""
+        for i, instr in enumerate(self.instrs):
+            yield (self.lid, self.tid, i), instr
+
+    def global_ref(self, i: int) -> GlobalRef:
+        """Map offset ``i`` back to a ``(thread, trace index)`` ref."""
+        return (self.tid, self.start + i)
+
+
+class EpochPartition:
+    """A trace program cut into epochs.
+
+    ``boundaries[t]`` is the strictly increasing list of cut points in
+    thread ``t``'s trace (exclusive block ends), with the final entry
+    equal to the trace length.  All threads have the same number of
+    blocks (trailing blocks may be empty), so every epoch is a full row.
+    """
+
+    def __init__(
+        self, program: TraceProgram, boundaries: Sequence[Sequence[int]]
+    ) -> None:
+        if len(boundaries) != program.num_threads:
+            raise PartitionError(
+                "need one boundary list per thread "
+                f"({len(boundaries)} given, {program.num_threads} threads)"
+            )
+        num_epochs = None
+        for t, cuts in enumerate(boundaries):
+            n = len(program.threads[t])
+            if not cuts or cuts[-1] != n:
+                raise PartitionError(
+                    f"thread {t}: boundaries must end at trace length {n}"
+                )
+            if any(b < a for a, b in zip(cuts, cuts[1:])):
+                raise PartitionError(f"thread {t}: boundaries must be sorted")
+            if any(c < 0 for c in cuts):
+                raise PartitionError(f"thread {t}: negative boundary")
+            if num_epochs is None:
+                num_epochs = len(cuts)
+            elif len(cuts) != num_epochs:
+                raise PartitionError(
+                    "all threads must have the same epoch count "
+                    f"(thread {t} has {len(cuts)}, expected {num_epochs})"
+                )
+        self.program = program
+        self.boundaries = [list(cuts) for cuts in boundaries]
+        self._num_epochs = num_epochs or 0
+        self._blocks: dict = {}
+
+    # -- shape --------------------------------------------------------
+
+    @property
+    def num_epochs(self) -> int:
+        return self._num_epochs
+
+    @property
+    def num_threads(self) -> int:
+        return self.program.num_threads
+
+    # -- access ---------------------------------------------------------
+
+    def block(self, lid: int, tid: int) -> Block:
+        """The block ``(l, t)``; empty tuple blocks are legal."""
+        key = (lid, tid)
+        cached = self._blocks.get(key)
+        if cached is not None:
+            return cached
+        if not 0 <= lid < self._num_epochs:
+            raise PartitionError(f"epoch {lid} out of range")
+        if not 0 <= tid < self.num_threads:
+            raise PartitionError(f"thread {tid} out of range")
+        cuts = self.boundaries[tid]
+        start = cuts[lid - 1] if lid > 0 else 0
+        end = cuts[lid]
+        blk = Block(
+            lid, tid, start, tuple(self.program.threads[tid].instrs[start:end])
+        )
+        self._blocks[key] = blk
+        return blk
+
+    def epoch_blocks(self, lid: int) -> List[Block]:
+        """All blocks in epoch ``l``, one per thread."""
+        return [self.block(lid, t) for t in range(self.num_threads)]
+
+    def iter_blocks(self) -> Iterator[Block]:
+        for lid in range(self._num_epochs):
+            for tid in range(self.num_threads):
+                yield self.block(lid, tid)
+
+    def instr(self, iid: InstrId) -> Instr:
+        lid, tid, i = iid
+        return self.block(lid, tid).instrs[i]
+
+    def epoch_of(self, tid: int, trace_index: int) -> int:
+        """Which epoch the ``trace_index``-th instruction of thread ``t``
+        landed in."""
+        cuts = self.boundaries[tid]
+        lo, hi = 0, len(cuts) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if trace_index < cuts[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def instr_id_of(self, tid: int, trace_index: int) -> InstrId:
+        lid = self.epoch_of(tid, trace_index)
+        start = self.boundaries[tid][lid - 1] if lid > 0 else 0
+        return (lid, tid, trace_index - start)
+
+    def global_ref_of(self, iid: InstrId) -> GlobalRef:
+        lid, tid, i = iid
+        return self.block(lid, tid).global_ref(i)
+
+
+# ---------------------------------------------------------------------------
+# Partition constructors
+# ---------------------------------------------------------------------------
+
+
+def partition_fixed(program: TraceProgram, epoch_size: int) -> EpochPartition:
+    """Cut every thread into blocks of exactly ``epoch_size`` instructions.
+
+    This is the LBA software heartbeat of Section 7.1: a marker is
+    inserted into each thread's log every ``h`` instructions.
+    """
+    if epoch_size < 1:
+        raise PartitionError("epoch_size must be >= 1")
+    lengths = [len(t) for t in program.threads]
+    num_epochs = max(
+        1, max((n + epoch_size - 1) // epoch_size for n in lengths) if lengths else 1
+    )
+    boundaries = []
+    for n in lengths:
+        cuts = [min((k + 1) * epoch_size, n) for k in range(num_epochs)]
+        boundaries.append(cuts)
+    return EpochPartition(program, boundaries)
+
+
+def partition_with_skew(
+    program: TraceProgram,
+    epoch_size: int,
+    max_skew: int,
+    rng: Optional[random.Random] = None,
+) -> EpochPartition:
+    """Fixed-size epochs with per-thread heartbeat delivery jitter.
+
+    Each boundary lands within ``max_skew`` instructions of its nominal
+    position, modelling non-simultaneous heartbeat reception (Section
+    4.1).  ``max_skew`` must be less than half the epoch size so that
+    blocks never invert.
+    """
+    if epoch_size < 1:
+        raise PartitionError("epoch_size must be >= 1")
+    if max_skew < 0 or 2 * max_skew >= epoch_size:
+        raise PartitionError("max_skew must satisfy 0 <= 2*skew < epoch_size")
+    rng = rng or random.Random(0)
+    lengths = [len(t) for t in program.threads]
+    num_epochs = max(
+        1, max((n + epoch_size - 1) // epoch_size for n in lengths) if lengths else 1
+    )
+    boundaries = []
+    for n in lengths:
+        cuts = []
+        for k in range(num_epochs - 1):
+            nominal = (k + 1) * epoch_size
+            jitter = rng.randint(-max_skew, max_skew)
+            cuts.append(max(0, min(nominal + jitter, n)))
+        cuts.append(n)
+        # Jitter near the trace tail can produce non-monotone cuts; clamp.
+        for k in range(1, len(cuts)):
+            cuts[k] = max(cuts[k], cuts[k - 1])
+        boundaries.append(cuts)
+    return EpochPartition(program, boundaries)
+
+
+def partition_from_boundaries(
+    program: TraceProgram, boundaries: Sequence[Sequence[int]]
+) -> EpochPartition:
+    """Explicit per-thread cut points (tests and custom heartbeats)."""
+    return EpochPartition(program, boundaries)
+
+
+def partition_by_global_order(
+    program: TraceProgram, epoch_size: int
+) -> EpochPartition:
+    """Heartbeats in *global execution time* (the paper's footnote 4).
+
+    The LBA prototype issues a heartbeat after ``h * n`` instructions
+    have executed across all ``n`` application threads, cutting every
+    thread's log at its position *at that moment*; block sizes therefore
+    differ across threads ("Butterfly analysis does not require balanced
+    workloads within an epoch").  Requires the trace's recorded
+    ground-truth order as the notion of time.
+    """
+    if epoch_size < 1:
+        raise PartitionError("epoch_size must be >= 1")
+    order = program.recorded_order()
+    n = program.num_threads
+    interval = epoch_size * n
+    positions = [0] * n
+    boundaries: List[List[int]] = [[] for _ in range(n)]
+    for count, (t, _i) in enumerate(order, start=1):
+        positions[t] += 1
+        if count % interval == 0:
+            for tid in range(n):
+                boundaries[tid].append(positions[tid])
+    # Close the final epoch at each trace's end.
+    lengths = [len(tr) for tr in program.threads]
+    for tid in range(n):
+        if not boundaries[tid] or boundaries[tid][-1] != lengths[tid]:
+            boundaries[tid].append(lengths[tid])
+        else:
+            # The last heartbeat landed exactly at the end; still add a
+            # final (possibly empty) epoch so every thread agrees.
+            boundaries[tid].append(lengths[tid])
+    return EpochPartition(program, boundaries)

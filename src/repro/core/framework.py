@@ -1,0 +1,173 @@
+"""The generic two-pass butterfly engine (paper Section 4.3).
+
+The lifeguard writer supplies a :class:`ButterflyAnalysis`; the engine
+sequences the four steps over the sliding window:
+
+1. **first pass** -- each newly received block is analyzed with locally
+   available state only, producing a summary;
+2. **meet** -- for each body block whose full wings are now available,
+   the wing summaries are combined;
+3. **second pass** -- the body is re-analyzed with wing state and the
+   lifeguard's checks run;
+4. **epoch update** -- once every body in an epoch finished its second
+   pass, the epoch is summarized and ``SOS_{l+2}`` is published.
+
+A butterfly with body in epoch ``l`` needs epoch ``l+1`` in its wings,
+so the engine processes bodies one epoch behind the newest received
+epoch; the final epoch's bodies run once the trace ends (their wings
+simply lack a ``l+1`` row, mirroring the paper's first/last butterflies).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generic, List, Optional, TypeVar
+
+from repro.core.epoch import Block, BlockId, EpochPartition
+from repro.core.window import Butterfly, butterfly_for
+from repro.errors import AnalysisError
+
+Summary = TypeVar("Summary")
+SideIn = TypeVar("SideIn")
+
+
+@dataclass
+class EngineStats:
+    """Work counters the timing substrate converts into cycles."""
+
+    epochs_processed: int = 0
+    first_pass_instructions: int = 0
+    second_pass_instructions: int = 0
+    meets: int = 0
+    wing_summaries_combined: int = 0
+
+
+class ButterflyAnalysis(abc.ABC, Generic[Summary, SideIn]):
+    """Lifeguard-writer interface: the four knobs of Section 4.3.
+
+    Implementations own their SOS/LSOS (update rules differ between the
+    reaching-definitions and reaching-expressions families) and their
+    error reporting.
+    """
+
+    @abc.abstractmethod
+    def first_pass(self, block: Block) -> Summary:
+        """Step 1: analyze ``block`` with local state; return its summary."""
+
+    @abc.abstractmethod
+    def meet(self, butterfly: Butterfly, wing_summaries: List[Summary]) -> SideIn:
+        """Step 2: combine the wings' summaries into the side-in value."""
+
+    @abc.abstractmethod
+    def second_pass(self, butterfly: Butterfly, side_in: SideIn) -> None:
+        """Step 3: re-analyze the body with wing state; run checks."""
+
+    @abc.abstractmethod
+    def epoch_update(self, lid: int, summaries: Dict[BlockId, Summary]) -> None:
+        """Step 4: summarize epoch ``l`` and publish ``SOS_{l+2}``."""
+
+
+class ButterflyEngine(Generic[Summary, SideIn]):
+    """Drives a :class:`ButterflyAnalysis` over an epoch partition.
+
+    Supports both one-shot :meth:`run` and the streaming
+    :meth:`feed_epoch` / :meth:`finish` pair used by the LBA substrate
+    (epochs arrive as the application executes).
+    """
+
+    def __init__(self, analysis: ButterflyAnalysis) -> None:
+        self.analysis = analysis
+        self.stats = EngineStats()
+        self._partition: Optional[EpochPartition] = None
+        self._summaries: Dict[BlockId, Any] = {}
+        self._next_to_receive = 0
+        self._next_to_process = 0
+        self._finished = False
+
+    # -- one-shot -----------------------------------------------------
+
+    def run(self, partition: EpochPartition) -> EngineStats:
+        """Process an entire partition and return the work counters."""
+        self.attach(partition)
+        for lid in range(partition.num_epochs):
+            self.feed_epoch(lid)
+        self.finish()
+        return self.stats
+
+    # -- streaming ------------------------------------------------------
+
+    def attach(self, partition: EpochPartition) -> None:
+        if self._partition is not None:
+            raise AnalysisError("engine already attached to a partition")
+        self._partition = partition
+
+    def feed_epoch(self, lid: int) -> None:
+        """Receive epoch ``l``: first-pass its blocks, then process the
+        bodies of epoch ``l - 1`` whose wings are now complete."""
+        partition = self._require_partition()
+        if lid != self._next_to_receive:
+            raise AnalysisError(
+                f"epochs must arrive in order: expected {self._next_to_receive}, "
+                f"got {lid}"
+            )
+        for tid in range(partition.num_threads):
+            block = partition.block(lid, tid)
+            self._summaries[block.block_id] = self.analysis.first_pass(block)
+            self.stats.first_pass_instructions += len(block)
+        self._next_to_receive += 1
+        if lid >= 1:
+            self._process_epoch(lid - 1)
+
+    def finish(self) -> None:
+        """End of trace: process the final epoch's bodies."""
+        partition = self._require_partition()
+        if self._finished:
+            return
+        if self._next_to_receive != partition.num_epochs:
+            raise AnalysisError(
+                "finish() called before all epochs were fed "
+                f"({self._next_to_receive}/{partition.num_epochs})"
+            )
+        if partition.num_epochs:
+            last = partition.num_epochs - 1
+            if self._next_to_process == last:
+                self._process_epoch(last)
+        self._finished = True
+
+    # -- internals ------------------------------------------------------
+
+    def _require_partition(self) -> EpochPartition:
+        if self._partition is None:
+            raise AnalysisError("engine not attached to a partition")
+        return self._partition
+
+    def _process_epoch(self, lid: int) -> None:
+        partition = self._require_partition()
+        if lid != self._next_to_process:
+            raise AnalysisError(
+                f"bodies must be processed in epoch order: expected "
+                f"{self._next_to_process}, got {lid}"
+            )
+        for tid in range(partition.num_threads):
+            butterfly = butterfly_for(partition, lid, tid)
+            wing_summaries = [
+                self._summaries[b.block_id] for b in butterfly.wings
+            ]
+            side_in = self.analysis.meet(butterfly, wing_summaries)
+            self.stats.meets += 1
+            self.stats.wing_summaries_combined += len(wing_summaries)
+            self.analysis.second_pass(butterfly, side_in)
+            self.stats.second_pass_instructions += len(butterfly.body)
+        epoch_summaries = {
+            (lid, tid): self._summaries[(lid, tid)]
+            for tid in range(partition.num_threads)
+        }
+        self.analysis.epoch_update(lid, epoch_summaries)
+        self.stats.epochs_processed += 1
+        self._next_to_process += 1
+        # Summaries older than the sliding window are dead; reclaim them.
+        stale = lid - 2
+        if stale >= 0:
+            for tid in range(partition.num_threads):
+                self._summaries.pop((stale, tid), None)

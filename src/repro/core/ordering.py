@@ -1,0 +1,161 @@
+"""Valid orderings: the correctness oracle for butterfly analysis.
+
+Paper, Section 5: a *valid ordering* ``O_k`` is a total order of all the
+instructions in the first ``k`` epochs that respects the butterfly
+assumptions --
+
+1. instructions within a thread appear in program order, and
+2. every instruction of epoch ``l`` appears before any instruction of
+   epoch ``l + 2`` (non-adjacent epochs are strictly ordered).
+
+The set of valid orderings is a superset of the orderings any real
+machine (with cache coherence and intra-thread dependences) can produce,
+which is why analyses that behave conservatively over *all* valid
+orderings have zero false negatives.  Exhaustive enumeration is
+exponential, so these helpers are test oracles for tiny traces; the
+analyses themselves never enumerate orderings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core.epoch import EpochPartition, InstrId
+from repro.trace.events import Instr
+
+
+def _thread_schedule(partition: EpochPartition, tid: int) -> List[InstrId]:
+    """Thread ``t``'s instructions in program order, as instr ids."""
+    ids: List[InstrId] = []
+    for lid in range(partition.num_epochs):
+        blk = partition.block(lid, tid)
+        ids.extend((lid, tid, i) for i in range(len(blk)))
+    return ids
+
+
+def all_valid_orderings(
+    partition: EpochPartition, up_to_epoch: Optional[int] = None
+) -> Iterator[List[InstrId]]:
+    """Every valid ordering of the first ``up_to_epoch + 1`` epochs.
+
+    Exponential; tests keep the instruction count under ~10.
+    """
+    last = (
+        partition.num_epochs - 1 if up_to_epoch is None else up_to_epoch
+    )
+    schedules = [
+        [iid for iid in _thread_schedule(partition, t) if iid[0] <= last]
+        for t in range(partition.num_threads)
+    ]
+    # Remaining instruction count per epoch, to enforce the two-epoch rule.
+    remaining = [0] * (last + 1)
+    for sched in schedules:
+        for lid, _, _ in sched:
+            remaining[lid] += 1
+    cursors = [0] * len(schedules)
+    total = sum(remaining)
+
+    def min_unfinished_epoch() -> int:
+        for lid, cnt in enumerate(remaining):
+            if cnt:
+                return lid
+        return last + 1
+
+    def rec(done: int) -> Iterator[List[InstrId]]:
+        if done == total:
+            yield []
+            return
+        floor = min_unfinished_epoch()
+        for t, sched in enumerate(schedules):
+            if cursors[t] >= len(sched):
+                continue
+            iid = sched[cursors[t]]
+            # Schedulable only if every epoch <= l-2 is fully drained.
+            if iid[0] > floor + 1:
+                continue
+            cursors[t] += 1
+            remaining[iid[0]] -= 1
+            for rest in rec(done + 1):
+                yield [iid] + rest
+            cursors[t] -= 1
+            remaining[iid[0]] += 1
+
+    return rec(0)
+
+
+def random_valid_ordering(
+    partition: EpochPartition,
+    rng: Optional[random.Random] = None,
+    up_to_epoch: Optional[int] = None,
+) -> List[InstrId]:
+    """Sample one valid ordering uniformly over schedulable choices."""
+    rng = rng or random.Random()
+    last = (
+        partition.num_epochs - 1 if up_to_epoch is None else up_to_epoch
+    )
+    schedules = [
+        [iid for iid in _thread_schedule(partition, t) if iid[0] <= last]
+        for t in range(partition.num_threads)
+    ]
+    remaining = [0] * (last + 1)
+    for sched in schedules:
+        for lid, _, _ in sched:
+            remaining[lid] += 1
+    cursors = [0] * len(schedules)
+    order: List[InstrId] = []
+    total = sum(remaining)
+    while len(order) < total:
+        floor = next((l for l, c in enumerate(remaining) if c), last + 1)
+        ready = [
+            t
+            for t, sched in enumerate(schedules)
+            if cursors[t] < len(sched) and sched[cursors[t]][0] <= floor + 1
+        ]
+        t = rng.choice(ready)
+        iid = schedules[t][cursors[t]]
+        cursors[t] += 1
+        remaining[iid[0]] -= 1
+        order.append(iid)
+    return order
+
+
+def is_valid_ordering(
+    partition: EpochPartition, order: Sequence[InstrId]
+) -> bool:
+    """Check both validity constraints for an explicit order."""
+    # Program order within each thread.
+    expected = {
+        t: iter(_thread_schedule(partition, t))
+        for t in range(partition.num_threads)
+    }
+    seen_counts: dict = {}
+    for iid in order:
+        t = iid[1]
+        try:
+            if next(expected[t]) != iid:
+                return False
+        except StopIteration:
+            return False
+        seen_counts[iid[0]] = seen_counts.get(iid[0], 0) + 1
+    # Two-epoch rule: when the first instruction of epoch l appears, all
+    # epochs <= l-2 must already be complete.
+    totals: dict = {}
+    for t in range(partition.num_threads):
+        for iid in _thread_schedule(partition, t):
+            totals[iid[0]] = totals.get(iid[0], 0) + 1
+    progress: dict = {}
+    for iid in order:
+        lid = iid[0]
+        for earlier in range(lid - 1):
+            if progress.get(earlier, 0) != totals.get(earlier, 0):
+                return False
+        progress[lid] = progress.get(lid, 0) + 1
+    return True
+
+
+def serialize_ordering(
+    partition: EpochPartition, order: Sequence[InstrId]
+) -> List[Instr]:
+    """Materialize an ordering as a flat instruction list."""
+    return [partition.instr(iid) for iid in order]

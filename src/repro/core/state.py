@@ -1,0 +1,82 @@
+"""Strongly Ordered State containers (paper Sections 4.2, 5.1.2, 5.2.1).
+
+``SOS_l`` summarizes everything known to have happened strictly before
+epoch ``l`` -- i.e. the effects of epochs ``<= l - 2``.  It is globally
+shared and single-writer: one lifeguard thread is nominated master and
+publishes each ``SOS_l`` before any butterfly with a body in epoch ``l``
+runs its second pass, so no synchronization on the metadata is needed.
+
+The LSOS (local SOS) augments ``SOS_l`` with the head block's effects
+and is recomputed per body block by each analysis (the defs/exprs rules
+differ, so the formulas live in the analysis modules; this container
+only records and serves the published epoch states).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Hashable, Set
+
+from repro.errors import AnalysisError
+
+Element = Hashable
+
+
+class SOSHistory:
+    """The per-epoch sequence of strongly ordered states.
+
+    Maintains the invariant of Lemma 5.2 via the update rule
+
+        ``SOS_l := GEN_{l-2} U (SOS_{l-1} - KILL_{l-2})``,
+
+    with ``SOS_0 = SOS_1 = {}``.  ``KILL`` is supplied as a predicate
+    because kill sets are symbolic (unbounded element universe).
+    """
+
+    def __init__(self) -> None:
+        self._states: Dict[int, FrozenSet[Element]] = {
+            0: frozenset(),
+            1: frozenset(),
+        }
+        self._frontier = 1  # largest epoch whose SOS is published
+
+    @property
+    def frontier(self) -> int:
+        """Largest epoch id with a published SOS."""
+        return self._frontier
+
+    def get(self, lid: int) -> FrozenSet[Element]:
+        """The published ``SOS_l``; raises if not yet computed."""
+        if lid < 0:
+            return frozenset()
+        try:
+            return self._states[lid]
+        except KeyError:
+            raise AnalysisError(
+                f"SOS_{lid} requested before epoch {lid - 2} was summarized"
+            ) from None
+
+    def advance(
+        self,
+        summarized_epoch: int,
+        gen: Set[Element],
+        killed: Callable[[Element], bool],
+    ) -> FrozenSet[Element]:
+        """Publish ``SOS_{summarized_epoch + 2}`` from epoch-level GEN and
+        a KILL predicate over the previous SOS."""
+        target = summarized_epoch + 2
+        if target != self._frontier + 1:
+            raise AnalysisError(
+                f"SOS must advance in order: next is SOS_{self._frontier + 1}, "
+                f"got SOS_{target}"
+            )
+        prev = self._states[self._frontier]
+        survivors = {e for e in prev if not killed(e)}
+        survivors |= gen
+        state = frozenset(survivors)
+        self._states[target] = state
+        self._frontier = target
+        return state
+
+    def published(self) -> Dict[int, FrozenSet[Element]]:
+        """All published states (for inspection/tests)."""
+        return dict(self._states)

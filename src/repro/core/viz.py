@@ -1,0 +1,70 @@
+"""ASCII rendering of butterflies and partitions (Figure 6/7 style).
+
+Debugging aid and documentation generator: draws the epoch/thread grid
+with the sliding window highlighted -- ``B`` body, ``H`` head, ``T``
+tail, ``w`` wings, ``.`` strictly-ordered blocks outside the window.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.epoch import EpochPartition
+from repro.core.window import butterfly_for
+
+
+def render_partition(
+    partition: EpochPartition, max_epochs: Optional[int] = None
+) -> str:
+    """The block grid with per-block sizes."""
+    epochs = partition.num_epochs
+    if max_epochs is not None:
+        epochs = min(epochs, max_epochs)
+    header = "epoch | " + " | ".join(
+        f"t{t}".center(6) for t in range(partition.num_threads)
+    )
+    lines = [header, "-" * len(header)]
+    for lid in range(epochs):
+        cells = [
+            str(len(partition.block(lid, t))).center(6)
+            for t in range(partition.num_threads)
+        ]
+        lines.append(f"{lid:5d} | " + " | ".join(cells))
+    if epochs < partition.num_epochs:
+        lines.append(f"  ... ({partition.num_epochs - epochs} more epochs)")
+    return "\n".join(lines)
+
+
+def render_butterfly(
+    partition: EpochPartition, lid: int, tid: int
+) -> str:
+    """The window of block ``(l, t)``: body, head, tail, and wings."""
+    butterfly = butterfly_for(partition, lid, tid)
+    wing_ids = set(butterfly.wing_ids())
+    lo = max(0, lid - 2)
+    hi = min(partition.num_epochs - 1, lid + 2)
+    header = "epoch | " + " | ".join(
+        f"t{t}".center(4) for t in range(partition.num_threads)
+    )
+    lines = [
+        f"butterfly for block (l={lid}, t={tid})",
+        header,
+        "-" * len(header),
+    ]
+    for l in range(lo, hi + 1):
+        cells: List[str] = []
+        for t in range(partition.num_threads):
+            if (l, t) == (lid, tid):
+                mark = "B"
+            elif butterfly.head is not None and (l, t) == butterfly.head.block_id:
+                mark = "H"
+            elif butterfly.tail is not None and (l, t) == butterfly.tail.block_id:
+                mark = "T"
+            elif (l, t) in wing_ids:
+                mark = "w"
+            else:
+                mark = "."
+            cells.append(mark.center(4))
+        lines.append(f"{l:5d} | " + " | ".join(cells))
+    lines.append("B body  H head  T tail  w wings  . strictly ordered")
+    return "\n".join(lines)

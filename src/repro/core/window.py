@@ -1,0 +1,86 @@
+"""Butterflies: the sliding three-epoch window around a body block.
+
+For body block ``(l, t)`` (paper Section 4.1, Figure 7):
+
+- **head** -- ``(l-1, t)``: same thread, already executed;
+- **tail** -- ``(l+1, t)``: same thread, not yet executed;
+- **wings** -- ``(l-1, t'), (l, t'), (l+1, t')`` for every ``t' != t``:
+  other threads' blocks whose instructions may interleave arbitrarily
+  with the body.
+
+Epochs outside ``[l-1, l+1]`` are strictly ordered with respect to the
+body and are summarized by the SOS instead of appearing in the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.epoch import Block, BlockId, EpochPartition
+
+
+@dataclass(frozen=True)
+class Butterfly:
+    """The window of potential concurrency around one body block."""
+
+    body: Block
+    head: Optional[Block]
+    tail: Optional[Block]
+    wings: Tuple[Block, ...]
+
+    @property
+    def body_id(self) -> BlockId:
+        return self.body.block_id
+
+    def wing_ids(self) -> List[BlockId]:
+        return [b.block_id for b in self.wings]
+
+    def all_blocks(self) -> List[Block]:
+        """Body, head, tail and wings -- the full three-epoch window."""
+        blocks = [self.body]
+        if self.head is not None:
+            blocks.append(self.head)
+        if self.tail is not None:
+            blocks.append(self.tail)
+        blocks.extend(self.wings)
+        return blocks
+
+    def is_potentially_concurrent(self, other: BlockId) -> bool:
+        """Whether ``other`` sits in this butterfly's wings."""
+        lid, tid = other
+        return (
+            tid != self.body.tid
+            and abs(lid - self.body.lid) <= 1
+        )
+
+
+def butterfly_for(partition: EpochPartition, lid: int, tid: int) -> Butterfly:
+    """Construct the butterfly whose body is block ``(l, t)``."""
+    body = partition.block(lid, tid)
+    head = partition.block(lid - 1, tid) if lid >= 1 else None
+    tail = (
+        partition.block(lid + 1, tid)
+        if lid + 1 < partition.num_epochs
+        else None
+    )
+    wings = []
+    for wl in (lid - 1, lid, lid + 1):
+        if not 0 <= wl < partition.num_epochs:
+            continue
+        for wt in range(partition.num_threads):
+            if wt != tid:
+                wings.append(partition.block(wl, wt))
+    return Butterfly(body=body, head=head, tail=tail, wings=tuple(wings))
+
+
+def sliding_windows(partition: EpochPartition) -> Iterator[Butterfly]:
+    """Yield every butterfly, epoch by epoch then thread by thread.
+
+    This is the order the two-pass engine processes bodies in: all
+    butterflies with bodies in epoch ``l`` become processable once epoch
+    ``l+1`` has been received (its blocks complete the wings).
+    """
+    for lid in range(partition.num_epochs):
+        for tid in range(partition.num_threads):
+            yield butterfly_for(partition, lid, tid)

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class TraceError(ReproError):
+    """A malformed trace or event sequence was supplied."""
+
+
+class PartitionError(ReproError):
+    """An epoch partition is inconsistent with its trace."""
+
+
+class AnalysisError(ReproError):
+    """The butterfly analysis engine was driven incorrectly."""
+
+
+class SimulationError(ReproError):
+    """The CMP/LBA timing substrate was configured incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received invalid parameters."""

@@ -1,0 +1,29 @@
+"""Lifeguards: dynamic monitoring tools built on butterfly analysis.
+
+- :mod:`repro.lifeguards.reports` -- error reports and false-positive
+  accounting against ground-truth executions.
+- :mod:`repro.lifeguards.sequential` -- the original sequential
+  AddrCheck / TaintCheck, used both as the timesliced baseline and as
+  the oracle defining *true* errors on a given interleaving.
+- :mod:`repro.lifeguards.addrcheck` -- butterfly AddrCheck (paper 6.1).
+- :mod:`repro.lifeguards.taintcheck` -- butterfly TaintCheck (paper 6.2).
+- :mod:`repro.lifeguards.racecheck` -- a butterfly conflict detector,
+  demonstrating the framework on a lifeguard beyond the paper's two.
+"""
+
+from repro.lifeguards.reports import ErrorKind, ErrorReport, ErrorLog
+from repro.lifeguards.sequential import SequentialAddrCheck, SequentialTaintCheck
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.lifeguards.racecheck import ButterflyRaceCheck
+from repro.lifeguards.taintcheck import ButterflyTaintCheck
+
+__all__ = [
+    "ErrorKind",
+    "ErrorReport",
+    "ErrorLog",
+    "SequentialAddrCheck",
+    "SequentialTaintCheck",
+    "ButterflyAddrCheck",
+    "ButterflyRaceCheck",
+    "ButterflyTaintCheck",
+]

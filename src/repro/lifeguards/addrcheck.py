@@ -1,0 +1,351 @@
+"""Butterfly AddrCheck (paper Section 6.1).
+
+AddrCheck instantiates reaching expressions with allocation as GEN and
+deallocation as KILL: a location "reaches" a point iff it is allocated
+along every valid ordering.  The checking algorithm has two parts:
+
+1. **First pass (thread-local)**: every access or free must find its
+   location allocated in the incrementally updated ``LSOS_{l,t,i}``;
+   every malloc must find it deallocated.
+2. **Second pass (isolation)**: using the wing summaries
+   ``S = (GEN, KILL, ACCESS)``, any overlap between the body's
+   allocation-state changes and the wings' operations -- or between the
+   body's accesses and the wings' state changes -- is a race on the
+   metadata state and is flagged (Figure 9's non-isolated allocation).
+
+Zero false negatives (Theorem 6.1) holds because the valid orderings
+considered are a superset of real machine orderings; the price is false
+positives near epoch boundaries, which Figure 13 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.dataflow import BlockFacts
+from repro.core.epoch import Block, BlockId
+from repro.core.framework import ButterflyAnalysis
+from repro.core.state import SOSHistory
+from repro.core.window import Butterfly
+from repro.lifeguards.reports import ErrorKind, ErrorLog, ErrorReport
+from repro.trace.events import Instr, Op
+
+
+@dataclass
+class AddrSummary:
+    """Per-block summary ``s_{l,t} = (GEN, KILL, ACCESS)``.
+
+    ``facts`` carries the allocation-domain block facts (downward-exposed
+    allocations, freed locations, last-event map) used by the SOS/LSOS
+    rules; ``gen``/``kill``/``access`` are the side-out views (union over
+    instructions) used by the isolation check.
+    """
+
+    facts: BlockFacts
+    access: Set[int] = field(default_factory=set)
+    first_change: Dict[int, int] = field(default_factory=dict)
+    first_access: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def gen(self) -> Set[int]:
+        """All locations allocated anywhere in the block."""
+        return self.facts.all_gen
+
+    @property
+    def kill(self) -> Set[int]:
+        """All locations freed anywhere in the block."""
+        return self.facts.killed_vars
+
+    @property
+    def block_id(self) -> BlockId:
+        return self.facts.block_id
+
+
+@dataclass
+class WingSummary:
+    """The meet of the wings: elementwise union of their summaries."""
+
+    gen: Set[int]
+    kill: Set[int]
+    access: Set[int]
+
+    @property
+    def changed(self) -> Set[int]:
+        return self.gen | self.kill
+
+
+class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, WingSummary]):
+    """The parallel, heap-only AddrCheck of the paper's evaluation.
+
+    Parameters
+    ----------
+    initially_allocated:
+        Locations treated as allocated from the start (e.g. globals);
+        the paper's heap-only lifeguard starts empty.
+    use_idempotent_filter:
+        Model LBA's idempotent filtering (Section 7.1): repeated checks
+        of a location within one block are skipped, and the filter is
+        conceptually flushed at every epoch boundary (filtering never
+        crosses epochs).  An allocation-state change re-arms the check.
+    """
+
+    def __init__(
+        self,
+        initially_allocated: Iterable[int] = (),
+        use_idempotent_filter: bool = True,
+    ) -> None:
+        self.sos = SOSHistory()
+        base = frozenset(initially_allocated)
+        if base:
+            self.sos._states[0] = base
+            self.sos._states[1] = base
+        self.use_idempotent_filter = use_idempotent_filter
+        self.errors = ErrorLog()
+        self._summaries: Dict[BlockId, AddrSummary] = {}
+        #: Per-block work counters consumed by the timing substrate:
+        #: ``events`` (log records dispatched), ``checks`` (metadata
+        #: checks after idempotent filtering), ``accesses`` (pre-filter
+        #: location accesses), ``flags`` (errors raised), ``meet`` and
+        #: ``iso`` (set-operation element counts in steps 2-3).  The
+        #: per-epoch maxima of these drive the barrier-synchronized
+        #: lifeguard timing model.
+        self.block_work: Dict[BlockId, Dict[str, int]] = {}
+        self.recorded_accesses = 0
+
+    # -- step 1: local pass with LSOS checks ------------------------------
+
+    def first_pass(self, block: Block) -> AddrSummary:
+        lid, tid = block.block_id
+        running = self._compute_lsos(lid, tid)
+        facts = BlockFacts(block_id=block.block_id)
+        summary = AddrSummary(facts=facts)
+        gen = facts.gen
+        all_gen = facts.all_gen
+        killed_vars = facts.killed_vars
+        last_event = facts.last_event
+        access = summary.access
+        first_change = summary.first_change
+        first_access = summary.first_access
+        # Idempotent-filter state: one filter per thread, flushed at
+        # every heartbeat -- i.e. per-block scope.
+        checked: Set[int] = set()
+        events = 0
+        checks = 0
+        accesses = 0
+        allocs = 0
+        flags_before = len(self.errors)
+
+        for i, instr in enumerate(block.instrs):
+            events += 1
+            op = instr.op
+            if op is Op.MALLOC:
+                for loc in instr.extent:
+                    allocs += 1
+                    checked.discard(loc)
+                    if loc in running:
+                        self.errors.flag(
+                            ErrorReport(
+                                ErrorKind.MALLOC_ALLOCATED,
+                                loc,
+                                ref=block.global_ref(i),
+                                detail="malloc of location believed allocated",
+                            )
+                        )
+                    running.add(loc)
+                    gen.add(loc)
+                    all_gen.add(loc)
+                    last_event[loc] = "gen"
+                    first_change.setdefault(loc, i)
+            elif op is Op.FREE:
+                for loc in instr.extent:
+                    allocs += 1
+                    checked.discard(loc)
+                    if loc not in running:
+                        self.errors.flag(
+                            ErrorReport(
+                                ErrorKind.FREE_UNALLOCATED,
+                                loc,
+                                ref=block.global_ref(i),
+                                detail="free of location believed unallocated",
+                            )
+                        )
+                    running.discard(loc)
+                    killed_vars.add(loc)
+                    gen.discard(loc)
+                    last_event[loc] = "kill"
+                    first_change.setdefault(loc, i)
+            else:
+                for loc in instr.accessed:
+                    accesses += 1
+                    self.recorded_accesses += 1
+                    access.add(loc)
+                    first_access.setdefault(loc, i)
+                    if self.use_idempotent_filter and loc in checked:
+                        continue
+                    checked.add(loc)
+                    checks += 1
+                    if loc not in running:
+                        self.errors.flag(
+                            ErrorReport(
+                                ErrorKind.ACCESS_UNALLOCATED,
+                                loc,
+                                ref=block.global_ref(i),
+                                detail="access to location believed unallocated",
+                            )
+                        )
+        self.block_work[block.block_id] = {
+            "events": events,
+            "checks": checks,
+            "accesses": accesses,
+            "allocs": allocs,
+            "flags": len(self.errors) - flags_before,
+            "meet": 0,
+            "iso": 0,
+        }
+        self._summaries[block.block_id] = summary
+        return summary
+
+    # -- step 2: meet (elementwise union of wing summaries) ----------------
+
+    def meet(
+        self, butterfly: Butterfly, wing_summaries: List[AddrSummary]
+    ) -> WingSummary:
+        gen: Set[int] = set()
+        kill: Set[int] = set()
+        access: Set[int] = set()
+        work = 0
+        for s in wing_summaries:
+            gen |= s.gen
+            kill |= s.kill
+            access |= s.access
+            work += len(s.gen) + len(s.kill) + len(s.access)
+        self.block_work[butterfly.body.block_id]["meet"] += work
+        return WingSummary(gen=gen, kill=kill, access=access)
+
+    # -- step 3: isolation check -------------------------------------------
+
+    def second_pass(self, butterfly: Butterfly, side_in: WingSummary) -> None:
+        """Flag every location where the body's allocation-state changes
+        collide with concurrent wing operations (and vice versa for the
+        body's accesses against wing state changes)."""
+        body = butterfly.body
+        s = self._summaries[body.block_id]
+        flags_before = len(self.errors)
+        changed = s.gen | s.kill
+        wing_changed = side_in.changed
+        # (s.GEN U s.KILL) n (S.GEN U S.KILL): racing state changes.
+        for loc in changed & wing_changed:
+            self.errors.flag(
+                ErrorReport(
+                    ErrorKind.UNSAFE_ISOLATION,
+                    loc,
+                    ref=body.global_ref(s.first_change[loc]),
+                    block=body.block_id,
+                    detail="allocation-state change concurrent with another",
+                )
+            )
+        # s.ACCESS n (S.GEN U S.KILL): access during a concurrent change.
+        for loc in s.access & wing_changed:
+            self.errors.flag(
+                ErrorReport(
+                    ErrorKind.UNSAFE_ISOLATION,
+                    loc,
+                    ref=body.global_ref(s.first_access[loc]),
+                    block=body.block_id,
+                    detail="access concurrent with an allocation-state change",
+                )
+            )
+        # S.ACCESS n (s.GEN U s.KILL) is caught symmetrically when each
+        # wing block is processed as its own butterfly's body (the wing
+        # relation is symmetric), so flagging it here would only
+        # duplicate reports.
+        work = self.block_work[body.block_id]
+        work["flags"] += len(self.errors) - flags_before
+        work["iso"] += len(changed) + len(s.access)
+
+    # -- step 4: epoch summary and SOS update --------------------------------
+
+    def epoch_update(
+        self, lid: int, summaries: Dict[BlockId, AddrSummary]
+    ) -> None:
+        """Reaching-expressions epoch rules with allocation elements:
+        ``KILL_l`` is any block-level kill; ``GEN_l`` keeps allocations
+        every other thread either window-exposes or never frees."""
+        num_threads = len(summaries)
+        gen_l: Set[int] = set()
+        for (l, t), s in summaries.items():
+            for loc in s.facts.gen:
+                if self._epoch_gen_holds(loc, lid, t, num_threads):
+                    gen_l.add(loc)
+
+        kill_union: Set[int] = set()
+        for s in summaries.values():
+            for loc in s.facts.killed_vars:
+                if s.facts.last_event.get(loc, "kill") == "kill":
+                    kill_union.add(loc)
+
+        self.sos.advance(lid, gen_l, lambda loc: loc in kill_union)
+        self._evict(lid - 1)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _facts(self, lid: int, tid: int) -> Optional[BlockFacts]:
+        s = self._summaries.get((lid, tid))
+        return s.facts if s is not None else None
+
+    def _kills(self, facts: BlockFacts, loc: int) -> bool:
+        state = facts.last_event.get(loc)
+        if state is not None:
+            return state == "kill"
+        return loc in facts.killed_vars
+
+    def _epoch_gen_holds(
+        self, loc: int, lid: int, gen_thread: int, num_threads: int
+    ) -> bool:
+        for t in range(num_threads):
+            if t == gen_thread:
+                continue
+            prev = self._facts(lid - 1, t) if lid >= 1 else None
+            cur = self._facts(lid, t)
+            assert cur is not None
+            window_exposed = loc in cur.gen or (
+                prev is not None
+                and loc in prev.gen
+                and not self._kills(cur, loc)
+            )
+            never_kills = not self._kills(cur, loc) and (
+                prev is None or not self._kills(prev, loc)
+            )
+            if not (window_exposed or never_kills):
+                return False
+        return True
+
+    def _compute_lsos(self, lid: int, tid: int) -> Set[int]:
+        """Reaching-expressions LSOS (Section 5.2.1): head allocations
+        survive unless a sibling freed the location in epoch ``l-2``;
+        SOS entries survive unless the head freed them."""
+        sos = self.sos.get(lid)
+        head = self._facts(lid - 1, tid) if lid >= 1 else None
+        if head is None:
+            return set(sos)
+        lsos: Set[int] = set()
+        for loc in head.gen:
+            if not self._sibling_killed(loc, lid - 2, tid):
+                lsos.add(loc)
+        for loc in sos:
+            if not self._kills(head, loc):
+                lsos.add(loc)
+        return lsos
+
+    def _sibling_killed(self, loc: int, lid: int, tid: int) -> bool:
+        if lid < 0:
+            return False
+        for (l, t), s in self._summaries.items():
+            if l == lid and t != tid and self._kills(s.facts, loc):
+                return True
+        return False
+
+    def _evict(self, older_than: int) -> None:
+        for key in [k for k in self._summaries if k[0] < older_than]:
+            del self._summaries[key]

@@ -1,0 +1,147 @@
+"""The original sequential lifeguards (paper Section 2).
+
+These play two roles in the reproduction:
+
+1. **Timesliced baseline** (Figure 11's state of the art): all
+   application threads are interleaved onto one event stream and a
+   single sequential lifeguard consumes it.
+2. **Ground-truth oracle**: run over a *recorded* interleaving, the
+   sequential lifeguard defines the true error set for that execution;
+   butterfly reports are scored against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lifeguards.reports import ErrorKind, ErrorLog, ErrorReport
+from repro.trace.events import Instr, Op
+from repro.trace.program import GlobalRef, TraceProgram
+
+
+class SequentialAddrCheck:
+    """AddrCheck over a single serialized event stream.
+
+    Maintains per-location allocation metadata; flags accesses to
+    unallocated memory, double frees, and double allocations.
+    """
+
+    def __init__(self, initially_allocated: Iterable[int] = ()) -> None:
+        self.allocated: Set[int] = set(initially_allocated)
+        self.errors = ErrorLog()
+        self.events_processed = 0
+
+    def process(self, ref: Optional[GlobalRef], instr: Instr) -> None:
+        """Consume one event; ``ref`` labels error reports."""
+        self.events_processed += 1
+        if instr.op is Op.MALLOC:
+            for loc in instr.extent:
+                if loc in self.allocated:
+                    self.errors.flag(
+                        ErrorReport(
+                            ErrorKind.MALLOC_ALLOCATED, loc, ref=ref,
+                            detail="malloc of already-allocated location",
+                        )
+                    )
+                self.allocated.add(loc)
+        elif instr.op is Op.FREE:
+            for loc in instr.extent:
+                if loc not in self.allocated:
+                    self.errors.flag(
+                        ErrorReport(
+                            ErrorKind.FREE_UNALLOCATED, loc, ref=ref,
+                            detail="free of unallocated location",
+                        )
+                    )
+                self.allocated.discard(loc)
+        else:
+            for loc in instr.accessed:
+                if loc not in self.allocated:
+                    self.errors.flag(
+                        ErrorReport(
+                            ErrorKind.ACCESS_UNALLOCATED, loc, ref=ref,
+                            detail="access to unallocated location",
+                        )
+                    )
+
+    def run(
+        self, stream: Iterable[Tuple[Optional[GlobalRef], Instr]]
+    ) -> ErrorLog:
+        for ref, instr in stream:
+            self.process(ref, instr)
+        return self.errors
+
+    def run_order(self, program: TraceProgram) -> ErrorLog:
+        """Run over the program's recorded ground-truth interleaving."""
+        return self.run(program.iter_recorded())
+
+
+class SequentialTaintCheck:
+    """TaintCheck over a single serialized event stream.
+
+    Tracks a tainted-location set; ASSIGN propagates the OR of its
+    sources into the destination; WRITE stores trusted data (untaints);
+    JUMP on a tainted location is an error.
+    """
+
+    def __init__(self) -> None:
+        self.tainted: Set[int] = set()
+        self.errors = ErrorLog()
+        self.events_processed = 0
+
+    def process(self, ref: Optional[GlobalRef], instr: Instr) -> None:
+        self.events_processed += 1
+        if instr.op is Op.TAINT:
+            self.tainted.add(instr.dst)
+        elif instr.op in (Op.UNTAINT, Op.WRITE):
+            if instr.dst is not None:
+                self.tainted.discard(instr.dst)
+        elif instr.op is Op.ASSIGN:
+            if any(s in self.tainted for s in instr.srcs):
+                self.tainted.add(instr.dst)
+            else:
+                self.tainted.discard(instr.dst)
+        elif instr.op is Op.JUMP:
+            loc = instr.srcs[0]
+            if loc in self.tainted:
+                self.errors.flag(
+                    ErrorReport(
+                        ErrorKind.TAINTED_JUMP, loc, ref=ref,
+                        detail="tainted data used as jump target",
+                    )
+                )
+
+    def run(
+        self, stream: Iterable[Tuple[Optional[GlobalRef], Instr]]
+    ) -> ErrorLog:
+        for ref, instr in stream:
+            self.process(ref, instr)
+        return self.errors
+
+    def run_order(self, program: TraceProgram) -> ErrorLog:
+        return self.run(program.iter_recorded())
+
+
+def true_errors_under_any_ordering(
+    program: TraceProgram,
+    orders: Iterable[List[GlobalRef]],
+    lifeguard: str = "addrcheck",
+) -> Dict[Tuple, ErrorReport]:
+    """Union of sequential-lifeguard errors over a set of orderings.
+
+    The zero-false-negative theorems quantify over *valid orderings*;
+    this helper computes, for small traces, every error any ordering
+    exhibits, keyed by identity, so tests can assert butterfly coverage.
+    """
+    out: Dict[Tuple, ErrorReport] = {}
+    for order in orders:
+        guard = (
+            SequentialAddrCheck()
+            if lifeguard == "addrcheck"
+            else SequentialTaintCheck()
+        )
+        for ref in order:
+            guard.process(ref, program.instr_at(ref))
+        for report in guard.errors:
+            out.setdefault(report.identity(), report)
+    return out

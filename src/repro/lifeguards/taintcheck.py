@@ -1,0 +1,564 @@
+"""Butterfly TaintCheck (paper Section 6.2).
+
+TaintCheck extends reaching definitions with *inheritance*: an
+instruction ``x := binop(a, b)`` may copy taint from locations whose
+status the executing thread does not know.  The lifeguard's metadata are
+transfer functions ``(x_{l,t,i} <- s)`` where ``s`` is bottom (tainted),
+top (untainted), or a set of parent locations, SSA-numbered by dynamic
+instruction site.
+
+Checks resolve transfer functions against the three-epoch window via the
+paper's Algorithm 1: parents are replaced by their defining rules until
+bottom is reached (tainted) or the parent list drains (untainted).  Two
+variants of the termination condition are provided:
+
+- ``mode="sc"`` -- sequential consistency: each derivation chain keeps a
+  per-thread site counter and a rule may only be used if it occurs
+  strictly before the chain's previous rule from that thread;
+- ``mode="relaxed"`` -- relaxed memory models: only self-replacement is
+  disallowed (location-level cycle prevention), admitting any finite
+  rule sequence.
+
+To reduce false positives (Lemma 6.3), resolution runs in two phases:
+phase 1 may use rules from epochs ``l-1`` and ``l``; phase 2 from ``l``
+and ``l+1``, with phase-1 taint conclusions persisting as base facts.
+
+The SOS/LSOS track *tainted addresses* (not transfer functions), updated
+through ``LASTCHECK`` -- the resolution of each location's last write in
+a block -- with the reaching-definitions update rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from repro.core.epoch import Block, BlockId, InstrId
+from repro.core.framework import ButterflyAnalysis
+from repro.core.state import SOSHistory
+from repro.core.window import Butterfly
+from repro.lifeguards.reports import ErrorKind, ErrorLog, ErrorReport
+from repro.trace.events import Instr, Op
+
+
+class _Bottom:
+    """Taint (the paper's bottom)."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "BOT"
+
+
+class _Top:
+    """Untaint (the paper's top)."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "TOP"
+
+
+BOT = _Bottom()
+TOP = _Top()
+
+
+def _strictly_before(site: "InstrId", bound: Optional["InstrId"]) -> bool:
+    """Section 6.2's strictly-before: two epochs apart, or earlier in
+    the same thread's program order."""
+    if bound is None:
+        return True
+    sl, st, si = site
+    bl, bt, bi = bound
+    if sl <= bl - 2:
+        return True
+    if st == bt:
+        return (sl, si) < (bl, bi)
+    return False
+
+#: A transfer-function right-hand side: taint, untaint, or parents.
+Value = Union[_Bottom, _Top, Tuple[int, ...]]
+
+#: One rule: (offset within block, destination location, value).
+Rule = Tuple[int, int, Value]
+
+
+@dataclass
+class TaintSummary:
+    """Per-block first-pass product: the block's transfer functions.
+
+    ``rules``: per destination location, the (offset, value) writes in
+    program order -- this is the GEN-SIDE-OUT analog (all of them are
+    visible to the wings since interleaving is arbitrary).
+    ``jumps``: critical uses to verify in the second pass.
+    ``lastcheck``: filled during the second pass -- the resolved taint of
+    each location's final write (the paper's LASTCHECK).
+    """
+
+    block_id: BlockId
+    rules: Dict[int, List[Tuple[int, Value]]] = field(default_factory=dict)
+    jumps: List[Tuple[int, int]] = field(default_factory=list)
+    lastcheck: Dict[int, Value] = field(default_factory=dict)
+
+
+def _value_of(instr: Instr) -> Optional[Tuple[int, Value]]:
+    """Map an event to its transfer-function RHS, or None if it writes
+    no taint metadata."""
+    if instr.op is Op.TAINT:
+        return instr.dst, BOT
+    if instr.op in (Op.UNTAINT, Op.WRITE):
+        if instr.dst is None:
+            return None
+        return instr.dst, TOP
+    if instr.op is Op.ASSIGN:
+        if not instr.srcs:
+            return instr.dst, TOP
+        return instr.dst, tuple(instr.srcs)
+    return None
+
+
+class ButterflyTaintCheck(ButterflyAnalysis[TaintSummary, List[TaintSummary]]):
+    """The parallel TaintCheck lifeguard.
+
+    Parameters
+    ----------
+    mode:
+        ``"relaxed"`` (default) or ``"sc"`` -- the Check-algorithm
+        termination condition (see module docstring).
+    max_steps:
+        Budget for one SC-mode derivation search; on exhaustion the
+        check conservatively concludes tainted (never a false negative).
+    two_phase:
+        Enable the two-phase resolution of Section 6.2 (default).  With
+        ``False``, checks resolve against the whole three-epoch window
+        at once -- still sound, but it admits impossible epoch-spanning
+        paths (the ablation of the 'Reducing False Positives'
+        optimization).
+    """
+
+    def __init__(
+        self,
+        mode: str = "relaxed",
+        max_steps: int = 4096,
+        two_phase: bool = True,
+    ) -> None:
+        if mode not in ("relaxed", "sc"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.mode = mode
+        self.max_steps = max_steps
+        self.two_phase = two_phase
+        self.sos = SOSHistory()
+        self.errors = ErrorLog()
+        self._summaries: Dict[BlockId, TaintSummary] = {}
+        self._blocks: Dict[BlockId, Block] = {}
+
+    # -- step 1: collect transfer functions -------------------------------
+
+    def first_pass(self, block: Block) -> TaintSummary:
+        summary = TaintSummary(block_id=block.block_id)
+        for i, instr in enumerate(block.instrs):
+            written = _value_of(instr)
+            if written is not None:
+                dst, value = written
+                summary.rules.setdefault(dst, []).append((i, value))
+            elif instr.op is Op.JUMP:
+                summary.jumps.append((i, instr.srcs[0]))
+        self._summaries[block.block_id] = summary
+        self._blocks[block.block_id] = block
+        return summary
+
+    # -- step 2: gather wing rule sets -------------------------------------
+
+    def meet(
+        self, butterfly: Butterfly, wing_summaries: List[TaintSummary]
+    ) -> List[TaintSummary]:
+        # Rules must stay attributed to their epoch for the two-phase
+        # resolution, so the meet keeps the summaries distinct.
+        return wing_summaries
+
+    # -- step 3: resolve checks ----------------------------------------------
+
+    def second_pass(
+        self, butterfly: Butterfly, side_in: List[TaintSummary]
+    ) -> None:
+        body = butterfly.body
+        lid, tid = body.block_id
+        summary = self._summaries[body.block_id]
+        lsos = self._compute_lsos(lid, tid)
+
+        if self.two_phase:
+            phase1 = _RuleGraph(
+                [s for s in side_in if s.block_id[0] <= lid], summary, self
+            )
+            phase2 = _RuleGraph(
+                [s for s in side_in if s.block_id[0] >= lid], summary, self,
+                fallback=phase1,
+            )
+        else:
+            # Ablation: one pass over the whole window -- sound but it
+            # admits epoch-spanning paths the two phases would reject.
+            phase1 = _RuleGraph(list(side_in), summary, self)
+            phase2 = phase1
+
+        def resolve(parents: Tuple[int, ...], offset: int) -> Value:
+            if phase1.tainted_parents(parents, offset, lsos):
+                return BOT
+            if phase2.tainted_parents(parents, offset, lsos):
+                return BOT
+            return TOP
+
+        def resolve_value(value: Value, offset: int) -> Value:
+            if value is BOT:
+                return BOT
+            if value is TOP:
+                return TOP
+            return resolve(value, offset)
+
+        # LASTCHECK: resolve the final write of each location.
+        for loc, writes in summary.rules.items():
+            offset, value = writes[-1]
+            summary.lastcheck[loc] = resolve_value(value, offset)
+
+        # Critical-use checks.
+        for offset, loc in summary.jumps:
+            if self._location_tainted(loc, offset, summary, phase1, phase2, lsos):
+                self.errors.flag(
+                    ErrorReport(
+                        ErrorKind.TAINTED_JUMP,
+                        loc,
+                        ref=body.global_ref(offset),
+                        detail="possibly-tainted data used as jump target",
+                    )
+                )
+
+    def _location_tainted(
+        self,
+        loc: int,
+        offset: int,
+        summary: TaintSummary,
+        phase1: "_RuleGraph",
+        phase2: "_RuleGraph",
+        lsos: Set[int],
+    ) -> bool:
+        """Taint of ``loc`` as observed at body offset ``offset``."""
+        if phase1.tainted_parents((loc,), offset, lsos):
+            return True
+        return phase2.tainted_parents((loc,), offset, lsos)
+
+    # -- step 4: LASTCHECK-driven SOS update ----------------------------------
+
+    def epoch_update(
+        self, lid: int, summaries: Dict[BlockId, TaintSummary]
+    ) -> None:
+        """Reaching-definitions SOS rules over tainted addresses:
+
+        ``GEN_l``: locations some thread's last check resolved tainted.
+        ``KILL_l``: locations some thread untainted whose every *other*
+        thread's last check across epochs ``(l-1, l)`` is untainted or
+        absent (Section 6.2's LASTCHECK formulation).
+        """
+        threads = sorted(t for (_, t) in summaries)
+        gen_l: Set[int] = set()
+        kill_l: Set[int] = set()
+        for (l, t), s in summaries.items():
+            for loc, value in s.lastcheck.items():
+                if value is BOT:
+                    gen_l.add(loc)
+                elif value is TOP:
+                    if all(
+                        self._lastcheck_span(loc, lid, t2) in (TOP, None)
+                        for t2 in threads
+                        if t2 != t
+                    ):
+                        kill_l.add(loc)
+        kill_l -= gen_l
+        self.sos.advance(lid, gen_l, lambda loc: loc in kill_l)
+        self._evict(lid - 1)
+
+    def _lastcheck_span(self, loc: int, lid: int, tid: int) -> Optional[Value]:
+        """LASTCHECK(x, (l-1, l), t): the thread's most recent resolution
+        across the two epochs, or None if it never wrote x there."""
+        cur = self._summaries.get((lid, tid))
+        if cur is not None and loc in cur.lastcheck:
+            return cur.lastcheck[loc]
+        prev = self._summaries.get((lid - 1, tid))
+        if prev is not None and loc in prev.lastcheck:
+            return prev.lastcheck[loc]
+        return None
+
+    # -- SOS / LSOS ---------------------------------------------------------------
+
+    def _compute_lsos(self, lid: int, tid: int) -> Set[int]:
+        """Tainted-address LSOS: head taints, SOS survivors of the head's
+        untaints, plus the resurrection term (head untaints a location a
+        sibling tainted in the adjacent epoch ``l-2``)."""
+        sos = self.sos.get(lid)
+        head = self._summaries.get((lid - 1, tid)) if lid >= 1 else None
+        if head is None:
+            return set(sos)
+        lsos = {loc for loc, v in head.lastcheck.items() if v is BOT}
+        for loc in sos:
+            verdict = head.lastcheck.get(loc)
+            if verdict is not TOP:
+                lsos.add(loc)
+            elif self._sibling_tainted(loc, lid - 2, tid):
+                lsos.add(loc)
+        return lsos
+
+    def _sibling_tainted(self, loc: int, lid: int, tid: int) -> bool:
+        if lid < 0:
+            return False
+        for (l, t), s in self._summaries.items():
+            if l == lid and t != tid and s.lastcheck.get(loc) is BOT:
+                return True
+        return False
+
+    def _evict(self, older_than: int) -> None:
+        for key in [k for k in self._summaries if k[0] < older_than]:
+            del self._summaries[key]
+            self._blocks.pop(key, None)
+
+
+class _RuleGraph:
+    """Reachability over the transfer functions of one resolution phase.
+
+    Nodes are locations; an edge ``y -> z`` exists when some in-phase
+    rule ``(y <- s)`` has ``z`` in ``s``.  Taint flows backwards from
+    bottom rules and from base-tainted locations (LSOS, or phase-1
+    conclusions during phase 2).
+    """
+
+    def __init__(
+        self,
+        wing_summaries: List[TaintSummary],
+        body: TaintSummary,
+        guard: ButterflyTaintCheck,
+        fallback: Optional["_RuleGraph"] = None,
+    ) -> None:
+        self._guard = guard
+        self._body = body
+        #: Lemma 6.3 case (3): during phase 2, a parent with no phase-2
+        #: derivation may still be tainted by an interleaving of the
+        #: first two epochs -- the phase-1 graph answers that query.
+        self._fallback = fallback
+        self._query_memo: Dict[int, bool] = {}
+        # loc -> list of (site, value); site = (lid, tid, offset) for the
+        # SC-mode per-thread ordering constraint.
+        self.rules: Dict[int, List[Tuple[InstrId, Value]]] = {}
+        for s in wing_summaries:
+            lid, tid = s.block_id
+            for loc, writes in s.rules.items():
+                bucket = self.rules.setdefault(loc, [])
+                for offset, value in writes:
+                    bucket.append(((lid, tid, offset), value))
+        blid, btid = body.block_id
+        for loc, writes in body.rules.items():
+            bucket = self.rules.setdefault(loc, [])
+            for offset, value in writes:
+                bucket.append(((blid, btid, offset), value))
+        self._budget = [guard.max_steps]
+
+    # -- top-level resolution ------------------------------------------------
+
+    def tainted_parents(
+        self,
+        parents: Tuple[int, ...],
+        offset: int,
+        lsos: Set[int],
+    ) -> bool:
+        """Is any parent possibly tainted at body offset ``offset``?
+
+        The top level anchors against program order: the body's own last
+        write to a parent before ``offset`` is followed precisely (the
+        paper's short-circuit on local last writes); wing rules and
+        (absent a local write) the LSOS supply the potentially-
+        concurrent alternatives.  Crucially, the body's *other* writes
+        to the parent are not directly visible -- intra-thread
+        dependences are respected -- though a wing may have captured any
+        of them and re-exposed the value through its own rules.
+        """
+        base = frozenset(lsos)
+        for y in parents:
+            local = self._local_write_before(y, offset)
+            if local is not None:
+                local_offset, value = local
+                if self._local_chain_tainted(value, local_offset, base):
+                    return True
+            elif y in base:
+                # Entry state only: any phase-1 derivation of an
+                # anchored parent was already caught by the phase-1
+                # resolution that runs before this one, so consulting
+                # the fallback here would bypass program order.
+                return True
+            if self._wing_taint(y, base):
+                return True
+        return False
+
+    def _base_tainted(
+        self,
+        y: int,
+        base: FrozenSet[int],
+        counters: Optional[Dict[int, InstrId]] = None,
+    ) -> bool:
+        """Entry-state taint: the LSOS, or (phase 2 only) a phase-1
+        derivation.  In SC mode the chain's per-thread counters carry
+        into the fallback so a cross-phase derivation still respects
+        each thread's program order."""
+        if y in base:
+            return True
+        if self._fallback is None:
+            return False
+        if self._guard.mode == "sc":
+            fallback = self._fallback
+            # Relaxed reachability is a sound filter for the SC search
+            # (see _wing_taint); it also keeps the budget from draining
+            # on hopeless queries.
+            if not fallback._reach_bot_relaxed(y, base):
+                return False
+            fallback._budget[0] = self._guard.max_steps
+            return fallback._search_sc(
+                y, dict(counters) if counters else {}, base
+            )
+        return self._fallback.query_taint(y, base)
+
+    def query_taint(self, y: int, base: FrozenSet[int]) -> bool:
+        """Unanchored taint of ``y`` under this phase's rules: used when
+        phase 2 needs 'was y tainted by the first two epochs?'."""
+        cached = self._query_memo.get(y)
+        if cached is not None:
+            return cached
+        self._query_memo[y] = False  # cycle guard during the search
+        if y in base:
+            result = True
+        elif not self._reach_bot_relaxed(y, base):
+            # Relaxed reachability over-approximates every mode.
+            result = False
+        elif self._guard.mode == "relaxed":
+            result = True
+        else:
+            self._budget[0] = self._guard.max_steps
+            result = self._search_sc(y, {}, base)
+        self._query_memo[y] = result
+        return result
+
+    def _local_write_before(
+        self, loc: int, offset: int
+    ) -> Optional[Tuple[int, Value]]:
+        writes = self._body.rules.get(loc)
+        if not writes:
+            return None
+        best = None
+        for woffset, value in writes:
+            if woffset < offset:
+                best = (woffset, value)
+            else:
+                break
+        return best
+
+    def _local_chain_tainted(
+        self, value: Value, offset: int, base: FrozenSet[int]
+    ) -> bool:
+        """Follow the body's own def-use chain (program order), allowing
+        wing interference at every hop."""
+        if value is BOT:
+            return True
+        if value is TOP:
+            return False
+        for y in value:
+            local = self._local_write_before(y, offset)
+            if local is not None:
+                if self._local_chain_tainted(local[1], local[0], base):
+                    return True
+            elif y in base:
+                return True
+            if self._wing_taint(y, base):
+                return True
+        return False
+
+    # -- graph search ------------------------------------------------------------
+
+    def _wing_taint(self, loc: int, base: FrozenSet[int]) -> bool:
+        """Could a potentially-concurrent wing write leave ``loc``
+        tainted?  The first hop must be a wing rule (the body's own
+        writes are ordered by intra-thread dependences and handled by
+        the anchored local chain); deeper hops may use any rule in the
+        window, because a wing may have captured any body value."""
+        body_tid = self._body.block_id[1]
+        for site, value in self.rules.get(loc, ()):
+            if site[1] == body_tid:
+                continue
+            if value is BOT:
+                return True
+            if value is TOP:
+                continue
+            if self._guard.mode == "relaxed":
+                if any(
+                    self._base_tainted(y, base)
+                    or self._reach_bot_relaxed(y, base)
+                    for y in value
+                ):
+                    return True
+            else:
+                counters = {site[1]: site}
+                for y in value:
+                    # SC orderings are a subset of relaxed orderings, so
+                    # the cheap relaxed reachability is a sound filter:
+                    # if it cannot taint y, neither can the SC search --
+                    # and a budget-exhausted SC verdict then stays
+                    # within the relaxed flag set.
+                    if not (
+                        self._base_tainted(y, base)
+                        or self._reach_bot_relaxed(y, base)
+                    ):
+                        continue
+                    # The search budget guards one derivation search,
+                    # not the whole block's worth of checks.
+                    self._budget[0] = self._guard.max_steps
+                    if self._search_sc(y, counters, base):
+                        return True
+        return False
+
+    def _reach_bot_relaxed(self, start: int, base) -> bool:
+        """Relaxed termination: location-level cycle prevention -- a
+        parent may never be replaced by itself (monotone reachability)."""
+        seen: Set[int] = set()
+        stack = [start]
+        while stack:
+            loc = stack.pop()
+            if loc in seen:
+                continue
+            seen.add(loc)
+            for _site, value in self.rules.get(loc, ()):
+                if value is BOT:
+                    return True
+                if value is TOP:
+                    continue
+                for y in value:
+                    if self._base_tainted(y, base):
+                        return True
+                    if y not in seen:
+                        stack.append(y)
+        return False
+
+    def _search_sc(
+        self, loc: int, counters: Dict[int, InstrId], base: FrozenSet[int]
+    ) -> bool:
+        """SC termination: derivation chains carry per-thread site
+        counters; a rule from thread ``t`` is usable only strictly
+        before the chain's previous rule from ``t`` (program order
+        within each thread is respected)."""
+        if self._budget[0] <= 0:
+            return True  # conservative: assume tainted
+        self._budget[0] -= 1
+        if self._base_tainted(loc, base, counters):
+            return True
+        for site, value in self.rules.get(loc, ()):
+            if not _strictly_before(site, counters.get(site[1])):
+                continue
+            if value is BOT:
+                return True
+            if value is TOP:
+                continue
+            nxt = dict(counters)
+            nxt[site[1]] = site
+            for y in value:
+                if self._search_sc(y, nxt, base):
+                    return True
+        return False
+

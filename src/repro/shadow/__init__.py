@@ -1,0 +1,13 @@
+"""Shadow state substrate: lifeguard metadata storage.
+
+Lifeguards keep fine-grained metadata for every application memory
+location (paper Section 2).  This subpackage provides the two-level
+shadow memory that stores it and the metadata-TLB accelerator from the
+LBA platform (Section 7.1) that the timing model charges lookups
+against.
+"""
+
+from repro.shadow.shadow_memory import ShadowMemory
+from repro.shadow.metadata_tlb import MetadataTLB
+
+__all__ = ["ShadowMemory", "MetadataTLB"]

@@ -1,0 +1,59 @@
+"""Metadata TLB: the LBA accelerator caching shadow-page translations.
+
+The paper's evaluation uses LBA's *metadata-TLB* so the common case of a
+lifeguard metadata lookup costs a single indexed load (Section 7.1).
+This model is a small set-associative, LRU cache of shadow page numbers;
+the timing substrate charges ``hit_cycles`` or ``miss_cycles``
+accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class MetadataTLB:
+    """Set-associative LRU TLB over shadow pages."""
+
+    def __init__(
+        self,
+        entries: int = 64,
+        associativity: int = 4,
+        page_size: int = 4096,
+        hit_cycles: int = 1,
+        miss_cycles: int = 30,
+    ) -> None:
+        if entries % associativity != 0:
+            raise ValueError("entries must be a multiple of associativity")
+        self.page_size = page_size
+        self.associativity = associativity
+        self.num_sets = entries // associativity
+        self.hit_cycles = hit_cycles
+        self.miss_cycles = miss_cycles
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, addr: int) -> int:
+        """Translate ``addr``; returns the cycle cost of the lookup."""
+        page = addr // self.page_size
+        idx = page % self.num_sets
+        way = self._sets[idx]
+        if page in way:
+            way.remove(page)
+            way.append(page)
+            self.hits += 1
+            return self.hit_cycles
+        self.misses += 1
+        way.append(page)
+        if len(way) > self.associativity:
+            way.pop(0)
+        return self.miss_cycles
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,72 @@
+"""Two-level shadow memory.
+
+Mirrors the classic Valgrind/LBA layout: a first-level table indexes
+fixed-size second-level pages allocated on demand; untouched regions
+cost nothing.  Values default to ``default`` until written.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class ShadowMemory:
+    """Sparse per-location metadata store.
+
+    Parameters
+    ----------
+    page_size:
+        Locations per second-level page (power of two recommended).
+    default:
+        Metadata value of never-written locations.
+    """
+
+    def __init__(self, page_size: int = 4096, default: Any = 0) -> None:
+        if page_size < 1:
+            raise ValueError("page_size must be >= 1")
+        self.page_size = page_size
+        self.default = default
+        self._pages: Dict[int, List[Any]] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def _page_of(self, addr: int) -> Tuple[int, int]:
+        return addr // self.page_size, addr % self.page_size
+
+    def load(self, addr: int) -> Any:
+        """Read the metadata for ``addr``."""
+        self.reads += 1
+        pid, off = self._page_of(addr)
+        page = self._pages.get(pid)
+        if page is None:
+            return self.default
+        return page[off]
+
+    def store(self, addr: int, value: Any) -> None:
+        """Write the metadata for ``addr`` (allocates its page)."""
+        self.writes += 1
+        pid, off = self._page_of(addr)
+        page = self._pages.get(pid)
+        if page is None:
+            page = [self.default] * self.page_size
+            self._pages[pid] = page
+        page[off] = value
+
+    def store_range(self, start: int, size: int, value: Any) -> None:
+        """Write ``value`` over ``[start, start + size)``."""
+        for addr in range(start, start + size):
+            self.store(addr, value)
+
+    @property
+    def resident_pages(self) -> int:
+        """Second-level pages materialized so far."""
+        return len(self._pages)
+
+    def nonzero_items(self) -> Iterator[Tuple[int, Any]]:
+        """Iterate ``(addr, value)`` for locations differing from the
+        default (test/debug helper)."""
+        for pid, page in sorted(self._pages.items()):
+            base = pid * self.page_size
+            for off, value in enumerate(page):
+                if value != self.default:
+                    yield base + off, value

@@ -1,0 +1,98 @@
+"""LBA lifeguard accelerators (paper Section 7.1).
+
+The evaluation uses two LBA accelerators:
+
+- the *metadata TLB* (see :mod:`repro.shadow.metadata_tlb`), charged in
+  the lifeguard cost model; and
+- *idempotent filtering*: repeated events that cannot change the
+  lifeguard's conclusion (e.g. a second read of the same address with
+  unchanged metadata) are dropped in hardware before dispatch.  The
+  paper flushes the filters at every epoch boundary "so that events are
+  only filtered within (and never across) epochs" -- crossing an epoch
+  boundary changes what is potentially concurrent, so a stale filter
+  entry could hide a required re-check.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Set, Tuple
+
+from repro.trace.events import Instr, Op
+
+
+class IdempotentFilter:
+    """Hardware filter of redundant monitored events.
+
+    For AddrCheck, a load/store of a location already checked with no
+    intervening allocation-state change is idempotent.  The filter is a
+    finite hardware table (``capacity`` entries, LRU), so streaming
+    workloads with working sets larger than the table defeat it while
+    tight-reuse workloads (LU's blocks, BLACKSCHOLES' options) are
+    almost fully filtered.  Butterfly analysis additionally flushes at
+    every epoch boundary; the timesliced baseline has no epochs and
+    flushes only on capacity.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._checked: "OrderedDict[int, None]" = OrderedDict()
+        self.passed = 0
+        self.filtered = 0
+
+    def _touch(self, loc: int) -> None:
+        if loc in self._checked:
+            self._checked.move_to_end(loc)
+        else:
+            self._checked[loc] = None
+            if len(self._checked) > self.capacity:
+                self._checked.popitem(last=False)
+
+    def admit(self, instr: Instr) -> bool:
+        """True when the event must reach the lifeguard."""
+        if instr.op in (Op.MALLOC, Op.FREE):
+            # Allocation-state changes invalidate prior checks of the
+            # covered locations and always dispatch.
+            for loc in instr.extent:
+                self._checked.pop(loc, None)
+            self.passed += 1
+            return True
+        accessed = instr.accessed
+        if not accessed:
+            self.passed += 1
+            return True
+        if all(loc in self._checked for loc in accessed):
+            for loc in accessed:
+                self._checked.move_to_end(loc)
+            self.filtered += 1
+            return False
+        for loc in accessed:
+            self._touch(loc)
+        self.passed += 1
+        return True
+
+    def flush(self) -> None:
+        """Epoch boundary: filtering never crosses epochs."""
+        self._checked.clear()
+
+    @property
+    def filter_rate(self) -> float:
+        total = self.passed + self.filtered
+        return self.filtered / total if total else 0.0
+
+
+def filtered_event_counts(
+    instrs, epoch_size: int
+) -> Tuple[int, int]:
+    """Events dispatched vs. filtered for one thread's trace with the
+    filter flushed every ``epoch_size`` instructions."""
+    filt = IdempotentFilter()
+    dispatched = 0
+    for i, instr in enumerate(instrs):
+        if i and i % epoch_size == 0:
+            filt.flush()
+        if filt.admit(instr):
+            dispatched += 1
+    return dispatched, filt.filtered

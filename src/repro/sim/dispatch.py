@@ -1,0 +1,83 @@
+"""LBA event dispatch: type masks and handler tables.
+
+The LBA hardware decodes each log record and vectors to a lifeguard
+handler selected by event type; event types the lifeguard has not
+registered for are dropped in hardware at zero software cost (the
+"event selection" the timesliced model relies on to skip compute
+instructions).  This module provides that dispatcher as a reusable
+piece: lifeguards register handlers per :class:`~repro.trace.events.Op`,
+and the dispatcher tracks how many events were delivered vs. masked.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.trace.events import Instr, Op
+from repro.trace.program import GlobalRef
+
+Handler = Callable[[Optional[GlobalRef], Instr], None]
+
+
+class EventDispatcher:
+    """Per-event-type handler table with hardware-mask accounting."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[Op, Handler] = {}
+        self.delivered = 0
+        self.masked = 0
+
+    def register(self, op: Op, handler: Handler) -> None:
+        """Install ``handler`` for ``op`` (one handler per type)."""
+        if op in self._handlers:
+            raise SimulationError(f"handler already registered for {op}")
+        self._handlers[op] = handler
+
+    def register_many(self, ops: Iterable[Op], handler: Handler) -> None:
+        for op in ops:
+            self.register(op, handler)
+
+    @property
+    def mask(self) -> frozenset:
+        """Event types that reach software."""
+        return frozenset(self._handlers)
+
+    def dispatch(self, ref: Optional[GlobalRef], instr: Instr) -> bool:
+        """Deliver one event; returns False when hardware masked it."""
+        handler = self._handlers.get(instr.op)
+        if handler is None:
+            self.masked += 1
+            return False
+        self.delivered += 1
+        handler(ref, instr)
+        return True
+
+    def dispatch_stream(
+        self, stream: Iterable[Tuple[Optional[GlobalRef], Instr]]
+    ) -> int:
+        """Deliver a whole stream; returns the delivered count."""
+        before = self.delivered
+        for ref, instr in stream:
+            self.dispatch(ref, instr)
+        return self.delivered - before
+
+
+def addrcheck_dispatcher(guard) -> EventDispatcher:
+    """Wire a sequential AddrCheck to the event types it cares about."""
+    dispatcher = EventDispatcher()
+    dispatcher.register_many(
+        (Op.READ, Op.WRITE, Op.ASSIGN, Op.JUMP, Op.MALLOC, Op.FREE),
+        guard.process,
+    )
+    return dispatcher
+
+
+def taintcheck_dispatcher(guard) -> EventDispatcher:
+    """Wire a sequential TaintCheck to the event types it cares about."""
+    dispatcher = EventDispatcher()
+    dispatcher.register_many(
+        (Op.TAINT, Op.UNTAINT, Op.ASSIGN, Op.WRITE, Op.JUMP),
+        guard.process,
+    )
+    return dispatcher

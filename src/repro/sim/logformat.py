@@ -1,0 +1,86 @@
+"""The LBA log-record wire format.
+
+The paper's hardware ships an execution log through the L2 to the
+lifeguard core; Table 1 gives the buffer 8 KB, which our machine model
+divides into 16-byte records.  This module pins that format down:
+
+    struct record {        // 16 bytes, little-endian
+        uint8  opcode;     // Op enum ordinal
+        uint8  size;       // malloc/free extent (else 1)
+        uint16 nsrcs;      // number of sources present
+        uint32 dst;        // destination location + 1 (0 = none)
+        uint32 src0;       // first source (0 if absent)
+        uint32 src1;       // second source (0 if absent)
+    };
+
+Encoding/decoding is exercised by round-trip property tests; the
+``encode_block`` helper is what the streaming co-simulation conceptually
+pushes through the :class:`~repro.sim.logbuffer.LogBuffer`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List
+
+from repro.errors import SimulationError
+from repro.trace.events import Instr, Op
+
+RECORD_BYTES = 16
+_STRUCT = struct.Struct("<BBHIII")
+
+_OP_TO_CODE = {op: i for i, op in enumerate(Op)}
+_CODE_TO_OP = {i: op for op, i in _OP_TO_CODE.items()}
+
+#: Locations must fit the wire field (dst is stored +1).
+MAX_LOCATION = 2**32 - 2
+
+
+def encode(instr: Instr) -> bytes:
+    """One instruction -> one 16-byte record."""
+    for loc in instr.locations:
+        if not 0 <= loc <= MAX_LOCATION:
+            raise SimulationError(
+                f"location {loc} does not fit the log record format"
+            )
+    if instr.size > 255:
+        raise SimulationError("extent larger than 255 locations")
+    srcs = list(instr.srcs) + [0, 0]
+    return _STRUCT.pack(
+        _OP_TO_CODE[instr.op],
+        instr.size,
+        len(instr.srcs),
+        0 if instr.dst is None else instr.dst + 1,
+        srcs[0],
+        srcs[1],
+    )
+
+
+def decode(record: bytes) -> Instr:
+    """One 16-byte record -> the instruction."""
+    if len(record) != RECORD_BYTES:
+        raise SimulationError(
+            f"log records are {RECORD_BYTES} bytes, got {len(record)}"
+        )
+    code, size, nsrcs, dst, src0, src1 = _STRUCT.unpack(record)
+    try:
+        op = _CODE_TO_OP[code]
+    except KeyError:
+        raise SimulationError(f"unknown opcode {code}") from None
+    srcs = tuple((src0, src1)[:nsrcs])
+    return Instr(op, dst=None if dst == 0 else dst - 1, srcs=srcs, size=size)
+
+
+def encode_block(instrs: Iterable[Instr]) -> bytes:
+    """A block of instructions -> its log segment."""
+    return b"".join(encode(i) for i in instrs)
+
+
+def decode_block(data: bytes) -> List[Instr]:
+    """A log segment -> instructions."""
+    if len(data) % RECORD_BYTES:
+        raise SimulationError("log segment is not record-aligned")
+    return [
+        decode(data[i : i + RECORD_BYTES])
+        for i in range(0, len(data), RECORD_BYTES)
+    ]

@@ -1,0 +1,176 @@
+"""Streaming LBA co-simulation: epoch-by-epoch, buffer-coupled.
+
+:class:`~repro.sim.lba.LBASystem` prices a butterfly run analytically
+(steady-state ``max(app, lifeguard)``).  This module instead *streams*
+the execution the way the hardware does:
+
+- each application core produces log records for its current block at
+  its own pace (cycles per event from the cache-simulated CPI);
+- records flow through the thread's bounded 8 KB log buffer; when the
+  lifeguard falls behind, the buffer fills and the application stalls
+  (the stall cycles are accounted per thread);
+- the lifeguard core drains the buffer running the real
+  :class:`~repro.lifeguards.addrcheck.ButterflyAddrCheck` first pass
+  via the engine's streaming ``feed_epoch`` API;
+- after every epoch the lifeguard threads synchronize (two barriers:
+  one per pass) before the window slides.
+
+The result carries the live lifeguard, so error reports and precision
+accounting come from exactly the same run that produced the timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.epoch import EpochPartition, partition_by_global_order, partition_fixed
+from repro.core.framework import ButterflyEngine
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.sim.cmp import LOCATION_STRIDE, Core
+from repro.sim.config import LifeguardCostModel, MachineConfig
+from repro.sim.logbuffer import LogBuffer
+from repro.sim.memory import build_hierarchies
+from repro.trace.program import TraceProgram
+
+
+@dataclass
+class StreamingResult:
+    """Outcome of a streamed butterfly-monitored execution."""
+
+    cycles: int
+    epochs: int
+    stall_cycles_by_thread: Dict[int, int]
+    app_cycles_by_thread: Dict[int, int]
+    lifeguard_cycles_by_thread: Dict[int, int]
+    guard: ButterflyAddrCheck
+    partition: EpochPartition
+
+    @property
+    def total_stall_cycles(self) -> int:
+        return sum(self.stall_cycles_by_thread.values())
+
+
+class StreamingLBASimulation:
+    """Co-simulates the application/lifeguard pipeline of one LBA chip."""
+
+    def __init__(
+        self,
+        program: TraceProgram,
+        epoch_size: int,
+        costs: Optional[LifeguardCostModel] = None,
+        guard: Optional[ButterflyAddrCheck] = None,
+        setop_cycles: int = 1,
+    ) -> None:
+        self.program = program
+        self.epoch_size = epoch_size
+        self.costs = costs or LifeguardCostModel()
+        self.setop_cycles = setop_cycles
+        self.guard = guard or ButterflyAddrCheck(
+            initially_allocated=program.preallocated
+        )
+        if program.true_order is not None:
+            self.partition = partition_by_global_order(program, epoch_size)
+        else:
+            self.partition = partition_fixed(program, epoch_size)
+
+    def run(self) -> StreamingResult:
+        program = self.program
+        partition = self.partition
+        costs = self.costs
+        config = MachineConfig.for_app_threads(program.num_threads)
+        hierarchies = build_hierarchies(config, program.num_threads)
+        cores = [Core(h) for h in hierarchies]
+        buffers = [
+            LogBuffer(config.log_buffer_entries)
+            for _ in range(program.num_threads)
+        ]
+        engine = ButterflyEngine(self.guard)
+        engine.attach(partition)
+
+        stall: Dict[int, int] = {t: 0 for t in range(program.num_threads)}
+        app_cycles: Dict[int, int] = {t: 0 for t in range(program.num_threads)}
+        lg_cycles: Dict[int, int] = {t: 0 for t in range(program.num_threads)}
+        total = 0
+        pending_second: Optional[int] = None
+
+        for lid in range(partition.num_epochs):
+            # --- first pass: produce and consume this epoch's blocks ---
+            engine.feed_epoch(lid)  # the real analysis (records counters)
+            epoch_first = 0
+            for tid in range(program.num_threads):
+                block = partition.block(lid, tid)
+                if not len(block):
+                    continue
+                produce_cycles = cores[tid].execute(block.instrs).cycles
+                consume_cycles = self._first_pass_cycles(lid, tid)
+                records = len(block)
+                produce_rate = records / max(1, produce_cycles)
+                consume_rate = records / max(1, consume_cycles)
+                stats = buffers[tid].simulate(
+                    records, produce_rate, consume_rate
+                )
+                stall[tid] += stats.stall_cycles
+                app_cycles[tid] += produce_cycles
+                lg_cycles[tid] += consume_cycles
+                epoch_first = max(
+                    epoch_first, max(produce_cycles, consume_cycles)
+                )
+            # --- second pass of the previous epoch (wings now complete)
+            epoch_second = 0
+            if pending_second is not None:
+                for tid in range(program.num_threads):
+                    epoch_second = max(
+                        epoch_second,
+                        self._second_pass_cycles(pending_second, tid),
+                    )
+            pending_second = lid
+            total += epoch_first + epoch_second
+            total += 2 * costs.epoch_barrier_cycles
+        engine.finish()
+        if pending_second is not None:
+            final_second = max(
+                (
+                    self._second_pass_cycles(pending_second, tid)
+                    for tid in range(program.num_threads)
+                ),
+                default=0,
+            )
+            total += final_second + 2 * costs.epoch_barrier_cycles
+
+        return StreamingResult(
+            cycles=total,
+            epochs=partition.num_epochs,
+            stall_cycles_by_thread=stall,
+            app_cycles_by_thread=app_cycles,
+            lifeguard_cycles_by_thread=lg_cycles,
+            guard=self.guard,
+            partition=partition,
+        )
+
+    # -- cost helpers -----------------------------------------------------
+
+    def _work(self, lid: int, tid: int) -> Dict[str, int]:
+        return self.guard.block_work.get((lid, tid), {})
+
+    def _first_pass_cycles(self, lid: int, tid: int) -> int:
+        w = self._work(lid, tid)
+        if not w:
+            return 0
+        costs = self.costs
+        return (
+            w["accesses"] * (costs.dispatch_cycles + costs.record_cycles)
+            + w["checks"] * (costs.check_cycles + 2)
+            + w["allocs"] * (costs.dispatch_cycles + costs.check_cycles + 2)
+        )
+
+    def _second_pass_cycles(self, lid: int, tid: int) -> int:
+        w = self._work(lid, tid)
+        if not w:
+            return 0
+        costs = self.costs
+        return (
+            w["checks"] * costs.second_pass_cycles
+            + (w["meet"] + w["iso"]) * self.setop_cycles
+            + w["flags"] * costs.error_handling_cycles
+        )

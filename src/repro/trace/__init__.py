@@ -1,0 +1,14 @@
+"""Dynamic trace substrate: per-thread event sequences and interleavings.
+
+Lifeguards in the paper consume "a simple sequence of (user-level)
+application events" per thread (Section 2).  This subpackage defines that
+event vocabulary (:mod:`repro.trace.events`), the multi-threaded trace
+container (:mod:`repro.trace.program`), serialization under various
+consistency assumptions (:mod:`repro.trace.interleave`), and random trace
+generation helpers used by the test-suite (:mod:`repro.trace.generator`).
+"""
+
+from repro.trace.events import Instr, Op
+from repro.trace.program import ThreadTrace, TraceProgram
+
+__all__ = ["Instr", "Op", "ThreadTrace", "TraceProgram"]

@@ -1,0 +1,176 @@
+"""Random trace generation used by tests and property-based checks.
+
+Two flavours:
+
+- *Raw* generators emit arbitrary event soup; useful for exercising the
+  dataflow machinery where no well-formedness is required.
+- *Simulated-execution* generators model an actual run: a scheduler picks
+  a thread each step and the thread emits an event that is legal in the
+  current global state (e.g. only freeing allocated memory).  These
+  record the interleaving in ``TraceProgram.true_order``, giving tests a
+  ground truth against which butterfly analysis can only ever produce
+  false positives -- exactly the paper's setting.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.trace.events import Instr, Op
+from repro.trace.program import GlobalRef, ThreadTrace, TraceProgram
+
+
+def random_program(
+    rng: random.Random,
+    num_threads: int = 2,
+    length: int = 4,
+    num_locations: int = 4,
+    ops: Sequence[Op] = (Op.WRITE, Op.READ, Op.ASSIGN, Op.NOP),
+) -> TraceProgram:
+    """Unconstrained random events; no ground-truth order recorded."""
+    threads = []
+    for _ in range(num_threads):
+        instrs: List[Instr] = []
+        for _ in range(length):
+            op = rng.choice(list(ops))
+            if op is Op.WRITE:
+                instrs.append(Instr.write(rng.randrange(num_locations)))
+            elif op is Op.READ:
+                instrs.append(Instr.read(rng.randrange(num_locations)))
+            elif op is Op.ASSIGN:
+                dst = rng.randrange(num_locations)
+                nsrc = rng.randint(1, 2)
+                srcs = [rng.randrange(num_locations) for _ in range(nsrc)]
+                instrs.append(Instr.assign(dst, *srcs))
+            elif op is Op.MALLOC:
+                instrs.append(Instr.malloc(rng.randrange(num_locations)))
+            elif op is Op.FREE:
+                instrs.append(Instr.free(rng.randrange(num_locations)))
+            elif op is Op.TAINT:
+                instrs.append(Instr.taint(rng.randrange(num_locations)))
+            elif op is Op.UNTAINT:
+                instrs.append(Instr.untaint(rng.randrange(num_locations)))
+            elif op is Op.JUMP:
+                instrs.append(Instr.jump(rng.randrange(num_locations)))
+            else:
+                instrs.append(Instr.nop())
+        threads.append(ThreadTrace(instrs))
+    return TraceProgram(threads)
+
+
+def simulated_alloc_program(
+    rng: random.Random,
+    num_threads: int = 2,
+    total_events: int = 32,
+    num_locations: int = 8,
+    access_bias: float = 0.6,
+    inject_error_rate: float = 0.0,
+) -> TraceProgram:
+    """Simulate a correct (or deliberately buggy) allocating execution.
+
+    A global scheduler interleaves threads one event at a time.  Each
+    event respects the *current* global allocation state: threads only
+    access or free allocated locations and only allocate free ones, so
+    the recorded execution contains no true AddrCheck errors -- unless
+    ``inject_error_rate`` > 0, in which case illegal events (access to
+    unallocated memory, double free, double malloc) are mixed in and any
+    lifeguard must flag them.
+    """
+    allocated: set = set()
+    traces: List[List[Instr]] = [[] for _ in range(num_threads)]
+    order: List[GlobalRef] = []
+
+    for _ in range(total_events):
+        t = rng.randrange(num_threads)
+        bad = rng.random() < inject_error_rate
+        instr = _next_alloc_event(rng, allocated, num_locations, access_bias, bad)
+        order.append((t, len(traces[t])))
+        traces[t].append(instr)
+        # Track state transitions regardless of legality (a double free
+        # still leaves the location free, etc.).
+        if instr.op is Op.MALLOC:
+            allocated.update(instr.extent)
+        elif instr.op is Op.FREE:
+            allocated.difference_update(instr.extent)
+
+    program = TraceProgram([ThreadTrace(tr) for tr in traces], true_order=order)
+    program.validate()
+    return program
+
+
+def _next_alloc_event(
+    rng: random.Random,
+    allocated: set,
+    num_locations: int,
+    access_bias: float,
+    bad: bool,
+) -> Instr:
+    free_locs = [x for x in range(num_locations) if x not in allocated]
+    alloc_locs = sorted(allocated)
+    if bad:
+        # Deliberately illegal event (true error under every ordering).
+        choices = []
+        if free_locs:
+            choices.append("access_free")
+            choices.append("double_free")
+        if alloc_locs:
+            choices.append("double_malloc")
+        if not choices:
+            return Instr.nop()
+        kind = rng.choice(choices)
+        if kind == "access_free":
+            loc = rng.choice(free_locs)
+            return Instr.read(loc) if rng.random() < 0.5 else Instr.write(loc)
+        if kind == "double_free":
+            return Instr.free(rng.choice(free_locs))
+        return Instr.malloc(rng.choice(alloc_locs))
+
+    if alloc_locs and rng.random() < access_bias:
+        loc = rng.choice(alloc_locs)
+        return Instr.read(loc) if rng.random() < 0.5 else Instr.write(loc)
+    if free_locs and (not alloc_locs or rng.random() < 0.5):
+        return Instr.malloc(rng.choice(free_locs))
+    if alloc_locs:
+        return Instr.free(rng.choice(alloc_locs))
+    return Instr.nop()
+
+
+def simulated_taint_program(
+    rng: random.Random,
+    num_threads: int = 2,
+    total_events: int = 32,
+    num_locations: int = 8,
+    taint_rate: float = 0.1,
+    untaint_rate: float = 0.1,
+    jump_rate: float = 0.1,
+) -> TraceProgram:
+    """Simulate an execution mixing taint sources, propagation and uses.
+
+    The recorded interleaving is the ground truth for whether each JUMP
+    consumed tainted data; sequential TaintCheck over ``true_order``
+    computes the true error set.
+    """
+    traces: List[List[Instr]] = [[] for _ in range(num_threads)]
+    order: List[GlobalRef] = []
+
+    for _ in range(total_events):
+        t = rng.randrange(num_threads)
+        r = rng.random()
+        if r < taint_rate:
+            instr = Instr.taint(rng.randrange(num_locations))
+        elif r < taint_rate + untaint_rate:
+            instr = Instr.untaint(rng.randrange(num_locations))
+        elif r < taint_rate + untaint_rate + jump_rate:
+            instr = Instr.jump(rng.randrange(num_locations))
+        else:
+            dst = rng.randrange(num_locations)
+            nsrc = rng.randint(1, 2)
+            srcs = [rng.randrange(num_locations) for _ in range(nsrc)]
+            instr = Instr.assign(dst, *srcs)
+        order.append((t, len(traces[t])))
+        traces[t].append(instr)
+
+    program = TraceProgram([ThreadTrace(tr) for tr in traces], true_order=order)
+    program.validate()
+    return program

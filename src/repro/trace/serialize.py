@@ -1,0 +1,89 @@
+"""Trace persistence: save/load :class:`TraceProgram` as JSON lines.
+
+Traces are the interchange unit of this library (the LBA log, in
+effect), so they deserve a stable on-disk form: one JSON object per
+line -- a header, then one line per thread's events, then the optional
+orders and pre-allocated set.  Compact, diff-able, and stream-parsable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, List, Union
+
+from repro.errors import TraceError
+from repro.trace.events import Instr, Op
+from repro.trace.program import ThreadTrace, TraceProgram
+
+FORMAT_VERSION = 1
+
+
+def _encode_instr(instr: Instr) -> list:
+    # Positional, compact: [op, dst, srcs, size].
+    return [instr.op.value, instr.dst, list(instr.srcs), instr.size]
+
+
+def _decode_instr(raw: list) -> Instr:
+    try:
+        op, dst, srcs, size = raw
+        return Instr(Op(op), dst=dst, srcs=tuple(srcs), size=size)
+    except (ValueError, TypeError) as exc:
+        raise TraceError(f"malformed instruction record: {raw!r}") from exc
+
+
+def dump(program: TraceProgram, fp: IO[str]) -> None:
+    """Write ``program`` to an open text file."""
+    header = {
+        "format": "repro-trace",
+        "version": FORMAT_VERSION,
+        "threads": program.num_threads,
+    }
+    fp.write(json.dumps(header) + "\n")
+    for trace in program.threads:
+        fp.write(
+            json.dumps([_encode_instr(i) for i in trace.instrs]) + "\n"
+        )
+    fp.write(json.dumps({"true_order": program.true_order}) + "\n")
+    fp.write(json.dumps({"timesliced_order": program.timesliced_order}) + "\n")
+    fp.write(json.dumps({"preallocated": sorted(program.preallocated)}) + "\n")
+
+
+def load(fp: IO[str]) -> TraceProgram:
+    """Read a program written by :func:`dump`."""
+    header = json.loads(fp.readline())
+    if header.get("format") != "repro-trace":
+        raise TraceError("not a repro trace file")
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported trace version {header.get('version')!r}"
+        )
+    threads: List[ThreadTrace] = []
+    for _ in range(header["threads"]):
+        raw = json.loads(fp.readline())
+        threads.append(ThreadTrace([_decode_instr(r) for r in raw]))
+    true_order = json.loads(fp.readline())["true_order"]
+    ts_order = json.loads(fp.readline())["timesliced_order"]
+    preallocated = json.loads(fp.readline())["preallocated"]
+    program = TraceProgram(
+        threads,
+        true_order=[tuple(x) for x in true_order] if true_order else None,
+        timesliced_order=(
+            [tuple(x) for x in ts_order] if ts_order else None
+        ),
+        preallocated=frozenset(preallocated),
+    )
+    program.validate()
+    return program
+
+
+def save_file(program: TraceProgram, path: Union[str, Path]) -> None:
+    """Write ``program`` to ``path``."""
+    with open(path, "w") as fp:
+        dump(program, fp)
+
+
+def load_file(path: Union[str, Path]) -> TraceProgram:
+    """Read a program from ``path``."""
+    with open(path) as fp:
+        return load(fp)

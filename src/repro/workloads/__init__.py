@@ -1,0 +1,22 @@
+"""Synthetic workload generators standing in for Splash-2 / Parsec 2.0.
+
+The paper monitors six benchmarks (Table 1): BARNES, FFT, FMM, OCEAN,
+LU from Splash-2 and BLACKSCHOLES from Parsec 2.0.  The binaries and
+the Simics platform are unavailable here, so each benchmark is replaced
+by a generator that emits a parallel event trace with that benchmark's
+qualitative character -- memory-operation mix, data reuse (which drives
+LBA's idempotent filter), cross-thread sharing and allocation churn
+(which drive butterfly false positives), and load imbalance (which
+drives parallel scaling).  DESIGN.md section 3 documents why these are
+the statistics that matter.
+"""
+
+from repro.workloads.base import PhasedTraceBuilder, WorkloadSpec
+from repro.workloads.registry import BENCHMARKS, get_benchmark
+
+__all__ = [
+    "PhasedTraceBuilder",
+    "WorkloadSpec",
+    "BENCHMARKS",
+    "get_benchmark",
+]

@@ -1,0 +1,37 @@
+"""Benchmark registry: the six programs of Table 1."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.base import BenchmarkGenerator
+from repro.workloads.parsec import Blackscholes
+from repro.workloads.splash2 import FFT, FMM, LU, Barnes, Ocean
+
+#: Table 1's benchmark order.
+BENCHMARKS: Dict[str, BenchmarkGenerator] = {
+    "BARNES": Barnes(),
+    "FFT": FFT(),
+    "FMM": FMM(),
+    "OCEAN": Ocean(),
+    "BLACKSCHOLES": Blackscholes(),
+    "LU": LU(),
+}
+
+
+def get_benchmark(name: str) -> BenchmarkGenerator:
+    try:
+        return BENCHMARKS[name.upper()]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; choose from {sorted(BENCHMARKS)}"
+        ) from None
+
+
+def benchmark_table_rows() -> List[Tuple[str, str, str]]:
+    """Table 1's (Application, Suite, Input Data Set) rows."""
+    return [
+        (gen.spec.name, gen.spec.suite, gen.spec.input_desc)
+        for gen in BENCHMARKS.values()
+    ]

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface (small workloads)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["figure11"])
+        assert args.events == 32768
+        assert args.threads == [2, 4, 8]
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Simulator and Benchmark Parameters" in out
+        assert "BLACKSCHOLES" in out
+
+    def test_figure11_small(self, capsys):
+        assert main(
+            ["figure11", "--events", "2000", "--threads", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "butterfly" in out
+
+    def test_figure13_small(self, capsys):
+        assert main(
+            ["figure13", "--events", "2000", "--threads", "2"]
+        ) == 0
+        assert "Figure 13" in capsys.readouterr().out
+
+    def test_check_addrcheck(self, capsys):
+        assert main(
+            [
+                "check", "--benchmark", "LU", "--threads", "2",
+                "--events", "3000", "--epoch-size", "256",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "false negatives: 0" in out
+
+    def test_check_race(self, capsys):
+        assert main(
+            [
+                "check", "--benchmark", "OCEAN", "--threads", "2",
+                "--events", "4000", "--epoch-size", "2048",
+                "--lifeguard", "race",
+            ]
+        ) == 0
+        assert "potential conflicts" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main(
+            [
+                "sweep", "--benchmark", "LU", "--threads", "2",
+                "--events", "3000", "--sizes", "256", "1024",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "epoch size" in out
+        assert "slowdown" in out

@@ -1,0 +1,143 @@
+"""Tests for the declarative lifeguard-writer API."""
+
+import pytest
+
+from repro.core.epoch import partition_fixed
+from repro.core.framework import ButterflyEngine
+from repro.core.generic import GenericLifeguard, LifeguardSpec
+from repro.errors import AnalysisError
+from repro.lifeguards.reports import ErrorKind, ErrorReport
+from repro.trace.events import Instr, Op
+from repro.trace.program import TraceProgram
+
+
+def init_check_spec():
+    """Definite-initialization lifeguard: reading a location that is
+    not initialized on EVERY valid ordering is an error."""
+
+    def gen_of(instr, iid):
+        if instr.op is Op.WRITE and instr.dst is not None:
+            return [instr.dst]
+        return []
+
+    def kill_vars_of(instr):
+        if instr.op is Op.FREE:
+            return instr.extent
+        return []
+
+    def check(iid, instr, in_set):
+        if instr.op is Op.READ and instr.srcs[0] not in in_set:
+            yield ErrorReport(
+                ErrorKind.ACCESS_UNALLOCATED, instr.srcs[0], ref=iid,
+                detail="read of possibly-uninitialized location",
+            )
+
+    return LifeguardSpec(
+        name="init-check",
+        semantics="forall",
+        gen_of=gen_of,
+        kill_vars_of=kill_vars_of,
+        element_vars=lambda e: (e,),
+        check=check,
+    )
+
+
+def run(spec, program, h):
+    guard = spec.build()
+    ButterflyEngine(guard).run(partition_fixed(program, h))
+    return guard
+
+
+class TestSpecValidation:
+    def test_bad_semantics_rejected(self):
+        with pytest.raises(AnalysisError):
+            LifeguardSpec(
+                name="x", semantics="maybe",
+                gen_of=lambda i, d: [], kill_vars_of=lambda i: [],
+                element_vars=lambda e: (),
+            )
+
+    def test_build_returns_fresh_instances(self):
+        spec = init_check_spec()
+        assert spec.build() is not spec.build()
+
+
+class TestForallLifeguard:
+    def test_initialized_read_is_clean(self):
+        prog = TraceProgram.from_lists(
+            [Instr.write(1), Instr.read(1)]
+        )
+        guard = run(init_check_spec(), prog, 2)
+        assert len(guard.errors) == 0
+
+    def test_uninitialized_read_flagged(self):
+        prog = TraceProgram.from_lists([Instr.read(1)])
+        guard = run(init_check_spec(), prog, 1)
+        assert len(guard.errors) == 1
+
+    def test_concurrent_free_defeats_guarantee(self):
+        # Thread 0 initializes then reads; thread 1 may concurrently
+        # free: the forall semantics cannot promise initialization.
+        prog = TraceProgram.from_lists(
+            [Instr.write(1), Instr.read(1)],
+            [Instr.free(1), Instr.nop()],
+        )
+        guard = run(init_check_spec(), prog, 2)
+        assert len(guard.errors) == 1
+
+    def test_distant_init_survives_via_sos(self):
+        prog = TraceProgram.from_lists(
+            [Instr.write(1)] + [Instr.nop()] * 6 + [Instr.read(1)]
+        )
+        guard = run(init_check_spec(), prog, 2)
+        assert len(guard.errors) == 0
+
+    def test_sos_exposed(self):
+        prog = TraceProgram.from_lists([Instr.write(1), Instr.nop(),
+                                        Instr.nop(), Instr.nop()])
+        guard = run(init_check_spec(), prog, 1)
+        assert 1 in guard.sos.get(guard.sos.frontier)
+
+
+class TestExistsLifeguard:
+    def test_exists_semantics_unions_wings(self):
+        # A "dirty data" tracker: writes make a location dirty; a jump
+        # on possibly-dirty data is flagged (exists semantics).
+        def check(iid, instr, in_set):
+            if instr.op is Op.JUMP and any(
+                getattr(e, "var", None) == instr.srcs[0] for e in in_set
+            ):
+                yield ErrorReport(
+                    ErrorKind.TAINTED_JUMP, instr.srcs[0], ref=iid
+                )
+
+        from repro.core.dataflow import Definition
+
+        spec = LifeguardSpec(
+            name="dirty",
+            semantics="exists",
+            gen_of=lambda instr, iid: (
+                [Definition(instr.dst, iid)]
+                if instr.op is Op.WRITE else []
+            ),
+            kill_vars_of=lambda instr: (
+                [instr.dst] if instr.op is Op.WRITE else []
+            ),
+            element_vars=lambda e: (e.var,),
+            check=check,
+        )
+        # The dirty write is potentially concurrent with the jump.
+        prog = TraceProgram.from_lists(
+            [Instr.jump(5)],
+            [Instr.write(5)],
+        )
+        guard = run(spec, prog, 1)
+        assert len(guard.errors) == 1
+
+        # Strictly-ordered jump before any write: clean.
+        prog2 = TraceProgram.from_lists(
+            [Instr.jump(5)] + [Instr.nop()] * 3,
+            [Instr.nop()] * 3 + [Instr.write(5)],
+        )
+        guard2 = run(spec, prog2, 1)
+        assert len(guard2.errors) == 0

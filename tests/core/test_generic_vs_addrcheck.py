@@ -1,0 +1,81 @@
+"""Differential test: the declarative framework vs. the hand-written
+AddrCheck.
+
+A forall-semantics generic lifeguard with allocation as GEN and
+deallocation as KILL must reach the same first-pass conclusions as the
+specialized :class:`ButterflyAddrCheck` (whose first-pass check is LSOS
+membership) -- the isolation check and the idempotent filter are
+AddrCheck extras, so the comparison is on access-level verdicts.
+"""
+
+import random
+
+import pytest
+
+from repro.core.epoch import partition_by_global_order
+from repro.core.framework import ButterflyEngine
+from repro.core.generic import LifeguardSpec
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.lifeguards.reports import ErrorKind, ErrorReport
+from repro.trace.events import Op
+from repro.trace.generator import simulated_alloc_program
+
+
+def allocation_spec(partition):
+    """AddrCheck's access check, spelled declaratively."""
+
+    def gen_of(instr, iid):
+        return instr.extent if instr.op is Op.MALLOC else ()
+
+    def kill_vars_of(instr):
+        return instr.extent if instr.op is Op.FREE else ()
+
+    def check(iid, instr, in_set):
+        for loc in instr.accessed:
+            if loc not in in_set:
+                yield ErrorReport(
+                    ErrorKind.ACCESS_UNALLOCATED,
+                    loc,
+                    ref=partition.global_ref_of(iid),
+                )
+
+    return LifeguardSpec(
+        name="generic-addrcheck",
+        semantics="forall",
+        gen_of=gen_of,
+        kill_vars_of=kill_vars_of,
+        element_vars=lambda loc: (loc,),
+        check=check,
+    )
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_generic_matches_specialized_access_flags(seed):
+    prog = simulated_alloc_program(
+        random.Random(seed), num_threads=3, total_events=120,
+        num_locations=10, inject_error_rate=0.1,
+    )
+    part_a = partition_by_global_order(prog, 10)
+    specialized = ButterflyAddrCheck(use_idempotent_filter=False)
+    ButterflyEngine(specialized).run(part_a)
+    specialized_access_flags = {
+        (r.ref, r.location)
+        for r in specialized.errors
+        if r.kind is ErrorKind.ACCESS_UNALLOCATED
+    }
+
+    part_b = partition_by_global_order(prog, 10)
+    spec = allocation_spec(part_b)
+    generic = spec.build()
+    ButterflyEngine(generic).run(part_b)
+    generic_flags = {(r.ref, r.location) for r in generic.errors}
+
+    # The generic IN is LSOS - KILL-SIDE-IN; the specialized first pass
+    # checks the LSOS alone and leaves wing kills to the isolation
+    # check, so the generic analysis may flag a superset of accesses.
+    assert specialized_access_flags <= generic_flags
+    # ...and everything extra must involve a wing-killed location --
+    # i.e. the specialized run still flags the location somehow.
+    specialized_locs = {r.location for r in specialized.errors}
+    for _ref, loc in generic_flags - specialized_access_flags:
+        assert loc in specialized_locs

@@ -1,0 +1,98 @@
+"""Unit tests for valid orderings (the correctness oracle)."""
+
+import random
+
+from repro.core.epoch import partition_fixed
+from repro.core.ordering import (
+    all_valid_orderings,
+    is_valid_ordering,
+    random_valid_ordering,
+    serialize_ordering,
+)
+from repro.trace.events import Instr
+from repro.trace.program import TraceProgram
+
+
+def partition(lengths=(4, 4), h=2):
+    prog = TraceProgram.from_lists(
+        *[[Instr.write(t * 100 + i) for i in range(n)] for t, n in enumerate(lengths)]
+    )
+    return partition_fixed(prog, h)
+
+
+class TestEnumeration:
+    def test_all_orderings_are_valid(self):
+        part = partition()
+        for order in all_valid_orderings(part):
+            assert is_valid_ordering(part, order)
+
+    def test_covers_all_instructions(self):
+        part = partition()
+        for order in all_valid_orderings(part):
+            assert len(order) == 8
+            assert len(set(order)) == 8
+
+    def test_two_epoch_rule_reduces_count(self):
+        # With one epoch (h=4) all interleavings are valid: C(8,4)=70.
+        # With h=2 (two epochs), epoch 0 of each thread must precede
+        # epoch 2 of the other -- fewer orderings than unrestricted.
+        unrestricted = len(list(all_valid_orderings(partition(h=4))))
+        restricted = len(list(all_valid_orderings(partition(h=1))))
+        assert unrestricted == 70
+        assert restricted < unrestricted
+
+    def test_single_epoch_matches_all_interleavings(self):
+        from repro.trace.interleave import count_interleavings
+
+        part = partition(lengths=(3, 2), h=5)
+        assert len(list(all_valid_orderings(part))) == count_interleavings(
+            part.program
+        )
+
+    def test_up_to_epoch_prefix(self):
+        part = partition(lengths=(4, 4), h=2)
+        for order in all_valid_orderings(part, up_to_epoch=0):
+            assert len(order) == 4
+            assert all(l == 0 for (l, _, _) in order)
+
+
+class TestTwoEpochRule:
+    def test_epoch_gap_enforced(self):
+        # h=1: each instruction its own epoch.  Instruction (2,t,0)
+        # cannot precede (0,t',0).
+        part = partition(lengths=(3, 3), h=1)
+        bad = [
+            (2, 0, 0), (0, 0, 0), (1, 0, 0),
+            (0, 1, 0), (1, 1, 0), (2, 1, 0),
+        ]
+        assert not is_valid_ordering(part, bad)
+
+    def test_adjacent_epochs_may_interleave(self):
+        part = partition(lengths=(2, 2), h=1)
+        ok = [(0, 0, 0), (0, 1, 0), (1, 1, 0), (1, 0, 0)]
+        assert is_valid_ordering(part, ok)
+        ok2 = [(0, 1, 0), (1, 1, 0), (0, 0, 0), (1, 0, 0)]
+        assert is_valid_ordering(part, ok2)
+
+
+class TestRandomOrdering:
+    def test_random_orderings_valid(self):
+        part = partition(lengths=(5, 5), h=2)
+        rng = random.Random(0)
+        for _ in range(25):
+            order = random_valid_ordering(part, rng)
+            assert is_valid_ordering(part, order)
+
+    def test_program_order_violation_rejected(self):
+        part = partition(lengths=(2, 2), h=2)
+        assert not is_valid_ordering(
+            part, [(0, 0, 1), (0, 0, 0), (0, 1, 0), (0, 1, 1)]
+        )
+
+
+class TestSerialize:
+    def test_serialize_matches_instrs(self):
+        part = partition(lengths=(2, 2), h=2)
+        order = random_valid_ordering(part, random.Random(1))
+        instrs = serialize_ordering(part, order)
+        assert sorted(i.dst for i in instrs) == [0, 1, 100, 101]

@@ -1,0 +1,145 @@
+"""Unit and oracle tests for dynamic parallel reaching expressions."""
+
+import random
+
+import pytest
+
+from repro.core.dataflow import Expression
+from repro.core.epoch import partition_fixed
+from repro.core.framework import ButterflyEngine
+from repro.core.ordering import all_valid_orderings
+from repro.core.reaching_exprs import ReachingExpressions
+from repro.trace.events import Instr, Op
+from repro.trace.generator import random_program
+from repro.trace.program import TraceProgram
+
+
+def run_exprs(program, h, **kwargs):
+    analysis = ReachingExpressions(**kwargs)
+    ButterflyEngine(analysis).run(partition_fixed(program, h))
+    return analysis
+
+
+def sequential_available(instr_seq):
+    """Oracle: expressions available after executing a sequence."""
+    avail = set()
+    for instr in instr_seq:
+        if instr.dst is not None and instr.op in (
+            Op.WRITE, Op.ASSIGN, Op.TAINT, Op.UNTAINT
+        ):
+            avail = {e for e in avail if instr.dst not in e.operands}
+        if instr.op is Op.ASSIGN and instr.srcs:
+            avail.add(Expression.of(*instr.srcs))
+    return avail
+
+
+class TestBasics:
+    def test_single_thread_matches_sequential(self):
+        prog = TraceProgram.from_lists(
+            [Instr.assign(0, 1, 2), Instr.write(1), Instr.assign(3, 4)]
+        )
+        analysis = run_exprs(prog, 1)
+        final = analysis.sos.get(analysis.sos.frontier)
+        assert Expression.of(1, 2) not in final  # killed by write(1)
+        assert Expression.of(4) in final
+
+    def test_concurrent_kill_defeats_generation(self):
+        # Thread 0 computes a+b while thread 1 may concurrently write
+        # a: no valid guarantee, so the expression must not reach.
+        prog = TraceProgram.from_lists(
+            [Instr.assign(9, 1, 2)],
+            [Instr.write(1)],
+        )
+        analysis = run_exprs(prog, 1)
+        final = analysis.sos.get(analysis.sos.frontier)
+        assert Expression.of(1, 2) not in final
+
+    def test_both_threads_generate_reaches(self):
+        # Every thread computes the expression and nobody kills it.
+        prog = TraceProgram.from_lists(
+            [Instr.assign(8, 1, 2)],
+            [Instr.assign(9, 1, 2)],
+        )
+        analysis = run_exprs(prog, 1)
+        final = analysis.sos.get(analysis.sos.frontier)
+        assert Expression.of(1, 2) in final
+
+    def test_kill_side_in_is_wing_var_union(self):
+        prog = TraceProgram.from_lists(
+            [Instr.nop(), Instr.nop()],
+            [Instr.write(3), Instr.write(4)],
+        )
+        analysis = run_exprs(prog, 1)
+        assert analysis.side_in[(0, 0)] == {3, 4}
+
+    def test_in_removes_side_killed(self):
+        # Expression computed long ago; a wing writes an operand; the
+        # body's IN must not contain it.
+        prog = TraceProgram.from_lists(
+            [Instr.assign(9, 1, 2), Instr.nop(), Instr.nop(), Instr.read(9)],
+            [Instr.nop(), Instr.nop(), Instr.write(1), Instr.nop()],
+        )
+        analysis = run_exprs(prog, 1)
+        assert Expression.of(1, 2) in analysis.sos.get(3)
+        assert Expression.of(1, 2) not in analysis.block_in[(3, 0)]
+
+
+class TestForallSemantics:
+    """Reaching expressions use forall-orderings semantics: the SOS may
+    only contain expressions available under EVERY valid ordering."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_sos_subset_of_every_ordering(self, seed):
+        rng = random.Random(seed)
+        prog = random_program(
+            rng, num_threads=2, length=3, num_locations=3,
+            ops=(Op.ASSIGN, Op.WRITE, Op.NOP),
+        )
+        h = 1
+        part = partition_fixed(prog, h)
+        analysis = run_exprs(prog, h)
+        for lid in range(2, part.num_epochs + 2):
+            upto = lid - 2
+            per_order = None
+            for order in all_valid_orderings(part, up_to_epoch=upto):
+                avail = sequential_available(
+                    [part.instr(iid) for iid in order]
+                )
+                per_order = avail if per_order is None else per_order & avail
+            must = per_order or set()
+            sos = analysis.sos.get(lid)
+            # Conservative direction: anything the analysis claims
+            # reaches must reach under all orderings.
+            assert sos <= must | set(), (
+                f"epoch {lid}: claimed {sos - must} not universally available"
+            )
+
+
+class TestLSOS:
+    def test_head_gen_dropped_if_sibling_killed_in_l_minus_2(self):
+        # Head (epoch 1, thread 0) computes a+b, but thread 1 writes a
+        # in epoch 0 -- adjacent to the head, so a path exists where
+        # the kill lands after the computation: not in LSOS_{2,0}.
+        prog = TraceProgram.from_lists(
+            [Instr.nop(), Instr.assign(9, 1, 2), Instr.read(9)],
+            [Instr.write(1), Instr.nop(), Instr.nop()],
+        )
+        analysis = run_exprs(prog, 1)
+        assert Expression.of(1, 2) not in analysis.block_lsos[(2, 0)]
+
+    def test_head_gen_kept_without_sibling_kill(self):
+        prog = TraceProgram.from_lists(
+            [Instr.nop(), Instr.assign(9, 1, 2), Instr.read(9)],
+            [Instr.nop(), Instr.nop(), Instr.nop()],
+        )
+        analysis = run_exprs(prog, 1)
+        assert Expression.of(1, 2) in analysis.block_lsos[(2, 0)]
+
+    def test_sos_survivors_of_head_kill(self):
+        prog = TraceProgram.from_lists(
+            [Instr.assign(9, 1, 2), Instr.nop(), Instr.write(1), Instr.read(9)],
+        )
+        analysis = run_exprs(prog, 1)
+        # Single thread: expression enters SOS, then the head (epoch 2)
+        # kills it before the body (epoch 3).
+        assert Expression.of(1, 2) not in analysis.block_lsos[(3, 0)]

@@ -1,0 +1,57 @@
+"""Unit tests for the SOS container."""
+
+import pytest
+
+from repro.core.state import SOSHistory
+from repro.errors import AnalysisError
+
+
+class TestSOSHistory:
+    def test_initial_states_empty(self):
+        sos = SOSHistory()
+        assert sos.get(0) == frozenset()
+        assert sos.get(1) == frozenset()
+
+    def test_negative_epoch_is_empty(self):
+        assert SOSHistory().get(-1) == frozenset()
+
+    def test_unpublished_state_raises(self):
+        with pytest.raises(AnalysisError):
+            SOSHistory().get(2)
+
+    def test_advance_applies_update_rule(self):
+        sos = SOSHistory()
+        sos.advance(0, {"a", "b"}, lambda e: False)
+        assert sos.get(2) == {"a", "b"}
+        sos.advance(1, {"c"}, lambda e: e == "a")
+        assert sos.get(3) == {"b", "c"}
+
+    def test_advance_out_of_order_rejected(self):
+        sos = SOSHistory()
+        with pytest.raises(AnalysisError):
+            sos.advance(1, set(), lambda e: False)
+
+    def test_double_advance_rejected(self):
+        sos = SOSHistory()
+        sos.advance(0, set(), lambda e: False)
+        with pytest.raises(AnalysisError):
+            sos.advance(0, set(), lambda e: False)
+
+    def test_gen_overrides_kill(self):
+        # SOS_l = GEN U (SOS - KILL): regenerated elements survive.
+        sos = SOSHistory()
+        sos.advance(0, {"a"}, lambda e: False)
+        sos.advance(1, {"a"}, lambda e: e == "a")
+        assert "a" in sos.get(3)
+
+    def test_frontier_tracks(self):
+        sos = SOSHistory()
+        assert sos.frontier == 1
+        sos.advance(0, set(), lambda e: False)
+        assert sos.frontier == 2
+
+    def test_published_snapshot(self):
+        sos = SOSHistory()
+        sos.advance(0, {"x"}, lambda e: False)
+        snap = sos.published()
+        assert snap[2] == {"x"}

@@ -1,0 +1,57 @@
+"""Tests for the ASCII window renderer."""
+
+from repro.core.epoch import partition_fixed
+from repro.core.viz import render_butterfly, render_partition
+from repro.trace.events import Instr
+from repro.trace.program import TraceProgram
+
+
+def partition(threads=3, per_thread=12, h=3):
+    prog = TraceProgram.from_lists(
+        *[[Instr.nop() for _ in range(per_thread)] for _ in range(threads)]
+    )
+    return partition_fixed(prog, h)
+
+
+class TestRenderPartition:
+    def test_grid_shape(self):
+        text = render_partition(partition())
+        lines = text.splitlines()
+        assert lines[0].startswith("epoch")
+        assert len(lines) == 2 + 4  # header + rule + 4 epochs
+
+    def test_truncation(self):
+        text = render_partition(partition(per_thread=30), max_epochs=2)
+        assert "more epochs" in text
+
+    def test_sizes_shown(self):
+        text = render_partition(partition())
+        assert " 3 " in text
+
+
+class TestRenderButterfly:
+    def test_marks(self):
+        text = render_butterfly(partition(), 1, 0)
+        assert "B" in text and "H" in text and "T" in text and "w" in text
+
+    def test_first_epoch_has_no_head_mark(self):
+        text = render_butterfly(partition(), 0, 0)
+        rows = [l for l in text.splitlines() if "|" in l][1:]
+        assert not any(" H " in row for row in rows)
+
+    def test_body_position(self):
+        text = render_butterfly(partition(), 2, 1)
+        body_row = next(
+            l for l in text.splitlines() if l.strip().startswith("2 ")
+        )
+        cells = [c.strip() for c in body_row.split("|")[1:]]
+        assert cells[1] == "B"
+
+    def test_wings_exclude_own_thread(self):
+        text = render_butterfly(partition(), 1, 1)
+        for row in text.splitlines():
+            if "|" not in row or row.startswith("epoch"):
+                continue
+            cells = [c.strip() for c in row.split("|")[1:]]
+            if len(cells) == 3:
+                assert cells[1] != "w"

@@ -1,0 +1,83 @@
+"""Unit tests for butterfly windows."""
+
+from repro.core.epoch import partition_fixed
+from repro.core.window import butterfly_for, sliding_windows
+from repro.trace.events import Instr
+from repro.trace.program import TraceProgram
+
+
+def partition(threads=3, per_thread=9, h=3):
+    prog = TraceProgram.from_lists(
+        *[[Instr.nop() for _ in range(per_thread)] for _ in range(threads)]
+    )
+    return partition_fixed(prog, h)
+
+
+class TestButterflyStructure:
+    def test_interior_body(self):
+        bf = butterfly_for(partition(), 1, 0)
+        assert bf.body.block_id == (1, 0)
+        assert bf.head.block_id == (0, 0)
+        assert bf.tail.block_id == (2, 0)
+        # Wings: epochs 0..2 of the other two threads.
+        assert sorted(bf.wing_ids()) == [
+            (0, 1), (0, 2), (1, 1), (1, 2), (2, 1), (2, 2)
+        ]
+
+    def test_first_epoch_has_no_head(self):
+        bf = butterfly_for(partition(), 0, 1)
+        assert bf.head is None
+        assert {w[0] for w in bf.wing_ids()} == {0, 1}
+
+    def test_last_epoch_has_no_tail(self):
+        part = partition()
+        bf = butterfly_for(part, part.num_epochs - 1, 2)
+        assert bf.tail is None
+
+    def test_wings_never_include_own_thread(self):
+        bf = butterfly_for(partition(), 1, 1)
+        assert all(t != 1 for (_, t) in bf.wing_ids())
+
+    def test_single_thread_has_empty_wings(self):
+        prog = TraceProgram.from_lists([Instr.nop()] * 6)
+        from repro.core.epoch import partition_fixed
+
+        bf = butterfly_for(partition_fixed(prog, 2), 1, 0)
+        assert bf.wings == ()
+
+
+class TestConcurrencyPredicate:
+    def test_adjacent_other_thread_is_concurrent(self):
+        bf = butterfly_for(partition(), 1, 0)
+        assert bf.is_potentially_concurrent((0, 1))
+        assert bf.is_potentially_concurrent((2, 2))
+
+    def test_same_thread_never_concurrent(self):
+        bf = butterfly_for(partition(), 1, 0)
+        assert not bf.is_potentially_concurrent((1, 0))
+        assert not bf.is_potentially_concurrent((0, 0))
+
+    def test_distant_epoch_not_concurrent(self):
+        part = partition(per_thread=15, h=3)
+        bf = butterfly_for(part, 1, 0)
+        assert not bf.is_potentially_concurrent((3, 1))
+
+    def test_all_blocks_includes_window(self):
+        bf = butterfly_for(partition(), 1, 0)
+        ids = {b.block_id for b in bf.all_blocks()}
+        assert (1, 0) in ids and (0, 0) in ids and (2, 0) in ids
+        assert len(ids) == 9  # 3 own + 6 wings
+
+
+class TestSlidingWindows:
+    def test_yields_every_body_once(self):
+        part = partition()
+        bodies = [bf.body_id for bf in sliding_windows(part)]
+        assert len(bodies) == part.num_epochs * part.num_threads
+        assert len(set(bodies)) == len(bodies)
+
+    def test_epoch_major_order(self):
+        part = partition()
+        bodies = [bf.body_id for bf in sliding_windows(part)]
+        epochs = [l for l, _ in bodies]
+        assert epochs == sorted(epochs)

@@ -1,0 +1,174 @@
+"""Unit tests for butterfly AddrCheck."""
+
+import random
+
+from repro.core.epoch import partition_fixed
+from repro.core.framework import ButterflyEngine
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.lifeguards.reports import ErrorKind
+from repro.trace.events import Instr
+from repro.trace.program import TraceProgram
+
+
+def run_guard(program, h, **kwargs):
+    guard = ButterflyAddrCheck(**kwargs)
+    ButterflyEngine(guard).run(partition_fixed(program, h))
+    return guard
+
+
+class TestSingleThread:
+    def test_clean_lifecycle(self):
+        prog = TraceProgram.from_lists(
+            [Instr.malloc(0, 4), Instr.write(1), Instr.read(3), Instr.free(0, 4)]
+        )
+        guard = run_guard(prog, 2)
+        assert len(guard.errors) == 0
+
+    def test_access_before_malloc(self):
+        prog = TraceProgram.from_lists([Instr.read(5), Instr.malloc(5)])
+        guard = run_guard(prog, 2)
+        assert ErrorKind.ACCESS_UNALLOCATED in {r.kind for r in guard.errors}
+
+    def test_double_free_single_thread(self):
+        prog = TraceProgram.from_lists(
+            [Instr.malloc(0), Instr.free(0), Instr.free(0)]
+        )
+        guard = run_guard(prog, 3)
+        assert ErrorKind.FREE_UNALLOCATED in {r.kind for r in guard.errors}
+
+    def test_use_after_free_across_epochs(self):
+        prog = TraceProgram.from_lists(
+            [Instr.malloc(0), Instr.free(0), Instr.nop(), Instr.nop(),
+             Instr.nop(), Instr.nop(), Instr.read(0)]
+        )
+        guard = run_guard(prog, 2)
+        assert ErrorKind.ACCESS_UNALLOCATED in {r.kind for r in guard.errors}
+
+    def test_initially_allocated(self):
+        prog = TraceProgram.from_lists([Instr.read(5), Instr.write(5)])
+        guard = run_guard(prog, 1, initially_allocated=[5])
+        assert len(guard.errors) == 0
+
+
+class TestCrossThread:
+    def test_distant_cross_thread_alloc_is_safe(self):
+        # Allocation two full epochs before the access: strictly
+        # ordered, so no flag.
+        prog = TraceProgram.from_lists(
+            [Instr.malloc(7), Instr.nop(), Instr.nop(), Instr.nop()],
+            [Instr.nop(), Instr.nop(), Instr.nop(), Instr.read(7)],
+        )
+        guard = run_guard(prog, 1)
+        assert len(guard.errors) == 0
+
+    def test_adjacent_cross_thread_alloc_is_flagged(self):
+        # Allocation and access potentially concurrent: conservative
+        # flag (the paper's Figure 9 left case -- a false positive).
+        prog = TraceProgram.from_lists(
+            [Instr.malloc(7), Instr.nop()],
+            [Instr.nop(), Instr.read(7)],
+        )
+        guard = run_guard(prog, 1)
+        kinds = {r.kind for r in guard.errors}
+        assert ErrorKind.ACCESS_UNALLOCATED in kinds
+        assert ErrorKind.UNSAFE_ISOLATION in kinds
+
+    def test_concurrent_frees_are_metadata_race(self):
+        prog = TraceProgram.from_lists(
+            [Instr.free(3)],
+            [Instr.free(3)],
+        )
+        guard = run_guard(prog, 1, initially_allocated=[3])
+        assert ErrorKind.UNSAFE_ISOLATION in {r.kind for r in guard.errors}
+
+    def test_cross_thread_use_after_distant_free_flagged(self):
+        prog = TraceProgram.from_lists(
+            [Instr.free(3), Instr.nop(), Instr.nop(), Instr.nop()],
+            [Instr.nop(), Instr.nop(), Instr.nop(), Instr.read(3)],
+        )
+        guard = run_guard(prog, 1, initially_allocated=[3])
+        assert ErrorKind.ACCESS_UNALLOCATED in {r.kind for r in guard.errors}
+
+
+class TestFigure9:
+    """The paper's Figure 9: interleavings of allocations and accesses."""
+
+    def test_isolated_allocation_and_same_thread_use_is_safe(self):
+        # Thread 3 allocates b and later accesses it itself; nobody
+        # else touches b: safe even though the allocation is not yet in
+        # the SOS (within-thread LSOS covers it).
+        prog = TraceProgram.from_lists(
+            [Instr.nop(), Instr.nop(), Instr.nop(), Instr.nop()],
+            [Instr.nop(), Instr.malloc(11), Instr.write(11), Instr.read(11)],
+        )
+        guard = run_guard(prog, 2)
+        assert len(guard.errors) == 0
+
+    def test_potentially_concurrent_access_during_allocation(self):
+        # Thread 1 allocates a; thread 2 accesses a in an adjacent
+        # epoch: flagged.
+        prog = TraceProgram.from_lists(
+            [Instr.nop(), Instr.malloc(10), Instr.nop(), Instr.nop()],
+            [Instr.nop(), Instr.nop(), Instr.read(10), Instr.nop()],
+        )
+        guard = run_guard(prog, 2)
+        assert len(guard.errors) > 0
+
+
+class TestWorkCounters:
+    def test_block_work_populated(self):
+        prog = TraceProgram.from_lists(
+            [Instr.malloc(0, 2), Instr.write(0), Instr.write(0), Instr.free(0, 2)]
+        )
+        guard = run_guard(prog, 2)
+        w0 = guard.block_work[(0, 0)]
+        assert w0["events"] == 2
+        assert w0["allocs"] == 2
+        assert w0["accesses"] == 1
+
+    def test_idempotent_filter_counts(self):
+        prog = TraceProgram.from_lists(
+            [Instr.malloc(0), Instr.read(0), Instr.read(0), Instr.read(0)]
+        )
+        guard = run_guard(prog, 4)
+        w = guard.block_work[(0, 0)]
+        assert w["accesses"] == 3
+        assert w["checks"] == 1  # duplicates filtered within the block
+
+    def test_filter_disabled(self):
+        prog = TraceProgram.from_lists(
+            [Instr.malloc(0), Instr.read(0), Instr.read(0)]
+        )
+        guard = run_guard(prog, 3, use_idempotent_filter=False)
+        assert guard.block_work[(0, 0)]["checks"] == 2
+
+    def test_alloc_state_change_rearms_filter(self):
+        prog = TraceProgram.from_lists(
+            [Instr.malloc(0), Instr.read(0), Instr.free(0), Instr.malloc(0),
+             Instr.read(0)]
+        )
+        guard = run_guard(prog, 5)
+        assert guard.block_work[(0, 0)]["checks"] == 2
+
+
+class TestNoFalseNegativesSmoke:
+    def test_injected_errors_always_caught(self):
+        from repro.lifeguards.reports import compare_reports
+        from repro.lifeguards.sequential import SequentialAddrCheck
+        from repro.trace.generator import simulated_alloc_program
+
+        for seed in range(20):
+            rng = random.Random(seed)
+            prog = simulated_alloc_program(
+                rng, num_threads=3, total_events=60, num_locations=6,
+                inject_error_rate=0.15,
+            )
+            truth = SequentialAddrCheck()
+            truth.run_order(prog)
+            from repro.core.epoch import partition_by_global_order
+            guard = ButterflyAddrCheck()
+            ButterflyEngine(guard).run(partition_by_global_order(prog, 5))
+            pr = compare_reports(
+                truth.errors, guard.errors, prog.memory_op_count
+            )
+            assert pr.false_negatives == 0, seed

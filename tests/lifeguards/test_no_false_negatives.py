@@ -1,0 +1,186 @@
+"""Integration tests for Theorems 6.1 and 6.2: zero false negatives.
+
+The strongest form: enumerate EVERY valid ordering of a small trace,
+collect every error the original sequential lifeguard reports on any of
+them, and assert the butterfly lifeguard flags each one.  Because the
+valid orderings are a superset of real machine orderings (SC or
+relaxed, given intra-thread dependences and cache coherence), this
+implies the paper's theorems for the traces tested.
+"""
+
+import random
+
+import pytest
+
+from repro.core.epoch import partition_fixed
+from repro.core.framework import ButterflyEngine
+from repro.core.ordering import all_valid_orderings
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.lifeguards.sequential import (
+    SequentialAddrCheck,
+    SequentialTaintCheck,
+)
+from repro.lifeguards.taintcheck import ButterflyTaintCheck
+from repro.trace.events import Instr, Op
+from repro.trace.generator import random_program
+from repro.trace.program import TraceProgram
+
+
+def oracle_errors(partition, lifeguard_cls):
+    """Union of sequential-lifeguard errors over all valid orderings,
+    as (instruction id, location) pairs."""
+    found = set()
+    for order in all_valid_orderings(partition):
+        guard = lifeguard_cls()
+        for iid in order:
+            guard.process(iid, partition.instr(iid))
+        for report in guard.errors:
+            found.add((report.ref, report.location))
+    return found
+
+
+def butterfly_flags(partition, guard):
+    ButterflyEngine(guard).run(partition)
+    flags = set()
+    block_locs = set()
+    for r in guard.errors:
+        if r.ref is not None:
+            flags.add((r.ref, r.location))
+        if r.block is not None:
+            block_locs.add(r.location)
+    return flags, block_locs
+
+
+def to_global(partition, oracle):
+    """Oracle refs are instruction ids; butterfly refs are global refs.
+    Convert oracle (iid, loc) to (global_ref, loc)."""
+    return {
+        (partition.global_ref_of(iid), loc) for iid, loc in oracle
+    }
+
+
+class TestAddrCheckTheorem61:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_every_oracle_error_is_flagged(self, seed):
+        rng = random.Random(seed)
+        prog = random_program(
+            rng,
+            num_threads=2,
+            length=4,
+            num_locations=3,
+            ops=(Op.MALLOC, Op.FREE, Op.READ, Op.WRITE, Op.NOP),
+        )
+        part = partition_fixed(prog, 2)
+        oracle = to_global(part, oracle_errors(part, SequentialAddrCheck))
+        # Exact per-event coverage requires the idempotent filter off
+        # (the filter coalesces repeated checks of a location within an
+        # epoch onto the first occurrence).
+        guard = ButterflyAddrCheck(use_idempotent_filter=False)
+        flags, block_locs = butterfly_flags(part, guard)
+        for ref, loc in oracle:
+            assert (ref, loc) in flags or loc in block_locs, (
+                f"seed {seed}: missed error at {ref} loc {loc}"
+            )
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_filtered_variant_still_covers_every_location(self, seed):
+        """With idempotent filtering on, every erroneous location is
+        still flagged at least once per epoch (the filter only drops
+        repeats whose conclusion cannot change)."""
+        rng = random.Random(seed)
+        prog = random_program(
+            rng,
+            num_threads=2,
+            length=4,
+            num_locations=3,
+            ops=(Op.MALLOC, Op.FREE, Op.READ, Op.WRITE, Op.NOP),
+        )
+        part = partition_fixed(prog, 2)
+        oracle = to_global(part, oracle_errors(part, SequentialAddrCheck))
+        guard = ButterflyAddrCheck()
+        flags, block_locs = butterfly_flags(part, guard)
+        flagged_locs = {loc for _, loc in flags} | block_locs
+        for _ref, loc in oracle:
+            assert loc in flagged_locs, seed
+
+    def test_three_threads_small(self):
+        prog = TraceProgram.from_lists(
+            [Instr.malloc(0), Instr.free(0)],
+            [Instr.read(0), Instr.write(1)],
+            [Instr.malloc(1), Instr.free(1)],
+        )
+        part = partition_fixed(prog, 1)
+        oracle = to_global(part, oracle_errors(part, SequentialAddrCheck))
+        guard = ButterflyAddrCheck()
+        flags, block_locs = butterfly_flags(part, guard)
+        for ref, loc in oracle:
+            assert (ref, loc) in flags or loc in block_locs
+
+
+class TestTaintCheckTheorem62:
+    @pytest.mark.parametrize("seed", range(25))
+    @pytest.mark.parametrize("mode", ["relaxed", "sc"])
+    def test_every_oracle_error_is_flagged(self, seed, mode):
+        rng = random.Random(seed)
+        prog = random_program(
+            rng,
+            num_threads=2,
+            length=4,
+            num_locations=3,
+            ops=(Op.TAINT, Op.UNTAINT, Op.ASSIGN, Op.JUMP, Op.NOP),
+        )
+        part = partition_fixed(prog, 2)
+        oracle = to_global(part, oracle_errors(part, SequentialTaintCheck))
+        guard = ButterflyTaintCheck(mode=mode)
+        flags, _ = butterfly_flags(part, guard)
+        for ref, loc in oracle:
+            assert (ref, loc) in flags, (
+                f"seed {seed} mode {mode}: missed tainted jump at {ref}"
+            )
+
+    def test_relaxed_flags_superset_of_sc(self):
+        # SC restricts the orderings considered, so its flag set can
+        # only shrink relative to relaxed mode.
+        for seed in range(15):
+            rng = random.Random(seed + 500)
+            prog = random_program(
+                rng,
+                num_threads=2,
+                length=5,
+                num_locations=3,
+                ops=(Op.TAINT, Op.UNTAINT, Op.ASSIGN, Op.JUMP),
+            )
+            part = partition_fixed(prog, 2)
+            relaxed = ButterflyTaintCheck(mode="relaxed")
+            sc = ButterflyTaintCheck(mode="sc")
+            rflags, _ = butterfly_flags(part, relaxed)
+            part2 = partition_fixed(prog, 2)
+            ButterflyEngine(sc).run(part2)
+            sflags = {
+                (r.ref, r.location) for r in sc.errors if r.ref is not None
+            }
+            assert sflags <= rflags, seed
+
+
+class TestSkewedHeartbeats:
+    """Zero false negatives must survive heartbeat skew (unequal block
+    boundaries)."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_addrcheck_with_skew(self, seed):
+        from repro.core.epoch import partition_with_skew
+
+        rng = random.Random(seed)
+        prog = random_program(
+            rng,
+            num_threads=2,
+            length=4,
+            num_locations=3,
+            ops=(Op.MALLOC, Op.FREE, Op.READ, Op.WRITE),
+        )
+        part = partition_with_skew(prog, 3, 1, rng=random.Random(seed))
+        oracle = to_global(part, oracle_errors(part, SequentialAddrCheck))
+        guard = ButterflyAddrCheck(use_idempotent_filter=False)
+        flags, block_locs = butterfly_flags(part, guard)
+        for ref, loc in oracle:
+            assert (ref, loc) in flags or loc in block_locs, seed

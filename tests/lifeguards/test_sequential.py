@@ -1,0 +1,95 @@
+"""Unit tests for the sequential (oracle/baseline) lifeguards."""
+
+from repro.lifeguards.reports import ErrorKind
+from repro.lifeguards.sequential import (
+    SequentialAddrCheck,
+    SequentialTaintCheck,
+)
+from repro.trace.events import Instr
+from repro.trace.program import TraceProgram
+
+
+def stream(*instrs):
+    return [((0, i), instr) for i, instr in enumerate(instrs)]
+
+
+class TestSequentialAddrCheck:
+    def test_clean_malloc_use_free(self):
+        guard = SequentialAddrCheck()
+        guard.run(stream(
+            Instr.malloc(0, 2), Instr.write(0), Instr.read(1), Instr.free(0, 2)
+        ))
+        assert len(guard.errors) == 0
+
+    def test_access_unallocated(self):
+        guard = SequentialAddrCheck()
+        guard.run(stream(Instr.read(5)))
+        kinds = [r.kind for r in guard.errors]
+        assert kinds == [ErrorKind.ACCESS_UNALLOCATED]
+
+    def test_double_free(self):
+        guard = SequentialAddrCheck()
+        guard.run(stream(Instr.malloc(0), Instr.free(0), Instr.free(0)))
+        assert [r.kind for r in guard.errors] == [ErrorKind.FREE_UNALLOCATED]
+
+    def test_double_malloc(self):
+        guard = SequentialAddrCheck()
+        guard.run(stream(Instr.malloc(0), Instr.malloc(0)))
+        assert [r.kind for r in guard.errors] == [ErrorKind.MALLOC_ALLOCATED]
+
+    def test_use_after_free(self):
+        guard = SequentialAddrCheck()
+        guard.run(stream(Instr.malloc(0), Instr.free(0), Instr.write(0)))
+        assert [r.kind for r in guard.errors] == [ErrorKind.ACCESS_UNALLOCATED]
+
+    def test_initially_allocated_seed(self):
+        guard = SequentialAddrCheck(initially_allocated=[5])
+        guard.run(stream(Instr.read(5)))
+        assert len(guard.errors) == 0
+
+    def test_error_ref_points_at_instruction(self):
+        guard = SequentialAddrCheck()
+        guard.run(stream(Instr.nop(), Instr.read(5)))
+        assert guard.errors.reports[0].ref == (0, 1)
+
+
+class TestSequentialTaintCheck:
+    def test_taint_propagates_through_assign(self):
+        guard = SequentialTaintCheck()
+        guard.run(stream(
+            Instr.taint(1), Instr.assign(2, 1), Instr.jump(2)
+        ))
+        assert [r.kind for r in guard.errors] == [ErrorKind.TAINTED_JUMP]
+
+    def test_untaint_stops_propagation(self):
+        guard = SequentialTaintCheck()
+        guard.run(stream(
+            Instr.taint(1), Instr.untaint(1), Instr.assign(2, 1), Instr.jump(2)
+        ))
+        assert len(guard.errors) == 0
+
+    def test_binop_or_semantics(self):
+        guard = SequentialTaintCheck()
+        guard.run(stream(
+            Instr.taint(1), Instr.assign(3, 1, 2), Instr.jump(3)
+        ))
+        assert len(guard.errors) == 1
+
+    def test_write_untaints(self):
+        guard = SequentialTaintCheck()
+        guard.run(stream(
+            Instr.taint(1), Instr.write(1), Instr.jump(1)
+        ))
+        assert len(guard.errors) == 0
+
+    def test_assign_from_clean_untaints_dst(self):
+        guard = SequentialTaintCheck()
+        guard.run(stream(
+            Instr.taint(2), Instr.assign(2, 1), Instr.jump(2)
+        ))
+        assert len(guard.errors) == 0
+
+    def test_clean_jump(self):
+        guard = SequentialTaintCheck()
+        guard.run(stream(Instr.jump(4)))
+        assert len(guard.errors) == 0

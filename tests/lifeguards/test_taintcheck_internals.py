@@ -1,0 +1,153 @@
+"""White-box tests for TaintCheck's Check-algorithm machinery."""
+
+import pytest
+
+from repro.lifeguards.taintcheck import (
+    BOT,
+    TOP,
+    ButterflyTaintCheck,
+    TaintSummary,
+    _RuleGraph,
+    _strictly_before,
+)
+
+
+def summary(block_id, rules=None, jumps=()):
+    s = TaintSummary(block_id=block_id)
+    if rules:
+        for loc, writes in rules.items():
+            s.rules[loc] = list(writes)
+    s.jumps = list(jumps)
+    return s
+
+
+def graph(wings, body, mode="relaxed", fallback=None, max_steps=4096):
+    guard = ButterflyTaintCheck(mode=mode, max_steps=max_steps)
+    return _RuleGraph(wings, body, guard, fallback=fallback)
+
+
+class TestStrictlyBefore:
+    def test_no_bound_allows_anything(self):
+        assert _strictly_before((5, 0, 3), None)
+
+    def test_two_epochs_apart(self):
+        assert _strictly_before((1, 0, 0), (3, 1, 0))
+        assert not _strictly_before((2, 0, 0), (3, 1, 0))
+
+    def test_same_thread_program_order(self):
+        assert _strictly_before((2, 1, 3), (2, 1, 4))
+        assert not _strictly_before((2, 1, 4), (2, 1, 4))
+        assert _strictly_before((1, 1, 9), (2, 1, 0))
+
+    def test_cross_thread_adjacent_rejected(self):
+        assert not _strictly_before((2, 0, 0), (2, 1, 0))
+
+
+class TestLocalAnchoring:
+    def test_last_write_before_offset(self):
+        body = summary((0, 0), rules={7: [(1, BOT), (3, TOP)]})
+        g = graph([], body)
+        assert g._local_write_before(7, 2) == (1, BOT)
+        assert g._local_write_before(7, 4) == (3, TOP)
+        assert g._local_write_before(7, 0) is None
+        assert g._local_write_before(8, 5) is None
+
+    def test_local_chain_follows_program_order(self):
+        # x <- y at offset 2; y <- BOT at 0, y <- TOP at 1.
+        body = summary(
+            (0, 0), rules={1: [(2, (2,))], 2: [(0, BOT), (1, TOP)]}
+        )
+        g = graph([], body)
+        assert not g.tainted_parents((2,), 2, set())
+        # But before the TOP overwrite the taint is live.
+        assert g._local_chain_tainted((2,), 1, frozenset())
+
+
+class TestWingTaint:
+    def test_own_block_rules_not_directly_visible(self):
+        # Body taints 5 at a *later* offset: the check at offset 0 must
+        # not see it (no wing captured it).
+        body = summary((0, 0), rules={5: [(3, BOT)]})
+        g = graph([], body)
+        assert not g.tainted_parents((5,), 0, set())
+
+    def test_wing_rule_exposes_taint(self):
+        wing = summary((0, 1), rules={5: [(0, BOT)]})
+        body = summary((0, 0))
+        g = graph([wing], body)
+        assert g.tainted_parents((5,), 0, set())
+
+    def test_wing_chain_through_own_block(self):
+        # A wing copies the body's later taint: z <- 5 in the wing, the
+        # body taints 5 afterwards in program order -- but the wing may
+        # have read it in between, so a check on z must flag.
+        wing = summary((0, 1), rules={9: [(0, (5,))]})
+        body = summary((0, 0), rules={5: [(3, BOT)]})
+        g = graph([wing], body)
+        assert g.tainted_parents((9,), 0, set())
+
+    def test_lsos_base_taints(self):
+        body = summary((0, 0))
+        g = graph([], body)
+        assert g.tainted_parents((5,), 0, {5})
+        assert not g.tainted_parents((5,), 0, {6})
+
+
+class TestSCCounters:
+    def test_same_thread_rules_must_descend(self):
+        # Wing thread 1: a <- b at offset 4; b <- BOT at offset 6
+        # (AFTER): the SC chain a->b->BOT needs thread 1 to go
+        # backwards -- rejected; relaxed accepts.
+        wing = summary((0, 1), rules={1: [(4, (2,))], 2: [(6, BOT)]})
+        body = summary((0, 0))
+        for mode, expected in (("relaxed", True), ("sc", False)):
+            g = graph([wing], body, mode=mode)
+            assert g.tainted_parents((1,), 0, set()) is expected
+
+    def test_descending_chain_accepted_under_sc(self):
+        wing = summary((0, 1), rules={1: [(4, (2,))], 2: [(2, BOT)]})
+        body = summary((0, 0))
+        g = graph([wing], body, mode="sc")
+        assert g.tainted_parents((1,), 0, set())
+
+    def test_cross_thread_hops_unconstrained_first_use(self):
+        wing1 = summary((0, 1), rules={1: [(0, (2,))]})
+        wing2 = summary((0, 2), rules={2: [(5, BOT)]})
+        body = summary((0, 0))
+        g = graph([wing1, wing2], body, mode="sc")
+        assert g.tainted_parents((1,), 0, set())
+
+
+class TestPhaseFallback:
+    def test_phase2_leaf_consults_phase1(self):
+        # Phase 1 (epochs l-1, l) taints y; phase 2 (epochs l, l+1) has
+        # a chain x -> y with no taint of its own: Lemma 6.3 case 3.
+        p1_wing = summary((0, 1), rules={7: [(0, BOT)]})
+        body = summary((1, 0))
+        phase1 = graph([p1_wing], body)
+        p2_wing = summary((2, 1), rules={3: [(0, (7,))]})
+        g2 = graph([p2_wing], body, fallback=phase1)
+        assert g2.tainted_parents((3,), 0, set())
+
+    def test_phase2_without_fallback_match_misses(self):
+        body = summary((1, 0))
+        p2_wing = summary((2, 1), rules={3: [(0, (7,))]})
+        g2 = graph([p2_wing], body, fallback=None)
+        assert not g2.tainted_parents((3,), 0, set())
+
+    def test_query_memoization(self):
+        p1_wing = summary((0, 1), rules={7: [(0, BOT)]})
+        body = summary((1, 0))
+        phase1 = graph([p1_wing], body)
+        assert phase1.query_taint(7, frozenset())
+        assert phase1._query_memo[7] is True
+        assert phase1.query_taint(7, frozenset())
+
+    def test_cyclic_rules_terminate(self):
+        wing = summary(
+            (0, 1), rules={1: [(0, (2,))], 2: [(1, (1,))]}
+        )
+        body = summary((0, 0))
+        for mode in ("relaxed", "sc"):
+            g = graph([wing], body, mode=mode)
+            assert not g.tainted_parents((1,), 0, set())

@@ -1,0 +1,87 @@
+"""Property-based tests (hypothesis) for epoch partitioning."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.epoch import (
+    partition_by_global_order,
+    partition_fixed,
+    partition_with_skew,
+)
+from repro.trace.events import Instr
+from repro.trace.program import TraceProgram
+
+lengths_st = st.lists(st.integers(0, 30), min_size=1, max_size=4)
+
+
+def program_of(lengths):
+    return TraceProgram.from_lists(
+        *[[Instr.write(i) for i in range(n)] for n in lengths]
+    )
+
+
+class TestPartitionInvariants:
+    @given(lengths=lengths_st, h=st.integers(1, 10))
+    def test_blocks_tile_every_thread(self, lengths, h):
+        prog = program_of(lengths)
+        part = partition_fixed(prog, h)
+        for t, n in enumerate(lengths):
+            recovered = [
+                i.dst
+                for l in range(part.num_epochs)
+                for i in part.block(l, t)
+            ]
+            assert recovered == list(range(n))
+
+    @given(lengths=lengths_st, h=st.integers(1, 10))
+    def test_epoch_of_consistent_with_blocks(self, lengths, h):
+        prog = program_of(lengths)
+        part = partition_fixed(prog, h)
+        for t, n in enumerate(lengths):
+            for idx in range(n):
+                lid = part.epoch_of(t, idx)
+                iid = part.instr_id_of(t, idx)
+                assert iid[0] == lid
+                assert part.instr(iid).dst == idx
+
+    @given(
+        lengths=st.lists(st.integers(20, 60), min_size=1, max_size=3),
+        h=st.integers(6, 12),
+        skew=st.integers(0, 2),
+        seed=st.integers(0, 100),
+    )
+    def test_skewed_partition_tiles(self, lengths, h, skew, seed):
+        import random
+
+        prog = program_of(lengths)
+        part = partition_with_skew(prog, h, skew, rng=random.Random(seed))
+        for t, n in enumerate(lengths):
+            recovered = [
+                i.dst
+                for l in range(part.num_epochs)
+                for i in part.block(l, t)
+            ]
+            assert recovered == list(range(n))
+
+    @given(
+        lengths=st.lists(st.integers(1, 20), min_size=2, max_size=3),
+        h=st.integers(1, 6),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=40)
+    def test_global_order_partition_tiles(self, lengths, h, seed):
+        import random
+
+        prog = program_of(lengths)
+        rng = random.Random(seed)
+        from repro.trace.interleave import random_interleave
+
+        prog.true_order = random_interleave(prog, rng)
+        part = partition_by_global_order(prog, h)
+        for t, n in enumerate(lengths):
+            recovered = [
+                i.dst
+                for l in range(part.num_epochs)
+                for i in part.block(l, t)
+            ]
+            assert recovered == list(range(n))

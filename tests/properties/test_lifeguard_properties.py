@@ -1,0 +1,162 @@
+"""Property-based tests for the lifeguards' central guarantees."""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.epoch import partition_by_global_order, partition_fixed
+from repro.core.framework import ButterflyEngine
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.lifeguards.reports import compare_reports
+from repro.lifeguards.sequential import (
+    SequentialAddrCheck,
+    SequentialTaintCheck,
+)
+from repro.lifeguards.taintcheck import ButterflyTaintCheck
+from repro.trace.generator import (
+    simulated_alloc_program,
+    simulated_taint_program,
+)
+
+
+class TestAddrCheckProperties:
+    @given(
+        seed=st.integers(0, 10_000),
+        threads=st.integers(1, 4),
+        h=st.integers(1, 10),
+        err=st.floats(0.0, 0.3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_false_negatives_vs_recorded_order(
+        self, seed, threads, h, err
+    ):
+        prog = simulated_alloc_program(
+            random.Random(seed),
+            num_threads=threads,
+            total_events=50,
+            num_locations=6,
+            inject_error_rate=err,
+        )
+        truth = SequentialAddrCheck()
+        truth.run_order(prog)
+        # Heartbeats are cut in *execution time* (the paper's global
+        # heartbeat): the recorded interleaving is then a valid
+        # ordering by construction, which is the theorem's premise.
+        # The idempotent filter is off for per-event exactness (it only
+        # coalesces repeats of an already-flagged location).
+        guard = ButterflyAddrCheck(use_idempotent_filter=False)
+        ButterflyEngine(guard).run(partition_by_global_order(prog, h))
+        pr = compare_reports(truth.errors, guard.errors, prog.memory_op_count)
+        assert pr.false_negatives == 0
+
+    @given(
+        seed=st.integers(0, 10_000),
+        threads=st.integers(1, 4),
+        h=st.integers(1, 10),
+        err=st.floats(0.0, 0.3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_filtered_variant_covers_every_error_location(
+        self, seed, threads, h, err
+    ):
+        prog = simulated_alloc_program(
+            random.Random(seed),
+            num_threads=threads,
+            total_events=50,
+            num_locations=6,
+            inject_error_rate=err,
+        )
+        truth = SequentialAddrCheck()
+        truth.run_order(prog)
+        guard = ButterflyAddrCheck()
+        ButterflyEngine(guard).run(partition_by_global_order(prog, h))
+        flagged_locs = {r.location for r in guard.errors}
+        for r in truth.errors:
+            assert r.location in flagged_locs
+
+    @given(seed=st.integers(0, 10_000), threads=st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_huge_epoch_flags_superset_of_true_errors_only(
+        self, seed, threads
+    ):
+        """A single giant epoch makes everything potentially concurrent:
+        still no false negatives."""
+        prog = simulated_alloc_program(
+            random.Random(seed),
+            num_threads=threads,
+            total_events=40,
+            num_locations=5,
+            inject_error_rate=0.2,
+        )
+        truth = SequentialAddrCheck()
+        truth.run_order(prog)
+        # A single epoch imposes no cross-thread ordering, so any
+        # recorded interleaving is consistent with the partition; the
+        # filter is off for exact per-event accounting.
+        guard = ButterflyAddrCheck(use_idempotent_filter=False)
+        ButterflyEngine(guard).run(partition_fixed(prog, 1000))
+        pr = compare_reports(truth.errors, guard.errors, prog.memory_op_count)
+        assert pr.false_negatives == 0
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_single_thread_large_epoch_is_exact(self, seed):
+        """With one thread there is no uncertainty: butterfly AddrCheck
+        must match sequential AddrCheck exactly (zero false positives
+        too) when the filter cannot coalesce errors across the trace."""
+        prog = simulated_alloc_program(
+            random.Random(seed),
+            num_threads=1,
+            total_events=40,
+            num_locations=5,
+            inject_error_rate=0.2,
+        )
+        truth = SequentialAddrCheck()
+        truth.run_order(prog)
+        guard = ButterflyAddrCheck(use_idempotent_filter=False)
+        ButterflyEngine(guard).run(partition_fixed(prog, 7))
+        truth_set = {(r.ref, r.location, r.kind) for r in truth.errors}
+        flag_set = {(r.ref, r.location, r.kind) for r in guard.errors}
+        assert truth_set == flag_set
+
+
+class TestTaintCheckProperties:
+    @given(
+        seed=st.integers(0, 10_000),
+        threads=st.integers(1, 3),
+        h=st.integers(1, 8),
+        mode=st.sampled_from(["relaxed", "sc"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_false_negatives_vs_recorded_order(
+        self, seed, threads, h, mode
+    ):
+        prog = simulated_taint_program(
+            random.Random(seed),
+            num_threads=threads,
+            total_events=40,
+            num_locations=5,
+        )
+        truth = SequentialTaintCheck()
+        truth.run_order(prog)
+        guard = ButterflyTaintCheck(mode=mode)
+        ButterflyEngine(guard).run(partition_by_global_order(prog, h))
+        flagged = {(r.ref, r.location) for r in guard.errors}
+        for r in truth.errors:
+            assert (r.ref, r.location) in flagged
+
+    @given(seed=st.integers(0, 10_000), h=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_single_thread_taintcheck_is_exact(self, seed, h):
+        prog = simulated_taint_program(
+            random.Random(seed), num_threads=1, total_events=40,
+            num_locations=5,
+        )
+        truth = SequentialTaintCheck()
+        truth.run_order(prog)
+        guard = ButterflyTaintCheck(mode="sc")
+        ButterflyEngine(guard).run(partition_fixed(prog, h))
+        truth_set = {(r.ref, r.location) for r in truth.errors}
+        flag_set = {(r.ref, r.location) for r in guard.errors}
+        assert truth_set == flag_set

@@ -1,0 +1,56 @@
+"""Unit tests for the metadata TLB."""
+
+import pytest
+
+from repro.shadow.metadata_tlb import MetadataTLB
+
+
+class TestMetadataTLB:
+    def test_first_access_misses(self):
+        tlb = MetadataTLB(hit_cycles=1, miss_cycles=20)
+        assert tlb.lookup(0) == 20
+        assert tlb.misses == 1
+
+    def test_second_access_hits(self):
+        tlb = MetadataTLB(hit_cycles=1, miss_cycles=20)
+        tlb.lookup(0)
+        assert tlb.lookup(8) == 1  # same page
+        assert tlb.hits == 1
+
+    def test_pages_distinguished(self):
+        tlb = MetadataTLB(page_size=4096)
+        tlb.lookup(0)
+        assert tlb.lookup(4096) == tlb.miss_cycles
+
+    def test_lru_eviction(self):
+        tlb = MetadataTLB(entries=4, associativity=4, page_size=16)
+        # Fill one set beyond associativity with same-set pages.
+        for page in range(5):
+            tlb.lookup(page * 16)
+        # Page 0 was least recently used: evicted.
+        assert tlb.lookup(0) == tlb.miss_cycles
+
+    def test_lru_refresh_on_hit(self):
+        tlb = MetadataTLB(entries=2, associativity=2, page_size=16)
+        tlb.lookup(0)       # page 0
+        tlb.lookup(32)      # page 2, same set (2 sets? entries/assoc=1 set)
+        tlb.lookup(0)       # refresh page 0
+        tlb.lookup(64)      # page 4: evicts page 2, not page 0
+        assert tlb.lookup(0) == tlb.hit_cycles
+
+    def test_flush(self):
+        tlb = MetadataTLB()
+        tlb.lookup(0)
+        tlb.flush()
+        assert tlb.lookup(0) == tlb.miss_cycles
+
+    def test_hit_rate(self):
+        tlb = MetadataTLB()
+        assert tlb.hit_rate == 0.0
+        tlb.lookup(0)
+        tlb.lookup(0)
+        assert tlb.hit_rate == 0.5
+
+    def test_entries_must_divide(self):
+        with pytest.raises(ValueError):
+            MetadataTLB(entries=5, associativity=4)

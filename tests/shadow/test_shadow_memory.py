@@ -1,0 +1,55 @@
+"""Unit tests for the two-level shadow memory."""
+
+import pytest
+
+from repro.shadow.shadow_memory import ShadowMemory
+
+
+class TestShadowMemory:
+    def test_default_value(self):
+        shadow = ShadowMemory(default=0)
+        assert shadow.load(12345) == 0
+
+    def test_store_load_round_trip(self):
+        shadow = ShadowMemory()
+        shadow.store(7, "allocated")
+        assert shadow.load(7) == "allocated"
+
+    def test_pages_allocated_lazily(self):
+        shadow = ShadowMemory(page_size=16)
+        assert shadow.resident_pages == 0
+        shadow.load(100)
+        assert shadow.resident_pages == 0  # loads never materialize
+        shadow.store(100, 1)
+        assert shadow.resident_pages == 1
+
+    def test_distinct_pages(self):
+        shadow = ShadowMemory(page_size=16)
+        shadow.store(0, 1)
+        shadow.store(16, 1)
+        shadow.store(17, 1)
+        assert shadow.resident_pages == 2
+
+    def test_store_range(self):
+        shadow = ShadowMemory(page_size=8)
+        shadow.store_range(5, 10, 2)
+        assert all(shadow.load(a) == 2 for a in range(5, 15))
+        assert shadow.load(15) == 0
+
+    def test_nonzero_items(self):
+        shadow = ShadowMemory(page_size=4)
+        shadow.store(9, 5)
+        shadow.store(2, 0)  # default value: not reported
+        assert list(shadow.nonzero_items()) == [(9, 5)]
+
+    def test_stats_counters(self):
+        shadow = ShadowMemory()
+        shadow.load(1)
+        shadow.store(1, 9)
+        shadow.load(1)
+        assert shadow.reads == 2
+        assert shadow.writes == 1
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            ShadowMemory(page_size=0)

@@ -1,0 +1,69 @@
+"""Tests for the event dispatcher."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.lifeguards.sequential import SequentialAddrCheck, SequentialTaintCheck
+from repro.sim.dispatch import (
+    EventDispatcher,
+    addrcheck_dispatcher,
+    taintcheck_dispatcher,
+)
+from repro.trace.events import Instr, Op
+
+
+class TestEventDispatcher:
+    def test_registered_events_delivered(self):
+        seen = []
+        d = EventDispatcher()
+        d.register(Op.READ, lambda ref, i: seen.append(i))
+        assert d.dispatch((0, 0), Instr.read(5))
+        assert seen and seen[0].srcs == (5,)
+
+    def test_unregistered_events_masked(self):
+        d = EventDispatcher()
+        d.register(Op.READ, lambda ref, i: None)
+        assert not d.dispatch((0, 0), Instr.nop())
+        assert d.masked == 1
+        assert d.delivered == 0
+
+    def test_double_registration_rejected(self):
+        d = EventDispatcher()
+        d.register(Op.READ, lambda ref, i: None)
+        with pytest.raises(SimulationError):
+            d.register(Op.READ, lambda ref, i: None)
+
+    def test_mask_property(self):
+        d = EventDispatcher()
+        d.register_many((Op.READ, Op.WRITE), lambda ref, i: None)
+        assert d.mask == {Op.READ, Op.WRITE}
+
+    def test_dispatch_stream_counts(self):
+        d = EventDispatcher()
+        d.register(Op.WRITE, lambda ref, i: None)
+        stream = [((0, i), instr) for i, instr in enumerate(
+            [Instr.write(1), Instr.nop(), Instr.write(2)]
+        )]
+        assert d.dispatch_stream(stream) == 2
+
+
+class TestLifeguardWiring:
+    def test_addrcheck_dispatcher_catches_bug(self):
+        guard = SequentialAddrCheck()
+        d = addrcheck_dispatcher(guard)
+        d.dispatch((0, 0), Instr.read(9))
+        assert len(guard.errors) == 1
+
+    def test_addrcheck_masks_compute(self):
+        guard = SequentialAddrCheck()
+        d = addrcheck_dispatcher(guard)
+        d.dispatch((0, 0), Instr.nop())
+        assert guard.events_processed == 0
+
+    def test_taintcheck_dispatcher_masks_memory_only_events(self):
+        guard = SequentialTaintCheck()
+        d = taintcheck_dispatcher(guard)
+        assert not d.dispatch((0, 0), Instr.read(1))  # reads carry no taint
+        assert d.dispatch((0, 1), Instr.taint(1))
+        assert d.dispatch((0, 2), Instr.jump(1))
+        assert len(guard.errors) == 1

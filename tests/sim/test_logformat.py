@@ -1,0 +1,88 @@
+"""Round-trip and property tests for the LBA log-record format."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.errors import SimulationError
+from repro.sim.config import MachineConfig
+from repro.sim.logformat import (
+    MAX_LOCATION,
+    RECORD_BYTES,
+    decode,
+    decode_block,
+    encode,
+    encode_block,
+)
+from repro.trace.events import Instr, Op
+
+
+SAMPLES = [
+    Instr.nop(),
+    Instr.read(0),
+    Instr.write(MAX_LOCATION),
+    Instr.malloc(100, 255),
+    Instr.free(0, 2),
+    Instr.assign(1, 2, 3),
+    Instr.assign(1, 2),
+    Instr.assign(1),
+    Instr.taint(42),
+    Instr.untaint(42),
+    Instr.jump(7),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("instr", SAMPLES, ids=lambda i: i.op.value)
+    def test_each_op(self, instr):
+        assert decode(encode(instr)) == instr
+
+    def test_record_size_matches_machine_config(self):
+        assert RECORD_BYTES == MachineConfig().log_record_bytes
+        assert len(encode(Instr.nop())) == RECORD_BYTES
+
+    def test_block_round_trip(self):
+        data = encode_block(SAMPLES)
+        assert decode_block(data) == SAMPLES
+
+    @given(
+        op=st.sampled_from([Op.READ, Op.WRITE, Op.JUMP]),
+        loc=st.integers(0, MAX_LOCATION),
+    )
+    def test_single_location_ops(self, op, loc):
+        if op in (Op.READ, Op.JUMP):
+            instr = Instr(op, srcs=(loc,))
+        else:
+            instr = Instr(op, dst=loc)
+        assert decode(encode(instr)) == instr
+
+    @given(
+        base=st.integers(0, MAX_LOCATION - 255),
+        size=st.integers(1, 255),
+    )
+    def test_extents(self, base, size):
+        instr = Instr.malloc(base, size)
+        assert decode(encode(instr)) == instr
+
+
+class TestValidation:
+    def test_oversized_location_rejected(self):
+        with pytest.raises(SimulationError):
+            encode(Instr.write(2**32))
+
+    def test_oversized_extent_rejected(self):
+        with pytest.raises(SimulationError):
+            encode(Instr.malloc(0, 256))
+
+    def test_wrong_record_length(self):
+        with pytest.raises(SimulationError):
+            decode(b"\x00" * 15)
+
+    def test_unaligned_segment(self):
+        with pytest.raises(SimulationError):
+            decode_block(b"\x00" * 17)
+
+    def test_unknown_opcode(self):
+        bad = b"\xff" + encode(Instr.nop())[1:]
+        with pytest.raises(SimulationError):
+            decode(bad)

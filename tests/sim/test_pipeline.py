@@ -1,0 +1,64 @@
+"""Tests for the streaming LBA co-simulation."""
+
+import pytest
+
+from repro.core.epoch import partition_by_global_order
+from repro.core.framework import ButterflyEngine
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.sim.config import LifeguardCostModel
+from repro.sim.lba import LBASystem
+from repro.sim.pipeline import StreamingLBASimulation
+from repro.workloads.registry import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def streamed():
+    prog = get_benchmark("OCEAN").generate(2, 6144, seed=5)
+    sim = StreamingLBASimulation(prog, epoch_size=512)
+    return prog, sim.run()
+
+
+class TestStreamingSimulation:
+    def test_runs_all_epochs(self, streamed):
+        prog, result = streamed
+        assert result.epochs == result.partition.num_epochs
+        assert result.cycles > 0
+
+    def test_analysis_identical_to_batch_run(self, streamed):
+        """Streaming arrival must not change the analysis: same error
+        log as the one-shot engine over the same partition."""
+        prog, result = streamed
+        batch = ButterflyAddrCheck(initially_allocated=prog.preallocated)
+        ButterflyEngine(batch).run(partition_by_global_order(prog, 512))
+        assert {r.identity() for r in batch.errors} == {
+            r.identity() for r in result.guard.errors
+        }
+
+    def test_app_stalls_when_lifeguard_slower(self):
+        prog = get_benchmark("BARNES").generate(2, 4096, seed=5)
+        costs = LifeguardCostModel(check_cycles=200, record_cycles=50)
+        sim = StreamingLBASimulation(prog, epoch_size=512, costs=costs)
+        result = sim.run()
+        assert result.total_stall_cycles > 0
+
+    def test_no_stalls_with_free_lifeguard(self):
+        prog = get_benchmark("BLACKSCHOLES").generate(2, 4096, seed=5)
+        costs = LifeguardCostModel(
+            dispatch_cycles=0, check_cycles=0, record_cycles=0,
+            second_pass_cycles=0,
+        )
+        sim = StreamingLBASimulation(prog, epoch_size=512, costs=costs)
+        result = sim.run()
+        assert result.total_stall_cycles == 0
+
+    def test_agrees_with_analytical_model_in_magnitude(self, streamed):
+        prog, result = streamed
+        analytical = LBASystem().butterfly(prog, 512)
+        ratio = result.cycles / analytical.result.cycles
+        assert 0.4 < ratio < 2.5, ratio
+
+    def test_per_thread_accounting(self, streamed):
+        prog, result = streamed
+        for t in range(prog.num_threads):
+            assert result.app_cycles_by_thread[t] > 0
+            assert result.lifeguard_cycles_by_thread[t] > 0

@@ -1,0 +1,30 @@
+"""The exception hierarchy is part of the public API surface."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    PartitionError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    WorkloadError,
+)
+
+
+def test_all_derive_from_base():
+    for exc in (
+        TraceError, PartitionError, AnalysisError, SimulationError,
+        WorkloadError,
+    ):
+        assert issubclass(exc, ReproError)
+
+
+def test_base_catches_specific():
+    with pytest.raises(ReproError):
+        raise PartitionError("boom")
+
+
+def test_distinct_branches():
+    assert not issubclass(TraceError, PartitionError)
+    assert not issubclass(SimulationError, AnalysisError)

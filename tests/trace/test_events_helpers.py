@@ -1,0 +1,18 @@
+"""Coverage for small event-stream helpers."""
+
+from repro.trace.events import Instr, expand_locations
+
+
+def test_expand_locations_streams_all_touched():
+    instrs = [
+        Instr.malloc(10, 2),
+        Instr.assign(1, 2, 3),
+        Instr.nop(),
+        Instr.read(7),
+    ]
+    locs = list(expand_locations(iter(instrs)))
+    assert locs == [10, 11, 2, 3, 1, 7]
+
+
+def test_expand_locations_empty():
+    assert list(expand_locations(iter([]))) == []

@@ -1,0 +1,72 @@
+"""Unit tests for random trace generation."""
+
+import random
+
+from repro.lifeguards.sequential import SequentialAddrCheck
+from repro.trace.events import Op
+from repro.trace.generator import (
+    random_program,
+    simulated_alloc_program,
+    simulated_taint_program,
+)
+
+
+class TestRandomProgram:
+    def test_shape(self):
+        prog = random_program(random.Random(0), num_threads=3, length=5)
+        assert prog.num_threads == 3
+        assert all(len(t) == 5 for t in prog.threads)
+
+    def test_respects_op_menu(self):
+        prog = random_program(
+            random.Random(0), length=50, ops=(Op.NOP,)
+        )
+        assert all(
+            i.op is Op.NOP for t in prog.threads for i in t
+        )
+
+
+class TestSimulatedAllocProgram:
+    def test_clean_run_has_no_true_errors(self):
+        for seed in range(10):
+            prog = simulated_alloc_program(
+                random.Random(seed), num_threads=3, total_events=60
+            )
+            guard = SequentialAddrCheck()
+            guard.run_order(prog)
+            assert len(guard.errors) == 0, seed
+
+    def test_injected_errors_are_detected(self):
+        found_any = False
+        for seed in range(10):
+            prog = simulated_alloc_program(
+                random.Random(seed),
+                num_threads=2,
+                total_events=80,
+                inject_error_rate=0.2,
+            )
+            guard = SequentialAddrCheck()
+            guard.run_order(prog)
+            found_any = found_any or len(guard.errors) > 0
+        assert found_any
+
+    def test_true_order_valid(self):
+        prog = simulated_alloc_program(random.Random(3), total_events=40)
+        prog.validate()
+        assert len(prog.true_order) == prog.total_instructions
+
+
+class TestSimulatedTaintProgram:
+    def test_structure(self):
+        prog = simulated_taint_program(
+            random.Random(1), num_threads=2, total_events=30
+        )
+        prog.validate()
+        assert prog.total_instructions == 30
+
+    def test_contains_taint_events(self):
+        prog = simulated_taint_program(
+            random.Random(2), total_events=200, taint_rate=0.3
+        )
+        ops = {i.op for t in prog.threads for i in t}
+        assert Op.TAINT in ops

@@ -1,0 +1,76 @@
+"""Round-trip tests for trace persistence."""
+
+import io
+import random
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import Instr
+from repro.trace.generator import simulated_alloc_program
+from repro.trace.program import TraceProgram
+from repro.trace.serialize import dump, load, load_file, save_file
+from repro.workloads.registry import get_benchmark
+
+
+def round_trip(program):
+    buf = io.StringIO()
+    dump(program, buf)
+    buf.seek(0)
+    return load(buf)
+
+
+class TestRoundTrip:
+    def test_simple_program(self):
+        prog = TraceProgram.from_lists(
+            [Instr.malloc(0, 4), Instr.write(1), Instr.free(0, 4)],
+            [Instr.assign(2, 3, 4), Instr.jump(2)],
+        )
+        loaded = round_trip(prog)
+        assert loaded.num_threads == 2
+        for a, b in zip(prog.threads, loaded.threads):
+            assert a.instrs == b.instrs
+
+    def test_orders_and_preallocated_preserved(self):
+        prog = simulated_alloc_program(
+            random.Random(0), num_threads=2, total_events=20
+        )
+        loaded = round_trip(prog)
+        assert loaded.true_order == prog.true_order
+        assert loaded.preallocated == prog.preallocated
+
+    def test_workload_round_trip(self):
+        prog = get_benchmark("OCEAN").generate(2, 3000, seed=4)
+        loaded = round_trip(prog)
+        assert loaded.timesliced_order == prog.timesliced_order
+        assert loaded.total_instructions == prog.total_instructions
+        assert loaded.preallocated == prog.preallocated
+
+    def test_file_round_trip(self, tmp_path):
+        prog = TraceProgram.from_lists([Instr.nop(), Instr.read(7)])
+        path = tmp_path / "trace.jsonl"
+        save_file(prog, path)
+        loaded = load_file(path)
+        assert loaded.threads[0].instrs == prog.threads[0].instrs
+
+
+class TestValidation:
+    def test_rejects_non_trace_file(self):
+        buf = io.StringIO('{"format": "something-else"}\n')
+        with pytest.raises(TraceError):
+            load(buf)
+
+    def test_rejects_future_version(self):
+        buf = io.StringIO(
+            '{"format": "repro-trace", "version": 99, "threads": 0}\n'
+        )
+        with pytest.raises(TraceError):
+            load(buf)
+
+    def test_rejects_malformed_instruction(self):
+        buf = io.StringIO(
+            '{"format": "repro-trace", "version": 1, "threads": 1}\n'
+            '[["bogus-op"]]\n'
+        )
+        with pytest.raises(TraceError):
+            load(buf)

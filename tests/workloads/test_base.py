@@ -1,0 +1,122 @@
+"""Unit tests for the workload-generation scaffolding."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.events import Instr, Op
+from repro.workloads.base import (
+    PhasedTraceBuilder,
+    StreamingWorkingSet,
+    WorkloadSpec,
+    compute_block,
+    local_update,
+    strided_reads,
+    thread_region,
+)
+
+
+class TestPhasedTraceBuilder:
+    def test_phase_preserves_program_order(self):
+        b = PhasedTraceBuilder(2, random.Random(0))
+        b.phase([[Instr.write(i) for i in range(5)],
+                 [Instr.read(i) for i in range(5)]])
+        prog = b.build()
+        assert [i.dst for i in prog.threads[0]] == list(range(5))
+
+    def test_barriers_order_phases_in_true_order(self):
+        b = PhasedTraceBuilder(2, random.Random(0))
+        b.phase([[Instr.write(1)], [Instr.write(2)]])
+        b.phase([[Instr.write(3)], [Instr.write(4)]])
+        prog = b.build()
+        seen_phase2 = False
+        for ref in prog.true_order:
+            instr = prog.instr_at(ref)
+            if instr.dst in (3, 4):
+                seen_phase2 = True
+            elif seen_phase2:
+                pytest.fail("phase-1 event after phase-2 in true order")
+
+    def test_serial_phase(self):
+        b = PhasedTraceBuilder(3, random.Random(0))
+        b.serial_phase(1, [Instr.write(9)])
+        prog = b.build()
+        assert len(prog.threads[1]) == 1
+        assert len(prog.threads[0]) == 0
+
+    def test_timesliced_order_runs_threads_in_blocks(self):
+        b = PhasedTraceBuilder(2, random.Random(0))
+        b.phase([[Instr.nop()] * 4, [Instr.nop()] * 4])
+        prog = b.build()
+        switches = sum(
+            1
+            for a, bb in zip(prog.timesliced_order, prog.timesliced_order[1:])
+            if a[0] != bb[0]
+        )
+        assert switches == 1  # one switch per phase at two threads
+
+    def test_wrong_phase_width_rejected(self):
+        b = PhasedTraceBuilder(2, random.Random(0))
+        with pytest.raises(WorkloadError):
+            b.phase([[Instr.nop()]])
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(WorkloadError):
+            PhasedTraceBuilder(0, random.Random(0))
+
+
+class TestStreamingWorkingSet:
+    def test_emits_exact_count(self):
+        ws = StreamingWorkingSet(random.Random(0), 0, 100, 0.5, 1)
+        assert len(ws.events(37)) == 37
+
+    def test_respects_footprint(self):
+        ws = StreamingWorkingSet(random.Random(0), 1000, 64, 0.3, 0)
+        locs = {l for e in ws.events(500) for l in e.accessed}
+        assert locs
+        assert min(locs) >= 1000
+        assert max(locs) < 1064
+
+    def test_stream_continues_across_calls(self):
+        ws = StreamingWorkingSet(random.Random(0), 0, 10_000, 0.0, 0)
+        first = {l for e in ws.events(100) for l in e.accessed}
+        second = {l for e in ws.events(100) for l in e.accessed}
+        # Pure streaming never revisits until the footprint wraps.
+        assert not (first & second)
+
+    def test_reuse_one_stays_in_hot_set(self):
+        ws = StreamingWorkingSet(random.Random(0), 0, 1000, 1.0, 0)
+        locs = {l for e in ws.events(300) for l in e.accessed}
+        assert max(locs) < ws.hot
+
+    def test_compute_ratio(self):
+        ws = StreamingWorkingSet(random.Random(0), 0, 100, 0.5, 3)
+        events = ws.events(400)
+        mem = sum(1 for e in events if e.accessed)
+        assert mem == pytest.approx(100, rel=0.2)
+
+    def test_tiny_footprint_rejected(self):
+        with pytest.raises(WorkloadError):
+            StreamingWorkingSet(random.Random(0), 0, 4, 0.5, 0)
+
+
+class TestHelpers:
+    def test_thread_regions_disjoint(self):
+        assert thread_region(1) - thread_region(0) >= (1 << 20)
+
+    def test_compute_block(self):
+        assert all(i.op is Op.NOP for i in compute_block(random.Random(0), 5))
+
+    def test_strided_reads(self):
+        reads = strided_reads(10, 3, stride=2)
+        assert [i.srcs[0] for i in reads] == [10, 12, 14]
+
+    def test_local_update_wrapper(self):
+        events = local_update(random.Random(0), 0, 100, 50, 0.5, 1)
+        assert len(events) == 50
+
+    def test_spec_is_frozen(self):
+        spec = WorkloadSpec("X", "S", "i", 0.5, 0.5, 0.5, 0.1)
+        with pytest.raises(Exception):
+            spec.reuse = 0.9

@@ -1,0 +1,37 @@
+"""Registry and spec metadata tests."""
+
+from repro.workloads.registry import BENCHMARKS, benchmark_table_rows
+
+
+class TestBenchmarkTable:
+    def test_rows_match_registry(self):
+        rows = benchmark_table_rows()
+        assert [r[0] for r in rows] == list(BENCHMARKS)
+
+    def test_suites(self):
+        rows = dict((r[0], r[1]) for r in benchmark_table_rows())
+        splash = {k for k, v in rows.items() if v == "Splash-2"}
+        assert splash == {"BARNES", "FFT", "FMM", "OCEAN", "LU"}
+        assert rows["BLACKSCHOLES"] == "Parsec 2.0"
+
+
+class TestSpecSanity:
+    def test_fractions_in_range(self):
+        for gen in BENCHMARKS.values():
+            spec = gen.spec
+            assert 0 < spec.mem_fraction < 1
+            assert 0 <= spec.reuse <= 1
+            assert 0 <= spec.sharing <= 1
+            assert 0 <= spec.imbalance < 1
+
+    def test_character_relationships(self):
+        specs = {n: g.spec for n, g in BENCHMARKS.items()}
+        # The Figure 11/13 story depends on these orderings.
+        assert specs["BLACKSCHOLES"].mem_fraction == min(
+            s.mem_fraction for s in specs.values()
+        )
+        assert specs["OCEAN"].sharing == max(
+            s.sharing for s in specs.values()
+        )
+        for streaming in ("BARNES", "FMM"):
+            assert specs[streaming].reuse < specs["LU"].reuse
