@@ -1,0 +1,15 @@
+PYTHON ?= python
+
+.PHONY: test smoke bench
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Benchmark-suite smoke run: correctness assertions only, timing
+# comparisons skipped (REPRO_CI) and pytest-benchmark timing disabled.
+smoke:
+	REPRO_CI=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_microbench_core.py -q --benchmark-disable
+
+# Wall-clock perf baseline: writes BENCH_1.json (see docs/usage.md).
+bench:
+	PYTHONPATH=src $(PYTHON) -m repro bench --output BENCH_1.json

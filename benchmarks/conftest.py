@@ -5,7 +5,14 @@ same traces and runs (as in the paper, where one set of simulations
 feeds all three).  Scale: events are 1/16 of the paper's instruction
 counts (DESIGN.md section 3), so h in {512, 4096} events stands in for
 the paper's {8K, 64K} instructions.
+
+Timing-sensitive assertions (A faster than B on the wall clock) are
+skipped when ``REPRO_CI`` is set: shared CI runners have noisy clocks
+and such comparisons flake there.  Correctness and shape assertions
+always run.
 """
+
+import os
 
 import pytest
 
@@ -13,6 +20,25 @@ from repro.bench.harness import ExperimentConfig, ExperimentSuite
 
 #: Events per thread for the full benchmark runs (2/4/8-thread traces).
 BENCH_EVENTS_PER_THREAD = 32768
+
+#: Environment flag marking a noisy-clock environment (CI runners).
+CI_ENV_FLAG = "REPRO_CI"
+
+
+def timing_asserts_enabled() -> bool:
+    """Whether wall-clock comparisons are trustworthy on this host."""
+    return os.environ.get(CI_ENV_FLAG, "") in ("", "0")
+
+
+@pytest.fixture
+def timing_guard():
+    """Request this fixture from any test whose assertions compare
+    wall-clock measurements; it skips the test under ``REPRO_CI=1``."""
+    if not timing_asserts_enabled():
+        pytest.skip(
+            f"{CI_ENV_FLAG} set: timing-sensitive assertions are "
+            "unreliable on shared CI runners"
+        )
 
 
 @pytest.fixture(scope="session")

@@ -7,6 +7,7 @@ are host-dependent.
 """
 
 import random
+import time
 
 import pytest
 
@@ -16,6 +17,7 @@ from repro.core.framework import ButterflyEngine
 from repro.core.reaching_defs import ReachingDefinitions
 from repro.lifeguards.addrcheck import ButterflyAddrCheck
 from repro.lifeguards.taintcheck import ButterflyTaintCheck
+from repro.shadow.shadow_memory import ShadowMemory
 from repro.trace.events import Instr
 from repro.trace.generator import (
     simulated_alloc_program,
@@ -78,6 +80,49 @@ def test_taintcheck_resolution_throughput(benchmark, taint_program):
 
     guard = benchmark(run)
     assert guard.sos.frontier >= 2
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_optimized_addrcheck_beats_reference(timing_guard, alloc_program):
+    """The scanner/bitset fast path must outrun the per-instruction
+    reference implementation (timing-sensitive: skipped in CI)."""
+    partition = partition_fixed(alloc_program, 512)
+
+    def run(optimized):
+        ButterflyEngine(ButterflyAddrCheck(optimized=optimized)).run(
+            partition
+        )
+
+    reference = _best_of(lambda: run(False))
+    optimized = _best_of(lambda: run(True))
+    assert optimized < reference, (optimized, reference)
+
+
+def test_store_range_beats_scalar_loop(timing_guard):
+    """Bulk range writes must outrun the equivalent per-address loop
+    (timing-sensitive: skipped in CI)."""
+    span, bursts = 1024, 64
+
+    def bulk():
+        shadow = ShadowMemory(page_size=4096)
+        for b in range(bursts):
+            shadow.store_range(b * span, span, 1)
+
+    def scalar():
+        shadow = ShadowMemory(page_size=4096)
+        for b in range(bursts):
+            for addr in range(b * span, (b + 1) * span):
+                shadow.store(addr, 1)
+
+    assert _best_of(bulk) < _best_of(scalar)
 
 
 def test_engine_overhead_on_nops(benchmark):

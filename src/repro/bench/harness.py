@@ -40,6 +40,9 @@ class ExperimentConfig:
     epoch_large: int = PAPER_EPOCHS["64K"] // SCALE
     seed: int = 1
     costs: LifeguardCostModel = field(default_factory=LifeguardCostModel)
+    #: Execution backend the butterfly engine fans out on ("serial",
+    #: "threads", or "processes") -- results are backend-independent.
+    backend: str = "serial"
 
     def epoch_label(self, h: int) -> str:
         """Report epoch sizes in the paper's units."""
@@ -127,7 +130,8 @@ class ExperimentSuite:
         partition = partition_by_global_order(program, epoch_size)
         guard = ButterflyAddrCheck(initially_allocated=program.preallocated)
         bf: ButterflyRun = self._system.butterfly(
-            program, epoch_size, partition=partition, guard=guard
+            program, epoch_size, partition=partition, guard=guard,
+            backend=self.config.backend,
         )
 
         truth = SequentialAddrCheck(program.preallocated)

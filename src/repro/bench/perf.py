@@ -1,0 +1,235 @@
+"""Wall-clock performance baseline: emits ``BENCH_<n>.json``.
+
+Unlike :mod:`repro.bench.harness` (which *models* LBA hardware cycles),
+this module measures how fast the analysis itself runs on the host --
+the number future optimization PRs must beat.  Every configuration is
+measured in the same process invocation so speedups compare like with
+like; the reference configuration runs :class:`ButterflyAddrCheck` with
+``optimized=False``, i.e. the original per-instruction implementation.
+
+Workloads:
+
+- ``microbench_core`` -- the AddrCheck workload of
+  ``benchmarks/test_microbench_core.py`` (4 threads, 8000 events,
+  h=512), run as reference-serial vs. optimized on each backend;
+- ``reaching_defs`` -- the generic reaching-definitions analysis over
+  the same trace, serial vs. threads;
+- ``shadow_store_range`` -- bulk range writes vs. the equivalent
+  per-address store loop.
+
+Read a ``BENCH_*.json`` as: ``runs.<name>.best_s`` is the best-of-N
+wall time in seconds (N = ``repeats``), ``engine_stats`` the exact work
+counters of that run (identical across backends by design), and
+``speedup_vs_baseline`` the reference-serial best divided by the
+optimized-serial best.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import sys
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.epoch import partition_fixed
+from repro.core.framework import ButterflyEngine
+from repro.core.reaching_defs import ReachingDefinitions
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.shadow.shadow_memory import ShadowMemory
+from repro.trace.generator import simulated_alloc_program
+
+#: The workload ``benchmarks/test_microbench_core.py`` benchmarks.
+CORE_SEED = 7
+CORE_THREADS = 4
+CORE_EVENTS = 8000
+CORE_LOCATIONS = 256
+CORE_EPOCH = 512
+
+
+def _time_best(fn: Callable[[], Any], repeats: int) -> Dict[str, float]:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return {
+        "best_s": min(times),
+        "mean_s": sum(times) / len(times),
+        "repeats": repeats,
+    }
+
+
+def _engine_run(partition, make_guard, backend: str):
+    def run() -> None:
+        guard = make_guard()
+        with ButterflyEngine(guard, backend=backend) as engine:
+            engine.run(partition)
+        run.last = (guard, engine.stats)  # type: ignore[attr-defined]
+
+    return run
+
+
+def _stats_dict(stats) -> Dict[str, int]:
+    return {
+        "epochs_processed": stats.epochs_processed,
+        "first_pass_instructions": stats.first_pass_instructions,
+        "second_pass_instructions": stats.second_pass_instructions,
+        "meets": stats.meets,
+        "wing_summaries_combined": stats.wing_summaries_combined,
+    }
+
+
+def _bench_microbench_core(repeats: int) -> Dict[str, Any]:
+    program = simulated_alloc_program(
+        random.Random(CORE_SEED),
+        num_threads=CORE_THREADS,
+        total_events=CORE_EVENTS,
+        num_locations=CORE_LOCATIONS,
+    )
+    partition = partition_fixed(program, CORE_EPOCH)
+    runs: Dict[str, Any] = {}
+    configs = [
+        ("reference_serial", False, "serial"),
+        ("optimized_serial", True, "serial"),
+        ("optimized_threads", True, "threads"),
+        ("optimized_processes", True, "processes"),
+    ]
+    for name, optimized, backend in configs:
+        fn = _engine_run(
+            partition,
+            lambda optimized=optimized: ButterflyAddrCheck(
+                optimized=optimized
+            ),
+            backend,
+        )
+        entry = _time_best(fn, repeats)
+        guard, stats = fn.last  # type: ignore[attr-defined]
+        entry["engine_stats"] = _stats_dict(stats)
+        entry["errors"] = len(guard.errors)
+        runs[name] = entry
+    baseline = runs["reference_serial"]["best_s"]
+    return {
+        "description": "butterfly AddrCheck on the microbench core trace",
+        "params": {
+            "threads": CORE_THREADS,
+            "events": CORE_EVENTS,
+            "locations": CORE_LOCATIONS,
+            "epoch_size": CORE_EPOCH,
+            "seed": CORE_SEED,
+        },
+        "runs": runs,
+        "speedup_vs_baseline": baseline / runs["optimized_serial"]["best_s"],
+        "speedups": {
+            name: baseline / entry["best_s"]
+            for name, entry in runs.items()
+            if name != "reference_serial"
+        },
+    }
+
+
+def _bench_reaching_defs(repeats: int) -> Dict[str, Any]:
+    program = simulated_alloc_program(
+        random.Random(CORE_SEED),
+        num_threads=CORE_THREADS,
+        total_events=CORE_EVENTS,
+        num_locations=CORE_LOCATIONS,
+    )
+    partition = partition_fixed(program, CORE_EPOCH)
+    runs: Dict[str, Any] = {}
+    for name, backend in (("serial", "serial"), ("threads", "threads")):
+        fn = _engine_run(
+            partition,
+            lambda: ReachingDefinitions(keep_history=False),
+            backend,
+        )
+        entry = _time_best(fn, repeats)
+        _guard, stats = fn.last  # type: ignore[attr-defined]
+        entry["engine_stats"] = _stats_dict(stats)
+        runs[name] = entry
+    return {
+        "description": "generic reaching definitions (bitset meets)",
+        "params": {
+            "threads": CORE_THREADS,
+            "events": CORE_EVENTS,
+            "epoch_size": CORE_EPOCH,
+        },
+        "runs": runs,
+    }
+
+
+def _bench_shadow_store_range(repeats: int) -> Dict[str, Any]:
+    bursts = 256
+    span = 1024
+    page = 4096
+
+    def bulk() -> None:
+        shadow = ShadowMemory(page_size=page)
+        for b in range(bursts):
+            shadow.store_range(b * span, span, 1)
+
+    def scalar() -> None:
+        shadow = ShadowMemory(page_size=page)
+        for b in range(bursts):
+            base = b * span
+            for addr in range(base, base + span):
+                shadow.store(addr, 1)
+
+    runs = {
+        "store_range_bulk": _time_best(bulk, repeats),
+        "store_scalar_loop": _time_best(scalar, repeats),
+    }
+    return {
+        "description": "shadow memory range writes: bulk vs per-address",
+        "params": {"bursts": bursts, "span": span, "page_size": page},
+        "runs": runs,
+        "speedup_vs_baseline": (
+            runs["store_scalar_loop"]["best_s"]
+            / runs["store_range_bulk"]["best_s"]
+        ),
+    }
+
+
+def run_perf(
+    repeats: int = 5, output_path: Optional[str] = None
+) -> Dict[str, Any]:
+    """Run every perf workload; optionally write the JSON report."""
+    report: Dict[str, Any] = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+        "repeats": repeats,
+        "workloads": {
+            "microbench_core": _bench_microbench_core(repeats),
+            "reaching_defs": _bench_reaching_defs(repeats),
+            "shadow_store_range": _bench_shadow_store_range(repeats),
+        },
+    }
+    if output_path is not None:
+        with open(output_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def main(argv: Optional[list] = None) -> int:  # pragma: no cover - thin CLI
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_1.json")
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+    report = run_perf(repeats=args.repeats, output_path=args.output)
+    core = report["workloads"]["microbench_core"]
+    print(
+        f"wrote {args.output}: microbench core "
+        f"{core['speedup_vs_baseline']:.2f}x vs reference serial"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

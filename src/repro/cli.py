@@ -22,6 +22,7 @@ from repro.bench.experiments import figure11, figure12, figure13, table1
 from repro.bench.harness import ExperimentConfig, ExperimentSuite
 from repro.bench.reporting import render_table
 from repro.core.framework import ButterflyEngine
+from repro.core.parallel import BACKEND_CHOICES
 from repro.lifeguards.addrcheck import ButterflyAddrCheck
 from repro.lifeguards.racecheck import ButterflyRaceCheck
 from repro.lifeguards.reports import compare_reports
@@ -95,7 +96,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         )
     system = LBASystem()
     if args.lifeguard == "addrcheck":
-        run = system.butterfly(program, args.epoch_size)
+        run = system.butterfly(program, args.epoch_size, backend=args.backend)
         guard = run.guard
         truth = SequentialAddrCheck(program.preallocated)
         truth.run_order(program)
@@ -115,7 +116,8 @@ def cmd_check(args: argparse.Namespace) -> int:
         from repro.core.epoch import partition_by_global_order
 
         partition = partition_by_global_order(program, args.epoch_size)
-        ButterflyEngine(guard).run(partition)
+        with ButterflyEngine(guard, backend=args.backend) as engine:
+            engine.run(partition)
         print(f"benchmark: {args.benchmark}, {args.threads} threads, "
               f"h={args.epoch_size} events")
         print(f"potential conflicts: {len(guard.races)}")
@@ -136,7 +138,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     baseline = system.unmonitored_sequential(program)
     rows = []
     for h in args.sizes:
-        run = system.butterfly(program, h)
+        run = system.butterfly(program, h, backend=args.backend)
         precision = compare_reports(
             truth.errors, run.guard.errors, program.memory_op_count
         )
@@ -151,6 +153,40 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         ("epoch size", "epochs", "slowdown", "false pos", "FP rate"), rows
     ))
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Measure wall-clock performance and write a BENCH_*.json report."""
+    from repro.bench.perf import run_perf
+
+    if args.repeats < 1:
+        print(f"repro bench: error: --repeats must be >= 1, got "
+              f"{args.repeats}", file=sys.stderr)
+        return 2
+    try:
+        # Fail before measuring, not minutes later at report time.
+        with open(args.output, "w"):
+            pass
+    except OSError as exc:
+        print(f"repro bench: error: cannot write {args.output}: {exc}",
+              file=sys.stderr)
+        return 2
+    report = run_perf(repeats=args.repeats, output_path=args.output)
+    core = report["workloads"]["microbench_core"]
+    print(f"wrote {args.output}")
+    print(f"microbench core: "
+          f"{core['speedup_vs_baseline']:.2f}x vs reference serial "
+          f"(reference {core['runs']['reference_serial']['best_s']*1e3:.1f} ms, "
+          f"optimized {core['runs']['optimized_serial']['best_s']*1e3:.1f} ms)")
+    return 0
+
+
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", default="serial", choices=BACKEND_CHOICES,
+        help="engine execution backend (results are identical; "
+             "default: serial)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -193,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--limit", type=int, default=10,
                    help="max conflicts to print (race mode)")
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("sweep", help="epoch-size sweep for one benchmark")
@@ -204,7 +241,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--sizes", type=int, nargs="+",
         default=[256, 512, 1024, 2048, 4096],
     )
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "bench", help="measure wall-clock perf and write BENCH_<n>.json"
+    )
+    p.add_argument("--output", default="BENCH_1.json",
+                   help="report path (default: BENCH_1.json)")
+    p.add_argument("--repeats", type=int, default=5,
+                   help="timing repetitions per configuration (best-of)")
+    p.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -1,0 +1,99 @@
+"""Interned bitset summaries.
+
+Butterfly meets are unions over wing summaries, and the element
+universes the lifeguards actually see in one run are small (locations
+touched, dynamic definition sites inside the window).  Interning each
+element to a stable bit position turns those unions into single bitwise
+ORs over Python ``int`` values -- C-speed word operations instead of a
+Python-level loop per element -- while the interner keeps an exact,
+loss-free mapping back to the original elements.
+
+Determinism: bit positions are assigned in *commit order* -- summaries
+are only interned on the engine's serial commit path, and new elements
+within one summary are interned in sorted order -- so two runs over the
+same trace assign identical positions regardless of execution backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+try:  # Python >= 3.10
+    _popcount = int.bit_count
+
+    def popcount(mask: int) -> int:
+        """Number of set bits (``len`` of the encoded set)."""
+        return _popcount(mask)
+
+except AttributeError:  # pragma: no cover - Python 3.9 fallback
+
+    def popcount(mask: int) -> int:
+        """Number of set bits (``len`` of the encoded set)."""
+        return bin(mask).count("1")
+
+
+class BitInterner:
+    """Bijection between hashable elements and bit positions.
+
+    One interner is owned by one analysis instance; masks produced by
+    different interners are not comparable.
+    """
+
+    __slots__ = ("_bit_of", "_elements")
+
+    def __init__(self) -> None:
+        self._bit_of: Dict[Any, int] = {}
+        self._elements: List[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def bit(self, element: Any) -> int:
+        """The bit position of ``element``, assigning one if new."""
+        b = self._bit_of.get(element)
+        if b is None:
+            b = len(self._elements)
+            self._bit_of[element] = b
+            self._elements.append(element)
+        return b
+
+    def mask(
+        self,
+        elements: Iterable[Any],
+        sort_key: Optional[Callable[[Any], Any]] = None,
+    ) -> int:
+        """Encode ``elements`` as a bitset.
+
+        Unseen elements are interned in sorted order so that bit
+        assignment is independent of the (hash-based) iteration order
+        of the input set.
+        """
+        bit_of = self._bit_of
+        out = 0
+        fresh: List[Any] = []
+        for e in elements:
+            b = bit_of.get(e)
+            if b is None:
+                fresh.append(e)
+            else:
+                out |= 1 << b
+        if fresh:
+            fresh.sort(key=sort_key)
+            for e in fresh:
+                out |= 1 << self.bit(e)
+        return out
+
+    def decode(self, mask: int) -> List[Any]:
+        """The elements of ``mask``, in ascending bit order."""
+        elements = self._elements
+        out: List[Any] = []
+        while mask:
+            low = mask & -mask
+            out.append(elements[low.bit_length() - 1])
+            mask ^= low
+        return out
+
+    def contains(self, mask: int, element: Any) -> bool:
+        """Whether ``element`` is encoded in ``mask``."""
+        b = self._bit_of.get(element)
+        return b is not None and bool(mask >> b & 1)

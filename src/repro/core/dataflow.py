@@ -154,6 +154,11 @@ class BlockFacts:
         For elements generated *in this block*, whether the last
         relevant event was a ``gen`` or a ``kill`` -- resolves the block
         GEN/KILL membership of local elements exactly.
+    all_gen_mask / killed_mask:
+        Optional interned-bitset encodings of ``all_gen`` and
+        ``killed_vars`` (see :mod:`repro.core.bitset`), filled in by the
+        owning analysis at commit time so wing meets collapse to bitwise
+        ORs.  ``None`` when the analysis does not use bitsets.
     """
 
     block_id: Tuple[int, int]
@@ -161,6 +166,8 @@ class BlockFacts:
     all_gen: Set[Element] = field(default_factory=set)
     killed_vars: Set[Var] = field(default_factory=set)
     last_event: Dict[Element, str] = field(default_factory=dict)
+    all_gen_mask: Optional[int] = None
+    killed_mask: Optional[int] = None
 
     def gens(self, element: Element) -> bool:
         """Block-level GEN membership (downward-exposed)."""

@@ -16,20 +16,45 @@ A butterfly with body in epoch ``l`` needs epoch ``l+1`` in its wings,
 so the engine processes bodies one epoch behind the newest received
 epoch; the final epoch's bodies run once the trace ends (their wings
 simply lack a ``l+1`` row, mirroring the paper's first/last butterflies).
+
+Parallel execution
+------------------
+
+Steps 1 and 3 are embarrassingly parallel across the threads of an
+epoch (the paper's whole point), and the engine can fan them out over
+an :class:`~repro.core.parallel.ExecutionBackend`.  To keep results
+bit-identical to the serial schedule, a parallelizable analysis splits
+each pass into a *pure* stage and an ordered *commit* stage:
+
+- first pass: ``first_pass_context`` (serial; may read published
+  state), a picklable *scanner* from ``make_scanner`` (pure; fans out),
+  and ``commit_scan`` (serial, ascending thread order);
+- second pass: ``meet`` + ``check_body`` (pure given published
+  summaries; fan out) and ``commit_check`` (serial, ascending thread
+  order).
+
+Analyses advertise the split via ``parallel_first_pass`` /
+``parallel_second_pass``; everything else transparently runs on the
+serial path, so legacy analyses that override ``first_pass`` /
+``second_pass`` directly keep working on any backend.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generic, List, Optional, TypeVar
+from typing import Any, Callable, Dict, Generic, List, Optional, TypeVar, Union
 
 from repro.core.epoch import Block, BlockId, EpochPartition
-from repro.core.window import Butterfly, butterfly_for
+from repro.core.parallel import ExecutionBackend, get_backend
+from repro.core.window import Butterfly, butterflies_for_epoch
 from repro.errors import AnalysisError
 
 Summary = TypeVar("Summary")
 SideIn = TypeVar("SideIn")
+
+#: A pure first-pass work unit: ``scanner(block, context) -> scan``.
+Scanner = Callable[[Block, Any], Any]
 
 
 @dataclass
@@ -49,19 +74,82 @@ class ButterflyAnalysis(abc.ABC, Generic[Summary, SideIn]):
     Implementations own their SOS/LSOS (update rules differ between the
     reaching-definitions and reaching-expressions families) and their
     error reporting.
+
+    Subclasses implement either the classic whole-pass methods
+    (``first_pass`` / ``second_pass``) or the split stages documented in
+    the module docstring; the default whole-pass methods compose the
+    split stages, so implementing the split gives both execution modes.
     """
 
-    @abc.abstractmethod
+    #: Set True when the scan stage may fan out across an epoch's
+    #: blocks.  Requires ``make_scanner``/``commit_scan``, and
+    #: ``first_pass_context`` must not depend on same-epoch commits.
+    parallel_first_pass: bool = False
+    #: Set True when ``meet``/``check_body`` only read published state
+    #: and all mutation happens in ``commit_check``.
+    parallel_second_pass: bool = False
+
+    # -- step 1 ----------------------------------------------------------
+
+    def first_pass_context(self, block: Block) -> Any:
+        """Serial pre-stage: snapshot the published state the scanner
+        needs (e.g. the LSOS).  Must not depend on commits of blocks in
+        ``block``'s own epoch."""
+        return None
+
+    def make_scanner(self) -> Optional[Scanner]:
+        """A pure, picklable ``(block, context) -> scan`` callable, or
+        ``None`` when the analysis does not implement the split."""
+        return None
+
+    def commit_scan(self, block: Block, scan: Any) -> Summary:
+        """Ordered post-stage: apply a scan's effects (summaries,
+        errors, counters) to shared state; return the block summary."""
+        raise NotImplementedError
+
     def first_pass(self, block: Block) -> Summary:
         """Step 1: analyze ``block`` with local state; return its summary."""
+        scanner = self._scanner()
+        if scanner is None:
+            raise NotImplementedError(
+                "implement first_pass() or the make_scanner()/commit_scan() split"
+            )
+        return self.commit_scan(
+            block, scanner(block, self.first_pass_context(block))
+        )
+
+    def _scanner(self) -> Optional[Scanner]:
+        cache = self.__dict__
+        if "_scanner_cache" not in cache:
+            cache["_scanner_cache"] = self.make_scanner()
+        return cache["_scanner_cache"]
+
+    # -- step 2 ----------------------------------------------------------
 
     @abc.abstractmethod
     def meet(self, butterfly: Butterfly, wing_summaries: List[Summary]) -> SideIn:
         """Step 2: combine the wings' summaries into the side-in value."""
 
-    @abc.abstractmethod
+    # -- step 3 ----------------------------------------------------------
+
+    def check_body(self, butterfly: Butterfly, side_in: SideIn) -> Any:
+        """Pure stage of the second pass: compute checks/derived facts
+        from published state without mutating it."""
+        raise NotImplementedError
+
+    def commit_check(
+        self, butterfly: Butterfly, side_in: SideIn, result: Any
+    ) -> None:
+        """Ordered stage of the second pass: apply a body's results."""
+        raise NotImplementedError
+
     def second_pass(self, butterfly: Butterfly, side_in: SideIn) -> None:
         """Step 3: re-analyze the body with wing state; run checks."""
+        self.commit_check(
+            butterfly, side_in, self.check_body(butterfly, side_in)
+        )
+
+    # -- step 4 ----------------------------------------------------------
 
     @abc.abstractmethod
     def epoch_update(self, lid: int, summaries: Dict[BlockId, Summary]) -> None:
@@ -74,16 +162,61 @@ class ButterflyEngine(Generic[Summary, SideIn]):
     Supports both one-shot :meth:`run` and the streaming
     :meth:`feed_epoch` / :meth:`finish` pair used by the LBA substrate
     (epochs arrive as the application executes).
+
+    Parameters
+    ----------
+    analysis:
+        The lifeguard to drive.
+    backend:
+        Execution backend for the parallelizable stages: a name from
+        :data:`~repro.core.parallel.BACKEND_CHOICES` or a constructed
+        :class:`~repro.core.parallel.ExecutionBackend`.  Backends
+        created from a name are owned (and shut down) by the engine.
     """
 
-    def __init__(self, analysis: ButterflyAnalysis) -> None:
+    def __init__(
+        self,
+        analysis: ButterflyAnalysis,
+        backend: Union[str, ExecutionBackend] = "serial",
+    ) -> None:
         self.analysis = analysis
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = get_backend(backend)
         self.stats = EngineStats()
         self._partition: Optional[EpochPartition] = None
         self._summaries: Dict[BlockId, Any] = {}
         self._next_to_receive = 0
         self._next_to_process = 0
         self._finished = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def reset(self) -> None:
+        """Detach from the current partition and zero all run state.
+
+        Required before re-attaching a used engine -- including after an
+        :class:`AnalysisError` aborted a run partway, which would
+        otherwise leave stale counters behind.  The analysis object's
+        own state is *not* touched; reuse generally wants a fresh
+        analysis too.
+        """
+        self.stats = EngineStats()
+        self._partition = None
+        self._summaries = {}
+        self._next_to_receive = 0
+        self._next_to_process = 0
+        self._finished = False
+
+    def close(self) -> None:
+        """Shut down an engine-owned backend's worker pool."""
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "ButterflyEngine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     # -- one-shot -----------------------------------------------------
 
@@ -99,7 +232,11 @@ class ButterflyEngine(Generic[Summary, SideIn]):
 
     def attach(self, partition: EpochPartition) -> None:
         if self._partition is not None:
-            raise AnalysisError("engine already attached to a partition")
+            raise AnalysisError(
+                "engine already attached to a partition; call reset() "
+                "to reuse it"
+            )
+        self.reset()  # guard: never start a run with stale counters
         self._partition = partition
 
     def feed_epoch(self, lid: int) -> None:
@@ -111,10 +248,32 @@ class ButterflyEngine(Generic[Summary, SideIn]):
                 f"epochs must arrive in order: expected {self._next_to_receive}, "
                 f"got {lid}"
             )
-        for tid in range(partition.num_threads):
-            block = partition.block(lid, tid)
-            self._summaries[block.block_id] = self.analysis.first_pass(block)
-            self.stats.first_pass_instructions += len(block)
+        analysis = self.analysis
+        blocks = partition.epoch_blocks(lid)
+        scanner = (
+            analysis._scanner()
+            if self.backend.concurrent
+            and analysis.parallel_first_pass
+            and len(blocks) > 1
+            else None
+        )
+        if scanner is not None:
+            # Contexts snapshot published state only, so computing them
+            # up front matches the serial schedule exactly.
+            items = [
+                (block, analysis.first_pass_context(block))
+                for block in blocks
+            ]
+            scans = self.backend.map_ordered(scanner, items)
+            for block, scan in zip(blocks, scans):
+                self._summaries[block.block_id] = analysis.commit_scan(
+                    block, scan
+                )
+                self.stats.first_pass_instructions += len(block)
+        else:
+            for block in blocks:
+                self._summaries[block.block_id] = analysis.first_pass(block)
+                self.stats.first_pass_instructions += len(block)
         self._next_to_receive += 1
         if lid >= 1:
             self._process_epoch(lid - 1)
@@ -149,25 +308,49 @@ class ButterflyEngine(Generic[Summary, SideIn]):
                 f"bodies must be processed in epoch order: expected "
                 f"{self._next_to_process}, got {lid}"
             )
-        for tid in range(partition.num_threads):
-            butterfly = butterfly_for(partition, lid, tid)
-            wing_summaries = [
-                self._summaries[b.block_id] for b in butterfly.wings
-            ]
-            side_in = self.analysis.meet(butterfly, wing_summaries)
-            self.stats.meets += 1
-            self.stats.wing_summaries_combined += len(wing_summaries)
-            self.analysis.second_pass(butterfly, side_in)
-            self.stats.second_pass_instructions += len(butterfly.body)
+        analysis = self.analysis
+        stats = self.stats
+        summaries = self._summaries
+        butterflies = butterflies_for_epoch(partition, lid)
+        wings = [
+            [summaries[b.block_id] for b in bf.wings] for bf in butterflies
+        ]
+        if (
+            self.backend.concurrent
+            and self.backend.shares_memory
+            and analysis.parallel_second_pass
+            and len(butterflies) > 1
+        ):
+            # Pure stages fan out; commits land in ascending tid order,
+            # reproducing the serial schedule bit for bit.
+            def compute(bf: Butterfly, ws: List[Any]) -> Any:
+                side_in = analysis.meet(bf, ws)
+                return side_in, analysis.check_body(bf, side_in)
+
+            results = self.backend.map_ordered(
+                compute, list(zip(butterflies, wings))
+            )
+            for bf, ws, (side_in, result) in zip(butterflies, wings, results):
+                stats.meets += 1
+                stats.wing_summaries_combined += len(ws)
+                analysis.commit_check(bf, side_in, result)
+                stats.second_pass_instructions += len(bf.body)
+        else:
+            for bf, ws in zip(butterflies, wings):
+                side_in = analysis.meet(bf, ws)
+                stats.meets += 1
+                stats.wing_summaries_combined += len(ws)
+                analysis.second_pass(bf, side_in)
+                stats.second_pass_instructions += len(bf.body)
         epoch_summaries = {
-            (lid, tid): self._summaries[(lid, tid)]
+            (lid, tid): summaries[(lid, tid)]
             for tid in range(partition.num_threads)
         }
-        self.analysis.epoch_update(lid, epoch_summaries)
-        self.stats.epochs_processed += 1
+        analysis.epoch_update(lid, epoch_summaries)
+        stats.epochs_processed += 1
         self._next_to_process += 1
         # Summaries older than the sliding window are dead; reclaim them.
         stale = lid - 2
         if stale >= 0:
             for tid in range(partition.num_threads):
-                self._summaries.pop((stale, tid), None)
+                summaries.pop((stale, tid), None)

@@ -1,0 +1,158 @@
+"""Execution backends: deterministic fan-out for the butterfly engine.
+
+The paper's central claim is that lifeguards parallelize: within an
+epoch every block's first pass is independent, and every body's second
+pass depends only on already-published wing summaries (Section 4.3).
+The :class:`~repro.core.framework.ButterflyEngine` exploits that by
+splitting each pass into a *pure* compute stage (safe to run
+concurrently) and an ordered *commit* stage (applied serially, in
+thread-id order).  A backend decides how the compute stage executes:
+
+- ``serial`` -- in the calling thread (the default, and the reference
+  schedule every other backend must be bit-identical to);
+- ``threads`` -- a :class:`~concurrent.futures.ThreadPoolExecutor`;
+  compute stages may share read-only analysis state;
+- ``processes`` -- a :class:`~concurrent.futures.ProcessPoolExecutor`;
+  work units (scanner, block, context) must be picklable, so only the
+  first pass fans out and second passes stay serial.
+
+Because commits always happen in the serial schedule's order,
+``EngineStats``, summaries, and lifeguard error logs are bit-identical
+across backends; the determinism property tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import AnalysisError
+
+#: Backend names accepted by the engine, the CLI, and the bench harness.
+BACKEND_CHOICES = ("serial", "threads", "processes")
+
+
+def _default_workers() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+class ExecutionBackend(abc.ABC):
+    """How a batch of independent work units executes."""
+
+    #: Registry name ("serial", "threads", "processes").
+    name: str = "abstract"
+    #: Whether work units may run concurrently (enables engine fan-out).
+    concurrent: bool = False
+    #: Whether compute stages can see the live analysis object.  False
+    #: for process pools: work units are pickled, so only self-contained
+    #: (scanner, block, context) units may cross; the engine keeps any
+    #: stage needing shared state on the serial path.
+    shares_memory: bool = True
+
+    @abc.abstractmethod
+    def map_ordered(
+        self, fn: Callable[..., Any], items: Sequence[Tuple]
+    ) -> List[Any]:
+        """Apply ``fn(*item)`` to every item; results in item order."""
+
+    def close(self) -> None:
+        """Release pooled workers (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """The reference schedule: everything in the calling thread."""
+
+    name = "serial"
+    concurrent = False
+
+    def map_ordered(
+        self, fn: Callable[..., Any], items: Sequence[Tuple]
+    ) -> List[Any]:
+        return [fn(*item) for item in items]
+
+
+class _PooledBackend(ExecutionBackend):
+    """Shared lazy-executor plumbing for the pooled backends."""
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers or _default_workers()
+        self._executor: Optional[Executor] = None
+
+    def _make_executor(self) -> Executor:
+        raise NotImplementedError
+
+    @property
+    def executor(self) -> Executor:
+        if self._executor is None:
+            self._executor = self._make_executor()
+        return self._executor
+
+    def map_ordered(
+        self, fn: Callable[..., Any], items: Sequence[Tuple]
+    ) -> List[Any]:
+        # Executor.map preserves submission order in its results.
+        return list(self.executor.map(_apply, ((fn, item) for item in items)))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+def _apply(payload: Tuple[Callable[..., Any], Tuple]) -> Any:
+    fn, args = payload
+    return fn(*args)
+
+
+class ThreadPoolBackend(_PooledBackend):
+    """Fan out over a thread pool; workers share the analysis object."""
+
+    name = "threads"
+    concurrent = True
+    shares_memory = True
+
+    def _make_executor(self) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=self.max_workers,
+            thread_name_prefix="butterfly",
+        )
+
+
+class ProcessPoolBackend(_PooledBackend):
+    """Fan out over a process pool; work units must pickle."""
+
+    name = "processes"
+    concurrent = True
+    shares_memory = False
+
+    def _make_executor(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+
+def get_backend(
+    spec: Union[str, ExecutionBackend, None],
+    max_workers: Optional[int] = None,
+) -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through)."""
+    if spec is None:
+        return SerialBackend()
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec == "serial":
+        return SerialBackend()
+    if spec == "threads":
+        return ThreadPoolBackend(max_workers=max_workers)
+    if spec == "processes":
+        return ProcessPoolBackend(max_workers=max_workers)
+    raise AnalysisError(
+        f"unknown execution backend {spec!r} "
+        f"(choose from {', '.join(BACKEND_CHOICES)})"
+    )

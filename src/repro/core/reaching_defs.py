@@ -20,12 +20,15 @@ the exact instantiation of each equation at definition granularity
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, List, Optional, Set
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.core.bitset import BitInterner
 from repro.core.dataflow import (
     BlockFacts,
     Definition,
     DefinitionDomain,
+    ElementDomain,
     summarize_block,
     union_side_out_gen,
 )
@@ -37,6 +40,25 @@ from repro.core.window import Butterfly
 #: Callback invoked with (instr id, instruction, IN set) during the
 #: second pass -- the hook a lifeguard writer uses to install checks.
 InstrHook = Callable[[InstrId, object, FrozenSet[Definition]], None]
+
+
+@dataclass(frozen=True)
+class FactsScanner:
+    """Picklable first-pass work unit: summarize one block.
+
+    Carries only the (stateless) element domain, so it crosses process
+    boundaries for the ``processes`` backend.
+    """
+
+    domain: ElementDomain
+
+    def __call__(self, block: Block, context: Any) -> BlockFacts:
+        return summarize_block(block, self.domain)
+
+
+def _definition_order(d: Definition) -> Tuple[int, InstrId]:
+    """Hash-independent interning order for fresh definitions."""
+    return (d.var, d.site)
 
 
 class ReachingDefinitions(
@@ -63,42 +85,73 @@ class ReachingDefinitions(
         self.block_out: Dict[BlockId, FrozenSet[Definition]] = {}
         self.block_lsos: Dict[BlockId, FrozenSet[Definition]] = {}
         self.side_in: Dict[BlockId, FrozenSet[Definition]] = {}
+        self._def_bits = BitInterner()
+        # The instruction hook is an arbitrary (often unpicklable)
+        # closure with ordering expectations, so parallelism is only
+        # offered for the hook-free analysis.
+        self.parallel_first_pass = on_instruction is None
+        self.parallel_second_pass = on_instruction is None
 
     # -- step 1 ----------------------------------------------------------
 
-    def first_pass(self, block: Block) -> BlockFacts:
-        """Compute GEN_{l,t}, KILL_{l,t} and GEN-SIDE-OUT in one scan."""
-        facts = summarize_block(block, self.domain)
-        self.facts[block.block_id] = facts
-        return facts
+    def make_scanner(self) -> FactsScanner:
+        return FactsScanner(self.domain)
+
+    def commit_scan(self, block: Block, scan: BlockFacts) -> BlockFacts:
+        """Store the block facts; intern GEN-SIDE-OUT to a bitset so the
+        wing meet is a bitwise OR."""
+        scan.all_gen_mask = self._def_bits.mask(
+            scan.all_gen, sort_key=_definition_order
+        )
+        self.facts[block.block_id] = scan
+        return scan
 
     # -- step 2 ------------------------------------------------------------
 
     def meet(
         self, butterfly: Butterfly, wing_summaries: List[BlockFacts]
     ) -> Set[Definition]:
-        """GEN-SIDE-IN: union of the wings' GEN-SIDE-OUT (meet is union)."""
-        return union_side_out_gen(wing_summaries)
+        """GEN-SIDE-IN: union of the wings' GEN-SIDE-OUT (meet is union).
+
+        With interned summaries the union is a single OR over the wing
+        masks, decoded once.
+        """
+        mask = 0
+        for facts in wing_summaries:
+            if facts.all_gen_mask is None:
+                return union_side_out_gen(wing_summaries)
+            mask |= facts.all_gen_mask
+        return set(self._def_bits.decode(mask))
 
     # -- step 3 ------------------------------------------------------------
 
-    def second_pass(
+    def check_body(
         self, butterfly: Butterfly, side_in: Set[Definition]
-    ) -> None:
+    ) -> Tuple[Set[Definition], Set[Definition]]:
         """Walk the body computing ``IN_{l,t,i} = GEN-SIDE-IN U LSOS_{l,t,i}``
-        and ``OUT``; fire the lifeguard hook per instruction."""
+        and the running LSOS; fire the lifeguard hook per instruction.
+
+        Reads only published state (head facts, SOS), so it is safe to
+        run concurrently with other bodies of the same epoch."""
         body = butterfly.body
         lid, tid = body.block_id
         lsos = self._compute_lsos(lid, tid)
-        frozen_side_in = frozenset(side_in)
-        if self.keep_history:
-            self.block_lsos[body.block_id] = frozenset(lsos)
-            self.side_in[body.block_id] = frozen_side_in
-            self.block_in[body.block_id] = frozenset(side_in | lsos)
-
         running = self._walk_body(body, lsos, side_in)
+        return lsos, running
+
+    def commit_check(
+        self,
+        butterfly: Butterfly,
+        side_in: Set[Definition],
+        result: Any,
+    ) -> None:
+        lsos, running = result
         if self.keep_history:
-            self.block_out[body.block_id] = frozenset(running | side_in)
+            block_id = butterfly.body.block_id
+            self.block_lsos[block_id] = frozenset(lsos)
+            self.side_in[block_id] = frozenset(side_in)
+            self.block_in[block_id] = frozenset(side_in | lsos)
+            self.block_out[block_id] = frozenset(running | side_in)
 
     def _walk_body(
         self,

@@ -16,8 +16,9 @@ GEN and deallocation as KILL.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, List, Optional, Set
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.core.bitset import BitInterner
 from repro.core.dataflow import (
     BlockFacts,
     Expression,
@@ -27,6 +28,7 @@ from repro.core.dataflow import (
 )
 from repro.core.epoch import Block, BlockId, InstrId
 from repro.core.framework import ButterflyAnalysis
+from repro.core.reaching_defs import FactsScanner
 from repro.core.state import SOSHistory
 from repro.core.window import Butterfly
 
@@ -51,13 +53,23 @@ class ReachingExpressions(ButterflyAnalysis[BlockFacts, Set[int]]):
         self.block_out: Dict[BlockId, FrozenSet[Expression]] = {}
         self.block_lsos: Dict[BlockId, FrozenSet[Expression]] = {}
         self.side_in: Dict[BlockId, FrozenSet[int]] = {}
+        self._var_bits = BitInterner()
+        # Hooks are arbitrary closures; only the hook-free analysis
+        # advertises the parallel split (mirrors ReachingDefinitions).
+        self.parallel_first_pass = on_instruction is None
+        self.parallel_second_pass = on_instruction is None
 
     # -- step 1 ----------------------------------------------------------
 
-    def first_pass(self, block: Block) -> BlockFacts:
-        facts = summarize_block(block, self.domain)
-        self.facts[block.block_id] = facts
-        return facts
+    def make_scanner(self) -> FactsScanner:
+        return FactsScanner(self.domain)
+
+    def commit_scan(self, block: Block, scan: BlockFacts) -> BlockFacts:
+        """Store the block facts; intern KILL-SIDE-OUT (a var set) so
+        the wing meet is a bitwise OR."""
+        scan.killed_mask = self._var_bits.mask(scan.killed_vars)
+        self.facts[block.block_id] = scan
+        return scan
 
     # -- step 2 ------------------------------------------------------------
 
@@ -66,27 +78,43 @@ class ReachingExpressions(ButterflyAnalysis[BlockFacts, Set[int]]):
     ) -> Set[int]:
         """KILL-SIDE-IN as a symbolic var set: union of the wings'
         KILL-SIDE-OUT (Section 5.2: the meet is union)."""
-        return union_side_out_kill(wing_summaries)
+        mask = 0
+        for facts in wing_summaries:
+            if facts.killed_mask is None:
+                return union_side_out_kill(wing_summaries)
+            mask |= facts.killed_mask
+        return set(self._var_bits.decode(mask))
 
     # -- step 3 ------------------------------------------------------------
 
-    def second_pass(self, butterfly: Butterfly, side_in: Set[int]) -> None:
-        """``IN_{l,t,i} = LSOS_{l,t,i} - KILL-SIDE-IN_{l,t}``."""
+    def check_body(
+        self, butterfly: Butterfly, side_in: Set[int]
+    ) -> Tuple[Set[Expression], Set[Expression]]:
+        """``IN_{l,t,i} = LSOS_{l,t,i} - KILL-SIDE-IN_{l,t}``.
+
+        Pure stage: reads head facts and the SOS, both published before
+        this epoch's second passes start."""
         body = butterfly.body
         lid, tid = body.block_id
         lsos = self._compute_lsos(lid, tid)
+        running = self._walk_body(body, lsos, side_in)
+        return lsos, running
+
+    def commit_check(
+        self, butterfly: Butterfly, side_in: Set[int], result: Any
+    ) -> None:
+        lsos, running = result
         if self.keep_history:
-            self.block_lsos[body.block_id] = frozenset(lsos)
-            self.side_in[body.block_id] = frozenset(side_in)
-            self.block_in[body.block_id] = frozenset(
+            block_id = butterfly.body.block_id
+            self.block_lsos[block_id] = frozenset(lsos)
+            self.side_in[block_id] = frozenset(side_in)
+            self.block_in[block_id] = frozenset(
                 e for e in lsos if not self._touches(e, side_in)
             )
-        running = self._walk_body(body, lsos, side_in)
-        if self.keep_history:
-            self.block_out[body.block_id] = frozenset(
+            self.block_out[block_id] = frozenset(
                 e
                 for e in running
-                if e in self.facts[body.block_id].gen
+                if e in self.facts[block_id].gen
                 or not self._touches(e, side_in)
             )
 

@@ -74,6 +74,21 @@ def butterfly_for(partition: EpochPartition, lid: int, tid: int) -> Butterfly:
     return Butterfly(body=body, head=head, tail=tail, wings=tuple(wings))
 
 
+def butterflies_for_epoch(
+    partition: EpochPartition, lid: int
+) -> List[Butterfly]:
+    """All butterflies with bodies in epoch ``l``, in thread order.
+
+    This is one fan-out unit for the engine: once epoch ``l+1`` has been
+    received these bodies are mutually independent (each second pass
+    reads only wing summaries already published by first passes).
+    """
+    return [
+        butterfly_for(partition, lid, tid)
+        for tid in range(partition.num_threads)
+    ]
+
+
 def sliding_windows(partition: EpochPartition) -> Iterator[Butterfly]:
     """Yield every butterfly, epoch by epoch then thread by thread.
 

@@ -16,13 +16,30 @@ along every valid ordering.  The checking algorithm has two parts:
 Zero false negatives (Theorem 6.1) holds because the valid orderings
 considered are a superset of real machine orderings; the price is false
 positives near epoch boundaries, which Figure 13 quantifies.
+
+Two implementations share this class, selected by ``optimized``:
+
+- ``optimized=True`` (default): the first pass runs as a picklable
+  :class:`AddrScanner` against a pre-computed LSOS snapshot (so the
+  engine may fan blocks out across a backend), errors are recorded via
+  the raw tuple fast path, and the GEN/KILL/ACCESS summaries are
+  interned to bitsets so the wing meet and isolation intersections are
+  bitwise OR/AND.
+- ``optimized=False``: the original per-instruction reference
+  implementation, kept as the perf baseline the bench harness measures
+  against and as a differential-testing oracle.
+
+Both produce identical reports (as sets -- the optimized isolation pass
+emits them in interned-bit order rather than set-iteration order) and
+identical work counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.core.bitset import BitInterner, popcount
 from repro.core.dataflow import BlockFacts
 from repro.core.epoch import Block, BlockId
 from repro.core.framework import ButterflyAnalysis
@@ -30,6 +47,12 @@ from repro.core.state import SOSHistory
 from repro.core.window import Butterfly
 from repro.lifeguards.reports import ErrorKind, ErrorLog, ErrorReport
 from repro.trace.events import Instr, Op
+
+_DETAIL_MALLOC = "malloc of location believed allocated"
+_DETAIL_FREE = "free of location believed unallocated"
+_DETAIL_ACCESS = "access to location believed unallocated"
+_DETAIL_CHANGE_RACE = "allocation-state change concurrent with another"
+_DETAIL_ACCESS_RACE = "access concurrent with an allocation-state change"
 
 
 @dataclass
@@ -39,13 +62,16 @@ class AddrSummary:
     ``facts`` carries the allocation-domain block facts (downward-exposed
     allocations, freed locations, last-event map) used by the SOS/LSOS
     rules; ``gen``/``kill``/``access`` are the side-out views (union over
-    instructions) used by the isolation check.
+    instructions) used by the isolation check.  ``access_mask`` is the
+    interned-bitset encoding of ``access`` (optimized mode only; the
+    GEN/KILL masks live on ``facts``).
     """
 
     facts: BlockFacts
     access: Set[int] = field(default_factory=set)
     first_change: Dict[int, int] = field(default_factory=dict)
     first_access: Dict[int, int] = field(default_factory=dict)
+    access_mask: Optional[int] = None
 
     @property
     def gen(self) -> Set[int]:
@@ -75,7 +101,150 @@ class WingSummary:
         return self.gen | self.kill
 
 
-class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, WingSummary]):
+@dataclass
+class WingMask:
+    """Bitset form of :class:`WingSummary` (optimized mode).
+
+    ``meet_work`` carries the meet's set-operation element count so the
+    (pure) meet can defer its work accounting to the ordered commit.
+    """
+
+    gen: int
+    kill: int
+    access: int
+    meet_work: int
+
+    @property
+    def changed(self) -> int:
+        return self.gen | self.kill
+
+
+@dataclass
+class AddrScan:
+    """Raw result of scanning one block: summary sets, error records as
+    ``(kind, location, instr index, detail)`` tuples, and counters."""
+
+    gen: Set[int]
+    all_gen: Set[int]
+    killed_vars: Set[int]
+    last_event: Dict[int, str]
+    access: Set[int]
+    first_change: Dict[int, int]
+    first_access: Dict[int, int]
+    errors: List[Tuple[ErrorKind, int, int, str]]
+    events: int
+    checks: int
+    accesses: int
+    allocs: int
+
+
+@dataclass(frozen=True)
+class AddrScanner:
+    """Picklable first-pass work unit.
+
+    ``context`` is the block's starting LSOS (a fresh, private set the
+    scan mutates as its running state); everything else the scan needs
+    travels with the block, so the unit crosses process boundaries.
+    """
+
+    use_idempotent_filter: bool
+
+    def __call__(self, block: Block, running: Set[int]) -> AddrScan:
+        gen: Set[int] = set()
+        all_gen: Set[int] = set()
+        killed_vars: Set[int] = set()
+        last_event: Dict[int, str] = {}
+        access: Set[int] = set()
+        first_change: Dict[int, int] = {}
+        first_access: Dict[int, int] = {}
+        errors: List[Tuple[ErrorKind, int, int, str]] = []
+        # Idempotent-filter state: one filter per thread, flushed at
+        # every heartbeat -- i.e. per-block scope.
+        checked: Set[int] = set()
+        events = 0
+        checks = 0
+        accesses = 0
+        allocs = 0
+        use_filter = self.use_idempotent_filter
+        op_malloc = Op.MALLOC
+        op_free = Op.FREE
+        op_read = Op.READ
+        op_jump = Op.JUMP
+        op_write = Op.WRITE
+        op_assign = Op.ASSIGN
+
+        for i, instr in enumerate(block.instrs):
+            events += 1
+            op = instr.op
+            if op is op_malloc:
+                dst = instr.dst
+                for loc in range(dst, dst + instr.size):
+                    allocs += 1
+                    checked.discard(loc)
+                    if loc in running:
+                        errors.append(
+                            (ErrorKind.MALLOC_ALLOCATED, loc, i, _DETAIL_MALLOC)
+                        )
+                    running.add(loc)
+                    gen.add(loc)
+                    all_gen.add(loc)
+                    last_event[loc] = "gen"
+                    if loc not in first_change:
+                        first_change[loc] = i
+            elif op is op_free:
+                dst = instr.dst
+                for loc in range(dst, dst + instr.size):
+                    allocs += 1
+                    checked.discard(loc)
+                    if loc not in running:
+                        errors.append(
+                            (ErrorKind.FREE_UNALLOCATED, loc, i, _DETAIL_FREE)
+                        )
+                    running.discard(loc)
+                    killed_vars.add(loc)
+                    gen.discard(loc)
+                    last_event[loc] = "kill"
+                    if loc not in first_change:
+                        first_change[loc] = i
+            else:
+                # Inlined Instr.accessed: READ/JUMP dereference their
+                # source; WRITE/ASSIGN their sources plus destination.
+                if op is op_read or op is op_jump:
+                    locs = instr.srcs
+                elif op is op_write or op is op_assign:
+                    locs = instr.srcs + (instr.dst,)
+                else:
+                    continue
+                for loc in locs:
+                    accesses += 1
+                    access.add(loc)
+                    if loc not in first_access:
+                        first_access[loc] = i
+                    if use_filter and loc in checked:
+                        continue
+                    checked.add(loc)
+                    checks += 1
+                    if loc not in running:
+                        errors.append(
+                            (ErrorKind.ACCESS_UNALLOCATED, loc, i, _DETAIL_ACCESS)
+                        )
+        return AddrScan(
+            gen=gen,
+            all_gen=all_gen,
+            killed_vars=killed_vars,
+            last_event=last_event,
+            access=access,
+            first_change=first_change,
+            first_access=first_access,
+            errors=errors,
+            events=events,
+            checks=checks,
+            accesses=accesses,
+            allocs=allocs,
+        )
+
+
+class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
     """The parallel, heap-only AddrCheck of the paper's evaluation.
 
     Parameters
@@ -88,12 +257,16 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, WingSummary]):
         of a location within one block are skipped, and the filter is
         conceptually flushed at every epoch boundary (filtering never
         crosses epochs).  An allocation-state change re-arms the check.
+    optimized:
+        Select the scanner/bitset fast path (default) or the reference
+        per-instruction implementation (see the module docstring).
     """
 
     def __init__(
         self,
         initially_allocated: Iterable[int] = (),
         use_idempotent_filter: bool = True,
+        optimized: bool = True,
     ) -> None:
         self.sos = SOSHistory()
         base = frozenset(initially_allocated)
@@ -101,8 +274,12 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, WingSummary]):
             self.sos._states[0] = base
             self.sos._states[1] = base
         self.use_idempotent_filter = use_idempotent_filter
+        self.optimized = optimized
+        self.parallel_first_pass = optimized
+        self.parallel_second_pass = optimized
         self.errors = ErrorLog()
         self._summaries: Dict[BlockId, AddrSummary] = {}
+        self._loc_bits = BitInterner()
         #: Per-block work counters consumed by the timing substrate:
         #: ``events`` (log records dispatched), ``checks`` (metadata
         #: checks after idempotent filtering), ``accesses`` (pre-filter
@@ -115,7 +292,56 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, WingSummary]):
 
     # -- step 1: local pass with LSOS checks ------------------------------
 
+    def make_scanner(self) -> AddrScanner:
+        return AddrScanner(self.use_idempotent_filter)
+
+    def first_pass_context(self, block: Block) -> Set[int]:
+        lid, tid = block.block_id
+        return self._compute_lsos(lid, tid)
+
+    def commit_scan(self, block: Block, scan: AddrScan) -> AddrSummary:
+        block_id = block.block_id
+        facts = BlockFacts(
+            block_id=block_id,
+            gen=scan.gen,
+            all_gen=scan.all_gen,
+            killed_vars=scan.killed_vars,
+            last_event=scan.last_event,
+        )
+        summary = AddrSummary(
+            facts=facts,
+            access=scan.access,
+            first_change=scan.first_change,
+            first_access=scan.first_access,
+        )
+        errors = self.errors
+        flags = 0
+        for kind, loc, i, detail in scan.errors:
+            if errors.record(kind, loc, ref=block.global_ref(i), detail=detail):
+                flags += 1
+        loc_bits = self._loc_bits
+        facts.all_gen_mask = loc_bits.mask(scan.all_gen)
+        facts.killed_mask = loc_bits.mask(scan.killed_vars)
+        summary.access_mask = loc_bits.mask(scan.access)
+        self.recorded_accesses += scan.accesses
+        self.block_work[block_id] = {
+            "events": scan.events,
+            "checks": scan.checks,
+            "accesses": scan.accesses,
+            "allocs": scan.allocs,
+            "flags": flags,
+            "meet": 0,
+            "iso": 0,
+        }
+        self._summaries[block_id] = summary
+        return summary
+
     def first_pass(self, block: Block) -> AddrSummary:
+        if self.optimized:
+            return super().first_pass(block)
+        return self._first_pass_reference(block)
+
+    def _first_pass_reference(self, block: Block) -> AddrSummary:
         lid, tid = block.block_id
         running = self._compute_lsos(lid, tid)
         facts = BlockFacts(block_id=block.block_id)
@@ -149,7 +375,7 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, WingSummary]):
                                 ErrorKind.MALLOC_ALLOCATED,
                                 loc,
                                 ref=block.global_ref(i),
-                                detail="malloc of location believed allocated",
+                                detail=_DETAIL_MALLOC,
                             )
                         )
                     running.add(loc)
@@ -167,7 +393,7 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, WingSummary]):
                                 ErrorKind.FREE_UNALLOCATED,
                                 loc,
                                 ref=block.global_ref(i),
-                                detail="free of location believed unallocated",
+                                detail=_DETAIL_FREE,
                             )
                         )
                     running.discard(loc)
@@ -191,7 +417,7 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, WingSummary]):
                                 ErrorKind.ACCESS_UNALLOCATED,
                                 loc,
                                 ref=block.global_ref(i),
-                                detail="access to location believed unallocated",
+                                detail=_DETAIL_ACCESS,
                             )
                         )
         self.block_work[block.block_id] = {
@@ -210,25 +436,95 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, WingSummary]):
 
     def meet(
         self, butterfly: Butterfly, wing_summaries: List[AddrSummary]
-    ) -> WingSummary:
-        gen: Set[int] = set()
-        kill: Set[int] = set()
-        access: Set[int] = set()
+    ) -> Any:
+        if self.optimized:
+            gen = 0
+            kill = 0
+            access = 0
+            work = 0
+            for s in wing_summaries:
+                f = s.facts
+                gen |= f.all_gen_mask
+                kill |= f.killed_mask
+                access |= s.access_mask
+                work += (
+                    popcount(f.all_gen_mask)
+                    + popcount(f.killed_mask)
+                    + popcount(s.access_mask)
+                )
+            return WingMask(gen=gen, kill=kill, access=access, meet_work=work)
+        gen_set: Set[int] = set()
+        kill_set: Set[int] = set()
+        access_set: Set[int] = set()
         work = 0
         for s in wing_summaries:
-            gen |= s.gen
-            kill |= s.kill
-            access |= s.access
+            gen_set |= s.gen
+            kill_set |= s.kill
+            access_set |= s.access
             work += len(s.gen) + len(s.kill) + len(s.access)
         self.block_work[butterfly.body.block_id]["meet"] += work
-        return WingSummary(gen=gen, kill=kill, access=access)
+        return WingSummary(gen=gen_set, kill=kill_set, access=access_set)
 
     # -- step 3: isolation check -------------------------------------------
 
-    def second_pass(self, butterfly: Butterfly, side_in: WingSummary) -> None:
+    def check_body(
+        self, butterfly: Butterfly, side_in: WingMask
+    ) -> Tuple[int, int]:
+        """Pure isolation intersections over interned bitsets: racing
+        state changes and accesses racing a state change."""
+        s = self._summaries[butterfly.body.block_id]
+        f = s.facts
+        wing_changed = side_in.gen | side_in.kill
+        changed = f.all_gen_mask | f.killed_mask
+        return changed & wing_changed, s.access_mask & wing_changed
+
+    def commit_check(
+        self, butterfly: Butterfly, side_in: WingMask, result: Tuple[int, int]
+    ) -> None:
+        change_hits, access_hits = result
+        body = butterfly.body
+        block_id = body.block_id
+        s = self._summaries[block_id]
+        errors = self.errors
+        decode = self._loc_bits.decode
+        flags = 0
+        for loc in decode(change_hits):
+            if errors.record(
+                ErrorKind.UNSAFE_ISOLATION,
+                loc,
+                ref=body.global_ref(s.first_change[loc]),
+                block=block_id,
+                detail=_DETAIL_CHANGE_RACE,
+            ):
+                flags += 1
+        for loc in decode(access_hits):
+            if errors.record(
+                ErrorKind.UNSAFE_ISOLATION,
+                loc,
+                ref=body.global_ref(s.first_access[loc]),
+                block=block_id,
+                detail=_DETAIL_ACCESS_RACE,
+            ):
+                flags += 1
+        work = self.block_work[block_id]
+        work["flags"] += flags
+        work["iso"] += popcount(
+            s.facts.all_gen_mask | s.facts.killed_mask
+        ) + popcount(s.access_mask)
+        work["meet"] += side_in.meet_work
+
+    def second_pass(self, butterfly: Butterfly, side_in: Any) -> None:
         """Flag every location where the body's allocation-state changes
         collide with concurrent wing operations (and vice versa for the
         body's accesses against wing state changes)."""
+        if self.optimized:
+            super().second_pass(butterfly, side_in)
+            return
+        self._second_pass_reference(butterfly, side_in)
+
+    def _second_pass_reference(
+        self, butterfly: Butterfly, side_in: WingSummary
+    ) -> None:
         body = butterfly.body
         s = self._summaries[body.block_id]
         flags_before = len(self.errors)
@@ -242,7 +538,7 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, WingSummary]):
                     loc,
                     ref=body.global_ref(s.first_change[loc]),
                     block=body.block_id,
-                    detail="allocation-state change concurrent with another",
+                    detail=_DETAIL_CHANGE_RACE,
                 )
             )
         # s.ACCESS n (S.GEN U S.KILL): access during a concurrent change.
@@ -253,7 +549,7 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, WingSummary]):
                     loc,
                     ref=body.global_ref(s.first_access[loc]),
                     block=body.block_id,
-                    detail="access concurrent with an allocation-state change",
+                    detail=_DETAIL_ACCESS_RACE,
                 )
             )
         # S.ACCESS n (s.GEN U s.KILL) is caught symmetrically when each

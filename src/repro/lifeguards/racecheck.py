@@ -23,8 +23,9 @@ SPMD code with the heartbeat slower than its barriers -- stays silent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.core.bitset import BitInterner
 from repro.core.epoch import Block, BlockId
 from repro.core.framework import ButterflyAnalysis
 from repro.core.window import Butterfly
@@ -34,21 +35,53 @@ from repro.trace.events import Instr, Op
 
 @dataclass
 class AccessSummary:
-    """Per-block read/write footprints with first-occurrence offsets."""
+    """Per-block read/write footprints with first-occurrence offsets.
+
+    ``reads_mask``/``writes_mask`` are interned-bitset encodings filled
+    in at commit time so the wing meet and conflict intersections run as
+    bitwise OR/AND."""
 
     block_id: BlockId
     reads: Set[int] = field(default_factory=set)
     writes: Set[int] = field(default_factory=set)
     first_read: Dict[int, int] = field(default_factory=dict)
     first_write: Dict[int, int] = field(default_factory=dict)
+    reads_mask: Optional[int] = None
+    writes_mask: Optional[int] = None
 
 
 @dataclass
 class WingAccesses:
-    """Union of the wings' footprints."""
+    """Union of the wings' footprints, as interned bitsets."""
 
-    reads: Set[int]
-    writes: Set[int]
+    reads: int
+    writes: int
+
+
+@dataclass(frozen=True)
+class RaceScanner:
+    """Picklable first-pass work unit: one block's access footprints."""
+
+    def __call__(self, block: Block, context: Any) -> AccessSummary:
+        summary = AccessSummary(block_id=block.block_id)
+        for i, instr in enumerate(block.instrs):
+            op = instr.op
+            if op in (Op.MALLOC, Op.FREE):
+                # Allocation-state changes behave as writes to the
+                # covered locations for conflict purposes.
+                for loc in instr.extent:
+                    summary.writes.add(loc)
+                    summary.first_write.setdefault(loc, i)
+                continue
+            for loc in instr.srcs:
+                summary.reads.add(loc)
+                summary.first_read.setdefault(loc, i)
+            if instr.dst is not None and op in (
+                Op.WRITE, Op.ASSIGN, Op.TAINT, Op.UNTAINT
+            ):
+                summary.writes.add(instr.dst)
+                summary.first_write.setdefault(instr.dst, i)
+        return summary
 
 
 @dataclass(frozen=True)
@@ -68,71 +101,78 @@ class ButterflyRaceCheck(ButterflyAnalysis[AccessSummary, WingAccesses]):
     a metadata-free isolation violation) for uniform accounting.
     """
 
+    parallel_first_pass = True
+    parallel_second_pass = True
+
     def __init__(self) -> None:
         self.errors = ErrorLog()
         self.races: List[RaceReport] = []
         self._summaries: Dict[BlockId, AccessSummary] = {}
+        self._loc_bits = BitInterner()
 
     # -- step 1 ----------------------------------------------------------
 
-    def first_pass(self, block: Block) -> AccessSummary:
-        summary = AccessSummary(block_id=block.block_id)
-        for i, instr in enumerate(block.instrs):
-            op = instr.op
-            if op in (Op.MALLOC, Op.FREE):
-                # Allocation-state changes behave as writes to the
-                # covered locations for conflict purposes.
-                for loc in instr.extent:
-                    summary.writes.add(loc)
-                    summary.first_write.setdefault(loc, i)
-                continue
-            for loc in instr.srcs:
-                summary.reads.add(loc)
-                summary.first_read.setdefault(loc, i)
-            if instr.dst is not None and op in (
-                Op.WRITE, Op.ASSIGN, Op.TAINT, Op.UNTAINT
-            ):
-                summary.writes.add(instr.dst)
-                summary.first_write.setdefault(instr.dst, i)
-        self._summaries[block.block_id] = summary
-        return summary
+    def make_scanner(self) -> RaceScanner:
+        return RaceScanner()
+
+    def commit_scan(self, block: Block, scan: AccessSummary) -> AccessSummary:
+        loc_bits = self._loc_bits
+        scan.reads_mask = loc_bits.mask(scan.reads)
+        scan.writes_mask = loc_bits.mask(scan.writes)
+        self._summaries[block.block_id] = scan
+        return scan
 
     # -- step 2 ------------------------------------------------------------
 
     def meet(
         self, butterfly: Butterfly, wing_summaries: List[AccessSummary]
     ) -> WingAccesses:
-        reads: Set[int] = set()
-        writes: Set[int] = set()
+        reads = 0
+        writes = 0
         for s in wing_summaries:
-            reads |= s.reads
-            writes |= s.writes
+            reads |= s.reads_mask
+            writes |= s.writes_mask
         return WingAccesses(reads=reads, writes=writes)
 
     # -- step 3 --------------------------------------------------------------
 
-    def second_pass(self, butterfly: Butterfly, side_in: WingAccesses) -> None:
+    def check_body(
+        self, butterfly: Butterfly, side_in: WingAccesses
+    ) -> Tuple[int, int, int]:
+        """Conflict intersections as bitwise ANDs: write-write, body
+        write vs wing read, body read vs wing write."""
+        s = self._summaries[butterfly.body.block_id]
+        return (
+            s.writes_mask & side_in.writes,
+            s.writes_mask & side_in.reads,
+            s.reads_mask & side_in.writes,
+        )
+
+    def commit_check(
+        self,
+        butterfly: Butterfly,
+        side_in: WingAccesses,
+        result: Tuple[int, int, int],
+    ) -> None:
+        ww, wr, rw = result
         body = butterfly.body
         s = self._summaries[body.block_id]
-        # Body writes vs. wing writes: write-write conflicts.
-        for loc in s.writes & side_in.writes:
+        decode = self._loc_bits.decode
+        for loc in decode(ww):
             self._flag(body, loc, s.first_write[loc], "write-write")
-        # Body writes vs. wing reads, and body reads vs. wing writes.
-        for loc in s.writes & side_in.reads:
+        for loc in decode(wr):
             self._flag(body, loc, s.first_write[loc], "read-write")
-        for loc in s.reads & side_in.writes:
+        for loc in decode(rw):
             self._flag(body, loc, s.first_read[loc], "read-write")
 
     def _flag(self, body: Block, loc: int, offset: int, kind: str) -> None:
         ref = body.global_ref(offset)
-        if self.errors.flag(
-            ErrorReport(
-                ErrorKind.UNSAFE_ISOLATION,
-                loc,
-                ref=ref,
-                block=body.block_id,
-                detail=f"potential {kind} conflict",
-            )
+        if self.errors.record(
+            ErrorKind.UNSAFE_ISOLATION,
+            loc,
+            ref=ref,
+            block=body.block_id,
+            detail=f"potential {kind} conflict",
         ):
             self.races.append(
                 RaceReport(location=loc, body_ref=ref, kind=kind)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Any, Iterable, List, Optional, Set, Tuple
 
 from repro.trace.program import GlobalRef
 
@@ -57,11 +57,22 @@ class ErrorReport:
 
 
 class ErrorLog:
-    """Collects reports with deduplication."""
+    """Collects reports with deduplication.
+
+    Two write paths share one log: :meth:`flag` takes a constructed
+    :class:`ErrorReport`, while :meth:`record` takes the raw fields and
+    defers constructing the report object until the log is read.  The
+    raw path exists because report construction dominates hot lifeguard
+    loops on error-dense workloads; reads see identical reports either
+    way.
+    """
 
     def __init__(self) -> None:
-        self.reports: List[ErrorReport] = []
+        #: Entries are ErrorReport objects or raw (kind, location, ref,
+        #: block, detail) tuples; tuples are materialized lazily.
+        self._entries: List[Any] = []
         self._seen: Set[Tuple] = set()
+        self._has_raw = False
 
     def flag(self, report: ErrorReport) -> bool:
         """Record a report; returns False if an identical one exists."""
@@ -69,11 +80,41 @@ class ErrorLog:
         if key in self._seen:
             return False
         self._seen.add(key)
-        self.reports.append(report)
+        self._entries.append(report)
         return True
 
+    def record(
+        self,
+        kind: ErrorKind,
+        location: int,
+        ref: Optional[GlobalRef] = None,
+        block: Optional[Tuple[int, int]] = None,
+        detail: str = "",
+    ) -> bool:
+        """Deduplicating fast path: append raw fields, materialize later."""
+        key = (kind, location, ref, block)
+        seen = self._seen
+        if key in seen:
+            return False
+        seen.add(key)
+        self._entries.append((kind, location, ref, block, detail))
+        self._has_raw = True
+        return True
+
+    @property
+    def reports(self) -> List[ErrorReport]:
+        if self._has_raw:
+            entries = self._entries
+            for i, e in enumerate(entries):
+                if type(e) is tuple:
+                    entries[i] = ErrorReport(
+                        e[0], e[1], ref=e[2], block=e[3], detail=e[4]
+                    )
+            self._has_raw = False
+        return self._entries
+
     def __len__(self) -> int:
-        return len(self.reports)
+        return len(self._entries)
 
     def __iter__(self):
         return iter(self.reports)

@@ -47,6 +47,11 @@ class _Bottom:
     def __repr__(self) -> str:  # pragma: no cover
         return "BOT"
 
+    def __reduce__(self):
+        # Preserve singleton identity across pickling (``is`` checks
+        # everywhere) so summaries survive the processes backend.
+        return (_load_bot, ())
+
 
 class _Top:
     """Untaint (the paper's top)."""
@@ -54,9 +59,20 @@ class _Top:
     def __repr__(self) -> str:  # pragma: no cover
         return "TOP"
 
+    def __reduce__(self):
+        return (_load_top, ())
+
 
 BOT = _Bottom()
 TOP = _Top()
+
+
+def _load_bot() -> "_Bottom":
+    return BOT
+
+
+def _load_top() -> "_Top":
+    return TOP
 
 
 def _strictly_before(site: "InstrId", bound: Optional["InstrId"]) -> bool:
@@ -113,6 +129,23 @@ def _value_of(instr: Instr) -> Optional[Tuple[int, Value]]:
     return None
 
 
+@dataclass(frozen=True)
+class TaintScanner:
+    """Picklable first-pass work unit: collect one block's transfer
+    functions and critical uses."""
+
+    def __call__(self, block: Block, context: object) -> TaintSummary:
+        summary = TaintSummary(block_id=block.block_id)
+        for i, instr in enumerate(block.instrs):
+            written = _value_of(instr)
+            if written is not None:
+                dst, value = written
+                summary.rules.setdefault(dst, []).append((i, value))
+            elif instr.op is Op.JUMP:
+                summary.jumps.append((i, instr.srcs[0]))
+        return summary
+
+
 class ButterflyTaintCheck(ButterflyAnalysis[TaintSummary, List[TaintSummary]]):
     """The parallel TaintCheck lifeguard.
 
@@ -147,21 +180,18 @@ class ButterflyTaintCheck(ButterflyAnalysis[TaintSummary, List[TaintSummary]]):
         self.errors = ErrorLog()
         self._summaries: Dict[BlockId, TaintSummary] = {}
         self._blocks: Dict[BlockId, Block] = {}
+        self.parallel_first_pass = True
+        self.parallel_second_pass = True
 
     # -- step 1: collect transfer functions -------------------------------
 
-    def first_pass(self, block: Block) -> TaintSummary:
-        summary = TaintSummary(block_id=block.block_id)
-        for i, instr in enumerate(block.instrs):
-            written = _value_of(instr)
-            if written is not None:
-                dst, value = written
-                summary.rules.setdefault(dst, []).append((i, value))
-            elif instr.op is Op.JUMP:
-                summary.jumps.append((i, instr.srcs[0]))
-        self._summaries[block.block_id] = summary
+    def make_scanner(self) -> TaintScanner:
+        return TaintScanner()
+
+    def commit_scan(self, block: Block, scan: TaintSummary) -> TaintSummary:
+        self._summaries[block.block_id] = scan
         self._blocks[block.block_id] = block
-        return summary
+        return scan
 
     # -- step 2: gather wing rule sets -------------------------------------
 
@@ -174,9 +204,16 @@ class ButterflyTaintCheck(ButterflyAnalysis[TaintSummary, List[TaintSummary]]):
 
     # -- step 3: resolve checks ----------------------------------------------
 
-    def second_pass(
+    def check_body(
         self, butterfly: Butterfly, side_in: List[TaintSummary]
-    ) -> None:
+    ) -> Tuple[Dict[int, Value], List[Tuple[int, int]]]:
+        """Resolve the body's LASTCHECK values and critical uses.
+
+        Pure stage: reads only wing rules (first-pass products) and the
+        LSOS (derived from earlier epochs' committed checks), so bodies
+        of one epoch may resolve concurrently.  Returns the resolved
+        ``lastcheck`` map and the flagged ``(offset, location)`` jumps
+        for :meth:`commit_check` to apply."""
         body = butterfly.body
         lid, tid = body.block_id
         summary = self._summaries[body.block_id]
@@ -211,21 +248,35 @@ class ButterflyTaintCheck(ButterflyAnalysis[TaintSummary, List[TaintSummary]]):
             return resolve(value, offset)
 
         # LASTCHECK: resolve the final write of each location.
+        lastcheck: Dict[int, Value] = {}
         for loc, writes in summary.rules.items():
             offset, value = writes[-1]
-            summary.lastcheck[loc] = resolve_value(value, offset)
+            lastcheck[loc] = resolve_value(value, offset)
 
         # Critical-use checks.
+        flagged: List[Tuple[int, int]] = []
         for offset, loc in summary.jumps:
             if self._location_tainted(loc, offset, summary, phase1, phase2, lsos):
-                self.errors.flag(
-                    ErrorReport(
-                        ErrorKind.TAINTED_JUMP,
-                        loc,
-                        ref=body.global_ref(offset),
-                        detail="possibly-tainted data used as jump target",
-                    )
-                )
+                flagged.append((offset, loc))
+        return lastcheck, flagged
+
+    def commit_check(
+        self,
+        butterfly: Butterfly,
+        side_in: List[TaintSummary],
+        result: Tuple[Dict[int, Value], List[Tuple[int, int]]],
+    ) -> None:
+        body = butterfly.body
+        lastcheck, flagged = result
+        self._summaries[body.block_id].lastcheck.update(lastcheck)
+        errors = self.errors
+        for offset, loc in flagged:
+            errors.record(
+                ErrorKind.TAINTED_JUMP,
+                loc,
+                ref=body.global_ref(offset),
+                detail="possibly-tainted data used as jump target",
+            )
 
     def _location_tainted(
         self,

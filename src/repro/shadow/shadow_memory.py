@@ -53,9 +53,65 @@ class ShadowMemory:
         page[off] = value
 
     def store_range(self, start: int, size: int, value: Any) -> None:
-        """Write ``value`` over ``[start, start + size)``."""
-        for addr in range(start, start + size):
-            self.store(addr, value)
+        """Write ``value`` over ``[start, start + size)``.
+
+        Bulk path: each page's span is written with one slice
+        assignment, and a page fully covered by the range is replaced
+        wholesale.  The whole burst counts as **one** logical write
+        (``writes += 1``) -- it models a single range-update message,
+        mirroring how LBA coalesces a malloc's metadata update.
+        """
+        if size <= 0:
+            return
+        self.writes += 1
+        page_size = self.page_size
+        pages = self._pages
+        end = start + size
+        pid = start // page_size
+        off = start - pid * page_size
+        while start < end:
+            span = min(page_size - off, end - start)
+            page = pages.get(pid)
+            if page is None:
+                if span == page_size:
+                    # Whole-page fast path: no fill-then-overwrite.
+                    pages[pid] = [value] * page_size
+                else:
+                    page = [self.default] * page_size
+                    page[off:off + span] = [value] * span
+                    pages[pid] = page
+            else:
+                page[off:off + span] = [value] * span
+            start += span
+            pid += 1
+            off = 0
+
+    def load_range(self, start: int, size: int) -> List[Any]:
+        """Read ``[start, start + size)`` as a list, page by page.
+
+        Counts as one logical read burst (``reads += 1``).
+        """
+        if size <= 0:
+            return []
+        self.reads += 1
+        page_size = self.page_size
+        pages = self._pages
+        default = self.default
+        end = start + size
+        pid = start // page_size
+        off = start - pid * page_size
+        out: List[Any] = []
+        while start < end:
+            span = min(page_size - off, end - start)
+            page = pages.get(pid)
+            if page is None:
+                out.extend([default] * span)
+            else:
+                out.extend(page[off:off + span])
+            start += span
+            pid += 1
+            off = 0
+        return out
 
     @property
     def resident_pages(self) -> int:

@@ -181,10 +181,12 @@ class LBASystem:
         epoch_size: int,
         partition: Optional[EpochPartition] = None,
         guard: Optional[ButterflyAddrCheck] = None,
+        backend: str = "serial",
     ) -> ButterflyRun:
         """Parallel, Monitoring: butterfly AddrCheck on 2k cores.
 
-        Runs the real lifeguard over the partitioned trace, then prices
+        Runs the real lifeguard over the partitioned trace (on the given
+        execution backend; results are backend-independent), then prices
         its measured work with the cost model.
         """
         config = MachineConfig.for_app_threads(program.num_threads)
@@ -200,8 +202,8 @@ class LBASystem:
             guard = ButterflyAddrCheck(
                 initially_allocated=program.preallocated
             )
-        engine = ButterflyEngine(guard)
-        stats = engine.run(partition)
+        with ButterflyEngine(guard, backend=backend) as engine:
+            stats = engine.run(partition)
 
         app = run_parallel(program, config)
         mtlb_cycles = self._mtlb_cycles_by_thread(program, epoch_size)

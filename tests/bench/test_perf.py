@@ -1,0 +1,54 @@
+"""Tests for the wall-clock perf baseline (``repro.bench.perf``)."""
+
+import json
+
+from repro.bench.perf import run_perf
+from repro.cli import main
+
+
+class TestRunPerf:
+    def test_report_shape_and_json_output(self, tmp_path):
+        out = tmp_path / "BENCH_test.json"
+        report = run_perf(repeats=1, output_path=str(out))
+
+        assert report["schema"] == 1
+        assert set(report["workloads"]) == {
+            "microbench_core",
+            "reaching_defs",
+            "shadow_store_range",
+        }
+
+        core = report["workloads"]["microbench_core"]
+        assert set(core["runs"]) == {
+            "reference_serial",
+            "optimized_serial",
+            "optimized_threads",
+            "optimized_processes",
+        }
+        for entry in core["runs"].values():
+            assert entry["best_s"] > 0
+            assert entry["repeats"] == 1
+        assert core["speedup_vs_baseline"] > 0
+
+        # The file must round-trip as JSON and match the return value.
+        on_disk = json.loads(out.read_text())
+        assert on_disk["workloads"]["microbench_core"]["params"] == core["params"]
+
+    def test_engine_stats_identical_across_configs(self, tmp_path):
+        """Reference, optimized, and every backend do the same work."""
+        report = run_perf(repeats=1)
+        runs = report["workloads"]["microbench_core"]["runs"]
+        ref = runs["reference_serial"]
+        for name, entry in runs.items():
+            assert entry["engine_stats"] == ref["engine_stats"], name
+            assert entry["errors"] == ref["errors"], name
+
+
+class TestBenchCLI:
+    def test_bench_subcommand_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_cli.json"
+        rc = main(["bench", "--output", str(out), "--repeats", "1"])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert "microbench_core" in report["workloads"]
+        assert "vs reference serial" in capsys.readouterr().out

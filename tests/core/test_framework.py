@@ -112,6 +112,47 @@ class TestStreamingAPI:
         engine.finish()  # no-op
 
 
+class TestReset:
+    def test_reset_allows_reattach(self):
+        engine = ButterflyEngine(RecordingAnalysis())
+        engine.run(partition())
+        with pytest.raises(AnalysisError):
+            engine.attach(partition())
+        engine.reset()
+        engine.attach(partition())  # no error
+
+    def test_reset_clears_stats(self):
+        engine = ButterflyEngine(RecordingAnalysis())
+        stats = engine.run(partition())
+        assert stats.first_pass_instructions > 0
+        engine.reset()
+        assert engine.stats.first_pass_instructions == 0
+        assert engine.stats.epochs_processed == 0
+
+    def test_rerun_after_reset_counts_fresh(self):
+        """Regression: reusing an engine must not accumulate stale
+        counters from an earlier (possibly aborted) run."""
+        engine = ButterflyEngine(RecordingAnalysis())
+        first = engine.run(partition())
+        engine.reset()
+        engine.analysis = RecordingAnalysis()
+        second = engine.run(partition())
+        assert second == first
+
+    def test_reset_after_midrun_error(self):
+        engine = ButterflyEngine(RecordingAnalysis())
+        part = partition()
+        engine.attach(part)
+        engine.feed_epoch(0)
+        with pytest.raises(AnalysisError):
+            engine.feed_epoch(2)  # out of order: aborts the run
+        assert engine.stats.first_pass_instructions > 0
+        engine.reset()
+        engine.analysis = RecordingAnalysis()
+        stats = engine.run(part)
+        assert stats.first_pass_instructions == 12
+
+
 class TestStats:
     def test_instruction_counters(self):
         analysis = RecordingAnalysis()

@@ -1,0 +1,202 @@
+"""Backend determinism: serial, threads, and processes must agree.
+
+The engine's parallel fan-out commits in the serial schedule's order,
+so every observable output -- ``EngineStats``, error reports (including
+their order), per-block work counters, and published summaries -- must
+be *identical* across execution backends, not merely equivalent.  These
+properties pin that down on randomized traces for every lifeguard and
+for the generic dataflow analyses.
+
+Pool backends are shared at module scope so hypothesis examples reuse
+the workers instead of paying pool spin-up per example (the engine
+never owns a backend passed in as an instance).
+"""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.epoch import partition_by_global_order
+from repro.core.framework import ButterflyEngine
+from repro.core.parallel import ProcessPoolBackend, ThreadPoolBackend
+from repro.core.reaching_defs import ReachingDefinitions
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.lifeguards.racecheck import ButterflyRaceCheck
+from repro.lifeguards.taintcheck import ButterflyTaintCheck
+from repro.trace.generator import (
+    simulated_alloc_program,
+    simulated_taint_program,
+)
+
+THREADS = ThreadPoolBackend(max_workers=4)
+PROCESSES = ProcessPoolBackend(max_workers=2)
+BACKENDS = [("serial", "serial"), ("threads", THREADS), ("processes", PROCESSES)]
+
+
+def _stats_tuple(stats):
+    return (
+        stats.epochs_processed,
+        stats.first_pass_instructions,
+        stats.second_pass_instructions,
+        stats.meets,
+        stats.wing_summaries_combined,
+    )
+
+
+def _run(make_guard, prog, h):
+    """Run one guard per backend; return {name: (guard, stats_tuple)}."""
+    out = {}
+    for name, backend in BACKENDS:
+        guard = make_guard()
+        with ButterflyEngine(guard, backend=backend) as engine:
+            stats = engine.run(partition_by_global_order(prog, h))
+        out[name] = (guard, _stats_tuple(stats))
+    return out
+
+
+def _report_list(errors):
+    """Order-sensitive fingerprint of an error log."""
+    return [(r.kind, r.location, r.ref, r.block, r.detail) for r in errors]
+
+
+def _sos_states(guard):
+    """Value-comparable snapshot of a guard's SOS history."""
+    return (dict(guard.sos._states), guard.sos._frontier)
+
+
+class TestAddrCheckDeterminism:
+    @given(
+        seed=st.integers(0, 10_000),
+        threads=st.integers(1, 3),
+        h=st.integers(1, 10),
+        err=st.floats(0.0, 0.3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_backends_bit_identical(self, seed, threads, h, err):
+        prog = simulated_alloc_program(
+            random.Random(seed),
+            num_threads=threads,
+            total_events=60,
+            num_locations=6,
+            inject_error_rate=err,
+        )
+        runs = _run(ButterflyAddrCheck, prog, h)
+        ref_guard, ref_stats = runs["serial"]
+        for name in ("threads", "processes"):
+            guard, stats = runs[name]
+            assert stats == ref_stats, name
+            assert _report_list(guard.errors) == _report_list(
+                ref_guard.errors
+            ), name
+            assert guard.block_work == ref_guard.block_work, name
+            assert _sos_states(guard) == _sos_states(ref_guard), name
+            assert guard.recorded_accesses == ref_guard.recorded_accesses, name
+
+    @given(
+        seed=st.integers(0, 10_000),
+        threads=st.integers(1, 3),
+        h=st.integers(1, 10),
+        err=st.floats(0.0, 0.3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_optimized_matches_reference(self, seed, threads, h, err):
+        """The bitset/scanner fast path reports exactly the reference
+        implementation's errors (order may differ: bit-decode order vs
+        set iteration), work counters, and state."""
+        prog = simulated_alloc_program(
+            random.Random(seed),
+            num_threads=threads,
+            total_events=60,
+            num_locations=6,
+            inject_error_rate=err,
+        )
+        part = partition_by_global_order(prog, h)
+        ref = ButterflyAddrCheck(optimized=False)
+        ref_stats = ButterflyEngine(ref).run(part)
+        opt = ButterflyAddrCheck(optimized=True)
+        opt_stats = ButterflyEngine(opt).run(part)
+        assert _stats_tuple(opt_stats) == _stats_tuple(ref_stats)
+        assert set(_report_list(opt.errors)) == set(_report_list(ref.errors))
+        assert opt.block_work == ref.block_work
+        assert _sos_states(opt) == _sos_states(ref)
+        assert opt.recorded_accesses == ref.recorded_accesses
+
+
+class TestRaceCheckDeterminism:
+    @given(
+        seed=st.integers(0, 10_000),
+        threads=st.integers(1, 3),
+        h=st.integers(1, 10),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_backends_bit_identical(self, seed, threads, h):
+        prog = simulated_alloc_program(
+            random.Random(seed),
+            num_threads=threads,
+            total_events=60,
+            num_locations=6,
+        )
+        runs = _run(ButterflyRaceCheck, prog, h)
+        ref_guard, ref_stats = runs["serial"]
+        ref_races = [
+            (r.kind, r.location, r.body_ref) for r in ref_guard.races
+        ]
+        for name in ("threads", "processes"):
+            guard, stats = runs[name]
+            assert stats == ref_stats, name
+            assert _report_list(guard.errors) == _report_list(
+                ref_guard.errors
+            ), name
+            assert [
+                (r.kind, r.location, r.body_ref) for r in guard.races
+            ] == ref_races, name
+
+
+class TestTaintCheckDeterminism:
+    @given(
+        seed=st.integers(0, 10_000),
+        threads=st.integers(1, 3),
+        h=st.integers(1, 8),
+        mode=st.sampled_from(["relaxed", "sc"]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_backends_bit_identical(self, seed, threads, h, mode):
+        prog = simulated_taint_program(
+            random.Random(seed),
+            num_threads=threads,
+            total_events=50,
+            num_locations=5,
+        )
+        runs = _run(lambda: ButterflyTaintCheck(mode=mode), prog, h)
+        ref_guard, ref_stats = runs["serial"]
+        for name in ("threads", "processes"):
+            guard, stats = runs[name]
+            assert stats == ref_stats, name
+            assert _report_list(guard.errors) == _report_list(
+                ref_guard.errors
+            ), name
+            assert _sos_states(guard) == _sos_states(ref_guard), name
+
+
+class TestReachingDefsDeterminism:
+    @given(
+        seed=st.integers(0, 10_000),
+        threads=st.integers(1, 3),
+        h=st.integers(1, 8),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_backends_identical_dataflow(self, seed, threads, h):
+        prog = simulated_alloc_program(
+            random.Random(seed),
+            num_threads=threads,
+            total_events=50,
+            num_locations=6,
+        )
+        runs = _run(lambda: ReachingDefinitions(keep_history=True), prog, h)
+        ref_guard, ref_stats = runs["serial"]
+        for name in ("threads", "processes"):
+            guard, stats = runs[name]
+            assert stats == ref_stats, name
+            assert guard.block_in == ref_guard.block_in, name
+            assert guard.block_out == ref_guard.block_out, name

@@ -36,6 +36,56 @@ class TestShadowMemory:
         assert all(shadow.load(a) == 2 for a in range(5, 15))
         assert shadow.load(15) == 0
 
+    def test_store_range_counts_one_write_burst(self):
+        shadow = ShadowMemory(page_size=8)
+        shadow.store_range(0, 100, 3)
+        assert shadow.writes == 1
+        shadow.store_range(200, 1, 4)
+        assert shadow.writes == 2
+        shadow.store_range(300, 0, 5)  # empty range: no burst
+        assert shadow.writes == 2
+
+    def test_store_range_whole_page_fast_path(self):
+        shadow = ShadowMemory(page_size=8)
+        # Covers page 1 fully and pages 0/2 partially.
+        shadow.store_range(6, 12, 7)
+        assert shadow.resident_pages == 3
+        assert all(shadow.load(a) == 7 for a in range(6, 18))
+        assert shadow.load(5) == 0
+        assert shadow.load(18) == 0
+
+    def test_store_range_preserves_existing_neighbors(self):
+        shadow = ShadowMemory(page_size=8)
+        shadow.store(0, 1)
+        shadow.store(7, 1)
+        shadow.store_range(2, 4, 9)
+        assert shadow.load(0) == 1
+        assert shadow.load(7) == 1
+        assert [shadow.load(a) for a in range(2, 6)] == [9, 9, 9, 9]
+
+    def test_load_range(self):
+        shadow = ShadowMemory(page_size=4)
+        shadow.store_range(3, 5, 6)
+        assert shadow.load_range(2, 8) == [0, 6, 6, 6, 6, 6, 0, 0]
+        assert shadow.load_range(100, 3) == [0, 0, 0]
+        assert shadow.load_range(0, 0) == []
+
+    def test_load_range_counts_one_read_burst(self):
+        shadow = ShadowMemory(page_size=4)
+        reads_before = shadow.reads
+        shadow.load_range(0, 64)
+        assert shadow.reads == reads_before + 1
+        shadow.load_range(0, 0)
+        assert shadow.reads == reads_before + 1
+
+    def test_range_round_trip_matches_scalar_ops(self):
+        bulk = ShadowMemory(page_size=8)
+        scalar = ShadowMemory(page_size=8)
+        bulk.store_range(5, 20, "a")
+        for addr in range(5, 25):
+            scalar.store(addr, "a")
+        assert bulk.load_range(0, 32) == [scalar.load(a) for a in range(32)]
+
     def test_nonzero_items(self):
         shadow = ShadowMemory(page_size=4)
         shadow.store(9, 5)
