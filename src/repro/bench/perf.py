@@ -15,13 +15,17 @@ Workloads:
 - ``reaching_defs`` -- the generic reaching-definitions analysis over
   the same trace, serial vs. threads;
 - ``shadow_store_range`` -- bulk range writes vs. the equivalent
-  per-address store loop.
+  per-address store loop;
+- ``observability_overhead`` -- the core workload with the recorder
+  off (the default everywhere else) vs. a live in-memory recorder.
 
 Read a ``BENCH_*.json`` as: ``runs.<name>.best_s`` is the best-of-N
 wall time in seconds (N = ``repeats``), ``engine_stats`` the exact work
 counters of that run (identical across backends by design), and
 ``speedup_vs_baseline`` the reference-serial best divided by the
-optimized-serial best.
+optimized-serial best.  Since schema 2 the ``microbench_core`` entry
+also carries ``per_epoch``: deterministic per-epoch rows (instructions,
+meets, error attribution) from one instrumented replay.
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ from repro.core.epoch import partition_fixed
 from repro.core.framework import ButterflyEngine
 from repro.core.reaching_defs import ReachingDefinitions
 from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.obs import JsonlSink, Recorder
 from repro.shadow.shadow_memory import ShadowMemory
 from repro.trace.generator import simulated_alloc_program
 
@@ -82,14 +87,20 @@ def _stats_dict(stats) -> Dict[str, int]:
     }
 
 
-def _bench_microbench_core(repeats: int) -> Dict[str, Any]:
+def _core_partition():
     program = simulated_alloc_program(
         random.Random(CORE_SEED),
         num_threads=CORE_THREADS,
         total_events=CORE_EVENTS,
         num_locations=CORE_LOCATIONS,
     )
-    partition = partition_fixed(program, CORE_EPOCH)
+    return partition_fixed(program, CORE_EPOCH)
+
+
+def _bench_microbench_core(
+    repeats: int, events_path: Optional[str] = None
+) -> Dict[str, Any]:
+    partition = _core_partition()
     runs: Dict[str, Any] = {}
     configs = [
         ("reference_serial", False, "serial"),
@@ -120,6 +131,7 @@ def _bench_microbench_core(repeats: int) -> Dict[str, Any]:
             "epoch_size": CORE_EPOCH,
             "seed": CORE_SEED,
         },
+        "per_epoch": _core_per_epoch_metrics(partition, events_path),
         "runs": runs,
         "speedup_vs_baseline": baseline / runs["optimized_serial"]["best_s"],
         "speedups": {
@@ -130,14 +142,64 @@ def _bench_microbench_core(repeats: int) -> Dict[str, Any]:
     }
 
 
+def _core_per_epoch_metrics(
+    partition, events_path: Optional[str] = None
+) -> list:
+    """One untimed instrumented replay of the optimized-serial config.
+
+    Yields the deterministic per-epoch rows (instructions, meets, error
+    attribution) for the report; when ``events_path`` is given the full
+    event log of the same run lands there as JSONL.
+    """
+    sink = JsonlSink.open(events_path) if events_path else None
+    with Recorder(sink=sink) as rec:
+        guard = ButterflyAddrCheck(optimized=True)
+        with ButterflyEngine(guard, recorder=rec) as engine:
+            engine.run(partition)
+    return [
+        {k: v for k, v in ev.items() if k not in ("seq", "ev")}
+        for ev in rec.events
+        if ev["ev"] == "epoch.summary"
+    ]
+
+
+def _bench_observability_overhead(repeats: int) -> Dict[str, Any]:
+    """Same workload, recorder off vs. on -- the cost of watching.
+
+    ``disabled`` is the default NULL-recorder path (what every other
+    number in this report uses); ``enabled`` keeps a live in-memory
+    recorder attached.  ``overhead_ratio`` > 1 is the slowdown.
+    """
+    partition = _core_partition()
+
+    def disabled() -> None:
+        guard = ButterflyAddrCheck(optimized=True)
+        with ButterflyEngine(guard, backend="serial") as engine:
+            engine.run(partition)
+
+    def enabled() -> None:
+        guard = ButterflyAddrCheck(optimized=True)
+        with ButterflyEngine(
+            guard, backend="serial", recorder=Recorder()
+        ) as engine:
+            engine.run(partition)
+
+    runs = {
+        "disabled": _time_best(disabled, repeats),
+        "enabled": _time_best(enabled, repeats),
+    }
+    return {
+        "description": "microbench core with the recorder off vs. on",
+        "params": {"backend": "serial", "optimized": True},
+        "runs": runs,
+        "overhead_ratio": (
+            runs["enabled"]["best_s"] / runs["disabled"]["best_s"]
+        ),
+    }
+
+
 def _bench_reaching_defs(repeats: int) -> Dict[str, Any]:
-    program = simulated_alloc_program(
-        random.Random(CORE_SEED),
-        num_threads=CORE_THREADS,
-        total_events=CORE_EVENTS,
-        num_locations=CORE_LOCATIONS,
-    )
-    partition = partition_fixed(program, CORE_EPOCH)
+    partition = _core_partition()
     runs: Dict[str, Any] = {}
     for name, backend in (("serial", "serial"), ("threads", "threads")):
         fn = _engine_run(
@@ -193,19 +255,26 @@ def _bench_shadow_store_range(repeats: int) -> Dict[str, Any]:
 
 
 def run_perf(
-    repeats: int = 5, output_path: Optional[str] = None
+    repeats: int = 5,
+    output_path: Optional[str] = None,
+    events_path: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Run every perf workload; optionally write the JSON report."""
+    """Run every perf workload; optionally write the JSON report.
+
+    ``events_path`` additionally captures the instrumented replay's
+    JSONL event log (the run feeding the ``per_epoch`` section).
+    """
     report: Dict[str, Any] = {
-        "schema": 1,
+        "schema": 2,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "cpu_count": os.cpu_count(),
         "repeats": repeats,
         "workloads": {
-            "microbench_core": _bench_microbench_core(repeats),
+            "microbench_core": _bench_microbench_core(repeats, events_path),
             "reaching_defs": _bench_reaching_defs(repeats),
             "shadow_store_range": _bench_shadow_store_range(repeats),
+            "observability_overhead": _bench_observability_overhead(repeats),
         },
     }
     if output_path is not None:

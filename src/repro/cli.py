@@ -9,7 +9,9 @@ Examples
     python -m repro figure12
     python -m repro figure13
     python -m repro check --benchmark OCEAN --threads 4 --epoch-size 512
+    python -m repro check --benchmark OCEAN --emit-events events.jsonl
     python -m repro sweep --benchmark OCEAN --threads 4
+    python -m repro stats --benchmark OCEAN --threads 4
 """
 
 from __future__ import annotations
@@ -27,9 +29,43 @@ from repro.lifeguards.addrcheck import ButterflyAddrCheck
 from repro.lifeguards.racecheck import ButterflyRaceCheck
 from repro.lifeguards.reports import compare_reports
 from repro.lifeguards.sequential import SequentialAddrCheck
+from repro.obs import NULL_RECORDER, JsonlSink, Recorder
 from repro.sim.lba import LBASystem
 from repro.trace.serialize import load_file, save_file
 from repro.workloads.registry import BENCHMARKS, get_benchmark
+
+
+def _fail(command: str, message: str) -> int:
+    """One-line diagnostic on stderr, conventional exit status 2."""
+    print(f"repro {command}: error: {message}", file=sys.stderr)
+    return 2
+
+
+def _open_recorder(
+    args: argparse.Namespace, command: str
+) -> "tuple[Optional[Recorder], Optional[int]]":
+    """Resolve ``--emit-events`` into a recorder, failing fast.
+
+    Returns ``(recorder, None)`` on success -- the shared
+    :data:`NULL_RECORDER` when the flag is absent -- or ``(None,
+    exit_code)`` when the path is unwritable, so a typo'd directory
+    aborts before any analysis work runs.
+    """
+    path = getattr(args, "emit_events", None)
+    if not path:
+        return NULL_RECORDER, None
+    try:
+        sink = JsonlSink.open(path)
+    except OSError as exc:
+        return None, _fail(command, f"cannot write {path}: {exc}")
+    return Recorder(sink=sink), None
+
+
+def _finish_events(recorder: Recorder, args: argparse.Namespace) -> None:
+    """Close the event sink and confirm where the log went."""
+    if getattr(args, "emit_events", None):
+        recorder.close()
+        print(f"wrote {len(recorder.events)} events to {args.emit_events}")
 
 
 def _suite(args: argparse.Namespace) -> ExperimentSuite:
@@ -79,7 +115,10 @@ def cmd_generate(args: argparse.Namespace) -> int:
     program = get_benchmark(args.benchmark).generate(
         args.threads, args.events, seed=args.seed
     )
-    save_file(program, args.output)
+    try:
+        save_file(program, args.output)
+    except OSError as exc:
+        return _fail("generate", f"cannot write {args.output}: {exc}")
     print(f"wrote {program.total_instructions} events "
           f"({program.num_threads} threads) to {args.output}")
     return 0
@@ -87,8 +126,14 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_check(args: argparse.Namespace) -> int:
     """Run one lifeguard over a workload (generated or from a file)."""
+    recorder, rc = _open_recorder(args, "check")
+    if recorder is None:
+        return rc
     if args.trace:
-        program = load_file(args.trace)
+        try:
+            program = load_file(args.trace)
+        except OSError as exc:
+            return _fail("check", f"cannot read {args.trace}: {exc}")
         args.threads = program.num_threads
     else:
         program = get_benchmark(args.benchmark).generate(
@@ -96,7 +141,9 @@ def cmd_check(args: argparse.Namespace) -> int:
         )
     system = LBASystem()
     if args.lifeguard == "addrcheck":
-        run = system.butterfly(program, args.epoch_size, backend=args.backend)
+        run = system.butterfly(
+            program, args.epoch_size, backend=args.backend, recorder=recorder
+        )
         guard = run.guard
         truth = SequentialAddrCheck(program.preallocated)
         truth.run_order(program)
@@ -116,7 +163,9 @@ def cmd_check(args: argparse.Namespace) -> int:
         from repro.core.epoch import partition_by_global_order
 
         partition = partition_by_global_order(program, args.epoch_size)
-        with ButterflyEngine(guard, backend=args.backend) as engine:
+        with ButterflyEngine(
+            guard, backend=args.backend, recorder=recorder
+        ) as engine:
             engine.run(partition)
         print(f"benchmark: {args.benchmark}, {args.threads} threads, "
               f"h={args.epoch_size} events")
@@ -124,11 +173,15 @@ def cmd_check(args: argparse.Namespace) -> int:
         for race in guard.races[: args.limit]:
             print(f"  {race.kind:12s} loc=0x{race.location:x} "
                   f"at {race.body_ref}")
+    _finish_events(recorder, args)
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Epoch-size sweep for one benchmark (the paper's tuning knob)."""
+    recorder, rc = _open_recorder(args, "sweep")
+    if recorder is None:
+        return rc
     program = get_benchmark(args.benchmark).generate(
         args.threads, args.events, seed=args.seed
     )
@@ -138,7 +191,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     baseline = system.unmonitored_sequential(program)
     rows = []
     for h in args.sizes:
-        run = system.butterfly(program, h, backend=args.backend)
+        if recorder.enabled:
+            recorder.event("sweep.config", epoch_size=h)
+        run = system.butterfly(
+            program, h, backend=args.backend, recorder=recorder
+        )
         precision = compare_reports(
             truth.errors, run.guard.errors, program.memory_op_count
         )
@@ -152,6 +209,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(render_table(
         ("epoch size", "epochs", "slowdown", "false pos", "FP rate"), rows
     ))
+    _finish_events(recorder, args)
     return 0
 
 
@@ -160,24 +218,85 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.perf import run_perf
 
     if args.repeats < 1:
-        print(f"repro bench: error: --repeats must be >= 1, got "
-              f"{args.repeats}", file=sys.stderr)
-        return 2
-    try:
-        # Fail before measuring, not minutes later at report time.
-        with open(args.output, "w"):
-            pass
-    except OSError as exc:
-        print(f"repro bench: error: cannot write {args.output}: {exc}",
-              file=sys.stderr)
-        return 2
-    report = run_perf(repeats=args.repeats, output_path=args.output)
+        return _fail("bench", f"--repeats must be >= 1, got {args.repeats}")
+    # Fail before measuring, not minutes later at report time.
+    for path in (args.output, args.emit_events):
+        if path is None:
+            continue
+        try:
+            with open(path, "w"):
+                pass
+        except OSError as exc:
+            return _fail("bench", f"cannot write {path}: {exc}")
+    report = run_perf(
+        repeats=args.repeats,
+        output_path=args.output,
+        events_path=args.emit_events,
+    )
     core = report["workloads"]["microbench_core"]
     print(f"wrote {args.output}")
+    if args.emit_events:
+        print(f"wrote event log to {args.emit_events}")
     print(f"microbench core: "
           f"{core['speedup_vs_baseline']:.2f}x vs reference serial "
           f"(reference {core['runs']['reference_serial']['best_s']*1e3:.1f} ms, "
           f"optimized {core['runs']['optimized_serial']['best_s']*1e3:.1f} ms)")
+    obs = report["workloads"]["observability_overhead"]
+    print(f"observability overhead: {obs['overhead_ratio']:.3f}x when enabled")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run one instrumented workload and print the metrics summary."""
+    from repro.core.epoch import partition_by_global_order, partition_fixed
+
+    recorder, rc = _open_recorder(args, "stats")
+    if recorder is None:
+        return rc
+    if not recorder.enabled:
+        recorder = Recorder()  # stats is pointless without a live recorder
+    program = get_benchmark(args.benchmark).generate(
+        args.threads, args.events, seed=args.seed
+    )
+    if args.lifeguard == "addrcheck":
+        guard = ButterflyAddrCheck(initially_allocated=program.preallocated)
+    else:
+        guard = ButterflyRaceCheck()
+    if program.true_order is not None:
+        partition = partition_by_global_order(program, args.epoch_size)
+    else:
+        partition = partition_fixed(program, args.epoch_size)
+    with ButterflyEngine(
+        guard, backend=args.backend, recorder=recorder
+    ) as engine:
+        engine.run(partition)
+
+    snap = recorder.snapshot()
+    print(f"benchmark: {args.benchmark}, {args.threads} threads, "
+          f"h={args.epoch_size} events, backend={args.backend}, "
+          f"lifeguard={args.lifeguard}")
+    print(f"events recorded: {len(recorder.events)}")
+    if snap["spans"]:
+        print("\nspans (aggregated):")
+        rows = [
+            (name, str(s["count"]),
+             f"{s['total_ns'] / 1e6:.2f}",
+             f"{s['total_ns'] / s['count'] / 1e3:.1f}",
+             f"{s['max_ns'] / 1e3:.1f}")
+            for name, s in sorted(snap["spans"].items())
+        ]
+        print(render_table(
+            ("span", "count", "total ms", "mean us", "max us"), rows
+        ))
+    if snap["counters"]:
+        print("\ncounters:")
+        for name, value in sorted(snap["counters"].items()):
+            print(f"  {name} = {value}")
+    if snap["gauges"]:
+        print("\ngauges:")
+        for name, value in sorted(snap["gauges"].items()):
+            print(f"  {name} = {value}")
+    _finish_events(recorder, args)
     return 0
 
 
@@ -186,6 +305,13 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
         "--backend", default="serial", choices=BACKEND_CHOICES,
         help="engine execution backend (results are identical; "
              "default: serial)",
+    )
+
+
+def _add_emit_events_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--emit-events", default=None, metavar="PATH",
+        help="write the observability event log to PATH as JSON lines",
     )
 
 
@@ -230,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=10,
                    help="max conflicts to print (race mode)")
     _add_backend_arg(p)
+    _add_emit_events_arg(p)
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("sweep", help="epoch-size sweep for one benchmark")
@@ -242,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=[256, 512, 1024, 2048, 4096],
     )
     _add_backend_arg(p)
+    _add_emit_events_arg(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -251,7 +379,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report path (default: BENCH_1.json)")
     p.add_argument("--repeats", type=int, default=5,
                    help="timing repetitions per configuration (best-of)")
+    _add_emit_events_arg(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "stats",
+        help="run one instrumented workload and print metrics "
+             "(spans, counters, gauges)",
+    )
+    p.add_argument("--benchmark", default="OCEAN", choices=sorted(BENCHMARKS))
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--events", type=int, default=16384)
+    p.add_argument("--epoch-size", type=int, default=512)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--lifeguard", default="addrcheck", choices=("addrcheck", "race")
+    )
+    _add_backend_arg(p)
+    _add_emit_events_arg(p)
+    p.set_defaults(func=cmd_stats)
     return parser
 
 

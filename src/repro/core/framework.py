@@ -49,6 +49,7 @@ from repro.core.epoch import Block, BlockId, EpochPartition
 from repro.core.parallel import ExecutionBackend, get_backend
 from repro.core.window import Butterfly, butterflies_for_epoch
 from repro.errors import AnalysisError
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 Summary = TypeVar("Summary")
 SideIn = TypeVar("SideIn")
@@ -88,6 +89,17 @@ class ButterflyAnalysis(abc.ABC, Generic[Summary, SideIn]):
     #: Set True when ``meet``/``check_body`` only read published state
     #: and all mutation happens in ``commit_check``.
     parallel_second_pass: bool = False
+
+    #: Observability hook; the engine points this at its own recorder on
+    #: :meth:`ButterflyEngine.attach`.  Lifeguards emit error-provenance
+    #: events through it from their serial commit paths only (guarded by
+    #: ``recorder.enabled`` so the disabled path stays free).
+    recorder: Recorder = NULL_RECORDER
+
+    def emit_metrics(self, recorder: Recorder) -> None:
+        """Publish end-of-run gauges (intern table pressure, footprint
+        sizes, ...) to ``recorder``.  Called once by the engine after
+        the final epoch; the default publishes nothing."""
 
     # -- step 1 ----------------------------------------------------------
 
@@ -172,19 +184,31 @@ class ButterflyEngine(Generic[Summary, SideIn]):
         :data:`~repro.core.parallel.BACKEND_CHOICES` or a constructed
         :class:`~repro.core.parallel.ExecutionBackend`.  Backends
         created from a name are owned (and shut down) by the engine.
+    recorder:
+        Observability recorder (see :mod:`repro.obs`).  Defaults to the
+        shared null recorder, in which case no instrumentation executes;
+        with a live :class:`~repro.obs.recorder.Recorder` the engine
+        emits per-epoch/per-pass/per-block spans, per-epoch summary
+        events, and wires the recorder into the analysis (error
+        provenance) and the backend (fan-out telemetry).
     """
 
     def __init__(
         self,
         analysis: ButterflyAnalysis,
         backend: Union[str, ExecutionBackend] = "serial",
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         self.analysis = analysis
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = get_backend(backend)
+        self.recorder = recorder
+        if recorder.enabled:
+            self.backend.recorder = recorder
         self.stats = EngineStats()
         self._partition: Optional[EpochPartition] = None
         self._summaries: Dict[BlockId, Any] = {}
+        self._first_pass_errors: Dict[int, int] = {}
         self._next_to_receive = 0
         self._next_to_process = 0
         self._finished = False
@@ -203,6 +227,7 @@ class ButterflyEngine(Generic[Summary, SideIn]):
         self.stats = EngineStats()
         self._partition = None
         self._summaries = {}
+        self._first_pass_errors = {}
         self._next_to_receive = 0
         self._next_to_process = 0
         self._finished = False
@@ -238,6 +263,15 @@ class ButterflyEngine(Generic[Summary, SideIn]):
             )
         self.reset()  # guard: never start a run with stale counters
         self._partition = partition
+        if self.recorder.enabled:
+            self.analysis.recorder = self.recorder
+            # The backend name stays out of analysis-level events so
+            # logs compare equal across backends.
+            self.recorder.event(
+                "run.attach",
+                epochs=partition.num_epochs,
+                threads=partition.num_threads,
+            )
 
     def feed_epoch(self, lid: int) -> None:
         """Receive epoch ``l``: first-pass its blocks, then process the
@@ -257,6 +291,28 @@ class ButterflyEngine(Generic[Summary, SideIn]):
             and len(blocks) > 1
             else None
         )
+        recorder = self.recorder if self.recorder.enabled else None
+        if recorder is not None:
+            errors_before = self._error_count(analysis)
+            with recorder.span("pass.first", epoch=lid, blocks=len(blocks)):
+                self._first_pass(analysis, blocks, scanner, recorder)
+            self._first_pass_errors[lid] = (
+                self._error_count(analysis) - errors_before
+            )
+        else:
+            self._first_pass(analysis, blocks, scanner, None)
+        self._next_to_receive += 1
+        if lid >= 1:
+            self._process_epoch(lid - 1)
+
+    def _first_pass(
+        self,
+        analysis: ButterflyAnalysis,
+        blocks: List[Block],
+        scanner: Optional[Scanner],
+        recorder: Optional[Recorder],
+    ) -> None:
+        """Step 1 over one received epoch (fanned out when possible)."""
         if scanner is not None:
             # Contexts snapshot published state only, so computing them
             # up front matches the serial schedule exactly.
@@ -266,17 +322,35 @@ class ButterflyEngine(Generic[Summary, SideIn]):
             ]
             scans = self.backend.map_ordered(scanner, items)
             for block, scan in zip(blocks, scans):
-                self._summaries[block.block_id] = analysis.commit_scan(
-                    block, scan
-                )
+                if recorder is not None:
+                    # Same event name as the serial path so logs compare
+                    # equal across backends; here the span covers the
+                    # commit stage only (the scan ran in the pool).
+                    with recorder.span(
+                        "block.first_pass",
+                        epoch=block.block_id[0],
+                        thread=block.block_id[1],
+                        instrs=len(block),
+                    ):
+                        summary = analysis.commit_scan(block, scan)
+                else:
+                    summary = analysis.commit_scan(block, scan)
+                self._summaries[block.block_id] = summary
                 self.stats.first_pass_instructions += len(block)
         else:
             for block in blocks:
-                self._summaries[block.block_id] = analysis.first_pass(block)
+                if recorder is not None:
+                    with recorder.span(
+                        "block.first_pass",
+                        epoch=block.block_id[0],
+                        thread=block.block_id[1],
+                        instrs=len(block),
+                    ):
+                        summary = analysis.first_pass(block)
+                else:
+                    summary = analysis.first_pass(block)
+                self._summaries[block.block_id] = summary
                 self.stats.first_pass_instructions += len(block)
-        self._next_to_receive += 1
-        if lid >= 1:
-            self._process_epoch(lid - 1)
 
     def finish(self) -> None:
         """End of trace: process the final epoch's bodies."""
@@ -293,6 +367,16 @@ class ButterflyEngine(Generic[Summary, SideIn]):
             if self._next_to_process == last:
                 self._process_epoch(last)
         self._finished = True
+        if self.recorder.enabled:
+            self.analysis.emit_metrics(self.recorder)
+            self.recorder.event(
+                "run.finish",
+                epochs_processed=self.stats.epochs_processed,
+                first_pass_instructions=self.stats.first_pass_instructions,
+                second_pass_instructions=self.stats.second_pass_instructions,
+                meets=self.stats.meets,
+                errors_total=self._error_count(self.analysis),
+            )
 
     # -- internals ------------------------------------------------------
 
@@ -311,10 +395,58 @@ class ButterflyEngine(Generic[Summary, SideIn]):
         analysis = self.analysis
         stats = self.stats
         summaries = self._summaries
+        recorder = self.recorder if self.recorder.enabled else None
+        errors_before = (
+            self._error_count(analysis) if recorder is not None else 0
+        )
         butterflies = butterflies_for_epoch(partition, lid)
         wings = [
             [summaries[b.block_id] for b in bf.wings] for bf in butterflies
         ]
+        if recorder is not None:
+            with recorder.span(
+                "pass.second", epoch=lid, bodies=len(butterflies)
+            ):
+                self._second_pass(analysis, butterflies, wings, recorder)
+        else:
+            self._second_pass(analysis, butterflies, wings, None)
+        epoch_summaries = {
+            (lid, tid): summaries[(lid, tid)]
+            for tid in range(partition.num_threads)
+        }
+        if recorder is not None:
+            with recorder.span("epoch.update", epoch=lid):
+                analysis.epoch_update(lid, epoch_summaries)
+            recorder.event(
+                "epoch.summary",
+                epoch=lid,
+                instructions=sum(len(bf.body) for bf in butterflies),
+                meets=len(butterflies),
+                first_pass_errors=self._first_pass_errors.pop(lid, 0),
+                second_pass_errors=(
+                    self._error_count(analysis) - errors_before
+                ),
+                errors_total=self._error_count(analysis),
+            )
+        else:
+            analysis.epoch_update(lid, epoch_summaries)
+        stats.epochs_processed += 1
+        self._next_to_process += 1
+        # Summaries older than the sliding window are dead; reclaim them.
+        stale = lid - 2
+        if stale >= 0:
+            for tid in range(partition.num_threads):
+                summaries.pop((stale, tid), None)
+
+    def _second_pass(
+        self,
+        analysis: ButterflyAnalysis,
+        butterflies: List[Butterfly],
+        wings: List[List[Any]],
+        recorder: Optional[Recorder],
+    ) -> None:
+        """Steps 2-3 over one epoch's bodies (fanned out when possible)."""
+        stats = self.stats
         if (
             self.backend.concurrent
             and self.backend.shares_memory
@@ -333,24 +465,41 @@ class ButterflyEngine(Generic[Summary, SideIn]):
             for bf, ws, (side_in, result) in zip(butterflies, wings, results):
                 stats.meets += 1
                 stats.wing_summaries_combined += len(ws)
-                analysis.commit_check(bf, side_in, result)
+                if recorder is not None:
+                    # Same event name as the serial path (logs must
+                    # compare equal across backends); the span covers
+                    # the commit stage only here.
+                    with recorder.span(
+                        "block.second_pass",
+                        epoch=bf.body.block_id[0],
+                        thread=bf.body.block_id[1],
+                        wings=len(ws),
+                    ):
+                        analysis.commit_check(bf, side_in, result)
+                else:
+                    analysis.commit_check(bf, side_in, result)
                 stats.second_pass_instructions += len(bf.body)
         else:
             for bf, ws in zip(butterflies, wings):
-                side_in = analysis.meet(bf, ws)
                 stats.meets += 1
                 stats.wing_summaries_combined += len(ws)
-                analysis.second_pass(bf, side_in)
+                if recorder is not None:
+                    with recorder.span(
+                        "block.second_pass",
+                        epoch=bf.body.block_id[0],
+                        thread=bf.body.block_id[1],
+                        wings=len(ws),
+                    ):
+                        side_in = analysis.meet(bf, ws)
+                        analysis.second_pass(bf, side_in)
+                else:
+                    side_in = analysis.meet(bf, ws)
+                    analysis.second_pass(bf, side_in)
                 stats.second_pass_instructions += len(bf.body)
-        epoch_summaries = {
-            (lid, tid): summaries[(lid, tid)]
-            for tid in range(partition.num_threads)
-        }
-        analysis.epoch_update(lid, epoch_summaries)
-        stats.epochs_processed += 1
-        self._next_to_process += 1
-        # Summaries older than the sliding window are dead; reclaim them.
-        stale = lid - 2
-        if stale >= 0:
-            for tid in range(partition.num_threads):
-                summaries.pop((stale, tid), None)
+
+    @staticmethod
+    def _error_count(analysis: ButterflyAnalysis) -> int:
+        """Size of the analysis's error log, for lifeguards that keep
+        one (analyses without an ``errors`` attribute report 0)."""
+        errors = getattr(analysis, "errors", None)
+        return len(errors) if errors is not None else 0

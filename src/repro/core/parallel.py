@@ -25,10 +25,12 @@ from __future__ import annotations
 
 import abc
 import os
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import AnalysisError
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 #: Backend names accepted by the engine, the CLI, and the bench harness.
 BACKEND_CHOICES = ("serial", "threads", "processes")
@@ -50,6 +52,11 @@ class ExecutionBackend(abc.ABC):
     #: (scanner, block, context) units may cross; the engine keeps any
     #: stage needing shared state on the serial path.
     shares_memory: bool = True
+    #: Observability hook (``backend.*`` events/metrics); the engine
+    #: points this at its recorder when observability is on.  All
+    #: recording happens in the coordinating thread -- workers never
+    #: touch the recorder -- so no locking is needed.
+    recorder: Recorder = NULL_RECORDER
 
     @abc.abstractmethod
     def map_ordered(
@@ -98,8 +105,49 @@ class _PooledBackend(ExecutionBackend):
     def map_ordered(
         self, fn: Callable[..., Any], items: Sequence[Tuple]
     ) -> List[Any]:
+        if self.recorder.enabled:
+            return self._map_ordered_instrumented(fn, items)
         # Executor.map preserves submission order in its results.
         return list(self.executor.map(_apply, ((fn, item) for item in items)))
+
+    def _map_ordered_instrumented(
+        self, fn: Callable[..., Any], items: Sequence[Tuple]
+    ) -> List[Any]:
+        """Fan out with per-task telemetry.
+
+        Tasks are submitted individually (instead of ``Executor.map``)
+        so each submit/complete is observable; results are still
+        collected in submission order, and completion events are emitted
+        at collection time from the coordinating thread, so the event
+        stream stays deterministic even though workers finish in any
+        order.  Per-task wall time is measured inside the worker by
+        :func:`_timed_apply` and travels back with the result.
+        """
+        rec = self.recorder
+        executor = self.executor
+        n = len(items)
+        rec.count("backend.batches")
+        rec.count("backend.tasks_submitted", n)
+        rec.gauge("backend.queue_depth", n)
+        rec.gauge("backend.workers", self.max_workers)
+        with rec.span("backend.map", backend=self.name, tasks=n):
+            futures = []
+            for i, item in enumerate(items):
+                futures.append(executor.submit(_timed_apply, (fn, item)))
+                rec.event("backend.task.submit", backend=self.name, task=i)
+            results = []
+            for i, future in enumerate(futures):
+                result, dur_ns = future.result()
+                rec.count("backend.tasks_completed")
+                rec.event(
+                    "backend.task.complete",
+                    backend=self.name,
+                    task=i,
+                    pending=n - i - 1,
+                    dur_ns=dur_ns,
+                )
+                results.append(result)
+        return results
 
     def close(self) -> None:
         if self._executor is not None:
@@ -110,6 +158,17 @@ class _PooledBackend(ExecutionBackend):
 def _apply(payload: Tuple[Callable[..., Any], Tuple]) -> Any:
     fn, args = payload
     return fn(*args)
+
+
+def _timed_apply(
+    payload: Tuple[Callable[..., Any], Tuple]
+) -> Tuple[Any, int]:
+    """Worker-side wrapper measuring one task's wall time (picklable so
+    it crosses the process-pool boundary)."""
+    fn, args = payload
+    t0 = time.perf_counter_ns()
+    result = fn(*args)
+    return result, time.perf_counter_ns() - t0
 
 
 class ThreadPoolBackend(_PooledBackend):

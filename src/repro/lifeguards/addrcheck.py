@@ -290,6 +290,18 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
         self.block_work: Dict[BlockId, Dict[str, int]] = {}
         self.recorded_accesses = 0
 
+    def emit_metrics(self, recorder: Any) -> None:
+        """End-of-run gauges: intern-table pressure and access volume.
+
+        Everything published here is a deterministic function of the
+        trace (interning happens on the serial commit path only), so
+        these gauges compare equal across execution backends.
+        """
+        for key, value in self._loc_bits.stats().items():
+            recorder.gauge(f"intern.{key}", value)
+        recorder.gauge("addrcheck.recorded_accesses", self.recorded_accesses)
+        recorder.gauge("addrcheck.errors", len(self.errors))
+
     # -- step 1: local pass with LSOS checks ------------------------------
 
     def make_scanner(self) -> AddrScanner:
@@ -316,9 +328,23 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
         )
         errors = self.errors
         flags = 0
+        rec = self.recorder
+        emit = rec.enabled
         for kind, loc, i, detail in scan.errors:
             if errors.record(kind, loc, ref=block.global_ref(i), detail=detail):
                 flags += 1
+                if emit:
+                    rec.event(
+                        "error",
+                        kind=kind.value,
+                        location=loc,
+                        epoch=block_id[0],
+                        thread=block_id[1],
+                        index=i,
+                        ref=list(block.global_ref(i)),
+                        stage="first",
+                        wing=None,
+                    )
         loc_bits = self._loc_bits
         facts.all_gen_mask = loc_bits.mask(scan.all_gen)
         facts.killed_mask = loc_bits.mask(scan.killed_vars)
@@ -361,6 +387,7 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
         accesses = 0
         allocs = 0
         flags_before = len(self.errors)
+        emit = self.recorder.enabled
 
         for i, instr in enumerate(block.instrs):
             events += 1
@@ -370,14 +397,17 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
                     allocs += 1
                     checked.discard(loc)
                     if loc in running:
-                        self.errors.flag(
+                        if self.errors.flag(
                             ErrorReport(
                                 ErrorKind.MALLOC_ALLOCATED,
                                 loc,
                                 ref=block.global_ref(i),
                                 detail=_DETAIL_MALLOC,
                             )
-                        )
+                        ) and emit:
+                            self._emit_first_pass_event(
+                                block, ErrorKind.MALLOC_ALLOCATED, loc, i
+                            )
                     running.add(loc)
                     gen.add(loc)
                     all_gen.add(loc)
@@ -388,14 +418,17 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
                     allocs += 1
                     checked.discard(loc)
                     if loc not in running:
-                        self.errors.flag(
+                        if self.errors.flag(
                             ErrorReport(
                                 ErrorKind.FREE_UNALLOCATED,
                                 loc,
                                 ref=block.global_ref(i),
                                 detail=_DETAIL_FREE,
                             )
-                        )
+                        ) and emit:
+                            self._emit_first_pass_event(
+                                block, ErrorKind.FREE_UNALLOCATED, loc, i
+                            )
                     running.discard(loc)
                     killed_vars.add(loc)
                     gen.discard(loc)
@@ -412,14 +445,17 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
                     checked.add(loc)
                     checks += 1
                     if loc not in running:
-                        self.errors.flag(
+                        if self.errors.flag(
                             ErrorReport(
                                 ErrorKind.ACCESS_UNALLOCATED,
                                 loc,
                                 ref=block.global_ref(i),
                                 detail=_DETAIL_ACCESS,
                             )
-                        )
+                        ) and emit:
+                            self._emit_first_pass_event(
+                                block, ErrorKind.ACCESS_UNALLOCATED, loc, i
+                            )
         self.block_work[block.block_id] = {
             "events": events,
             "checks": checks,
@@ -487,6 +523,8 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
         s = self._summaries[block_id]
         errors = self.errors
         decode = self._loc_bits.decode
+        rec = self.recorder
+        emit = rec.enabled
         flags = 0
         for loc in decode(change_hits):
             if errors.record(
@@ -497,6 +535,10 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
                 detail=_DETAIL_CHANGE_RACE,
             ):
                 flags += 1
+                if emit:
+                    self._emit_isolation_event(
+                        butterfly, loc, s.first_change[loc]
+                    )
         for loc in decode(access_hits):
             if errors.record(
                 ErrorKind.UNSAFE_ISOLATION,
@@ -506,12 +548,67 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
                 detail=_DETAIL_ACCESS_RACE,
             ):
                 flags += 1
+                if emit:
+                    self._emit_isolation_event(
+                        butterfly, loc, s.first_access[loc]
+                    )
         work = self.block_work[block_id]
         work["flags"] += flags
         work["iso"] += popcount(
             s.facts.all_gen_mask | s.facts.killed_mask
         ) + popcount(s.access_mask)
         work["meet"] += side_in.meet_work
+
+    def _emit_first_pass_event(
+        self, block: Block, kind: ErrorKind, loc: int, i: int
+    ) -> None:
+        """Provenance event for a freshly flagged first-pass error
+        (reference mode; optimized mode emits from :meth:`commit_scan`)."""
+        lid, tid = block.block_id
+        self.recorder.event(
+            "error",
+            kind=kind.value,
+            location=loc,
+            epoch=lid,
+            thread=tid,
+            index=i,
+            ref=list(block.global_ref(i)),
+            stage="first",
+            wing=None,
+        )
+
+    def _wing_with_change(
+        self, butterfly: Butterfly, loc: int
+    ) -> Optional[BlockId]:
+        """Provenance: the first wing block whose GEN/KILL involves
+        ``loc`` -- the concurrent state change the isolation flag is
+        blaming.  Set-based so optimized and reference mode attribute
+        identically."""
+        for wing in butterfly.wings:
+            s = self._summaries.get(wing.block_id)
+            if s is None:
+                continue
+            facts = s.facts
+            if loc in facts.all_gen or loc in facts.killed_vars:
+                return wing.block_id
+        return None
+
+    def _emit_isolation_event(
+        self, butterfly: Butterfly, loc: int, offset: int
+    ) -> None:
+        body = butterfly.body
+        wing = self._wing_with_change(butterfly, loc)
+        self.recorder.event(
+            "error",
+            kind=ErrorKind.UNSAFE_ISOLATION.value,
+            location=loc,
+            epoch=body.block_id[0],
+            thread=body.block_id[1],
+            index=offset,
+            ref=list(body.global_ref(offset)),
+            stage="second",
+            wing=list(wing) if wing is not None else None,
+        )
 
     def second_pass(self, butterfly: Butterfly, side_in: Any) -> None:
         """Flag every location where the body's allocation-state changes
@@ -528,11 +625,12 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
         body = butterfly.body
         s = self._summaries[body.block_id]
         flags_before = len(self.errors)
+        emit = self.recorder.enabled
         changed = s.gen | s.kill
         wing_changed = side_in.changed
         # (s.GEN U s.KILL) n (S.GEN U S.KILL): racing state changes.
         for loc in changed & wing_changed:
-            self.errors.flag(
+            if self.errors.flag(
                 ErrorReport(
                     ErrorKind.UNSAFE_ISOLATION,
                     loc,
@@ -540,10 +638,13 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
                     block=body.block_id,
                     detail=_DETAIL_CHANGE_RACE,
                 )
-            )
+            ) and emit:
+                self._emit_isolation_event(
+                    butterfly, loc, s.first_change[loc]
+                )
         # s.ACCESS n (S.GEN U S.KILL): access during a concurrent change.
         for loc in s.access & wing_changed:
-            self.errors.flag(
+            if self.errors.flag(
                 ErrorReport(
                     ErrorKind.UNSAFE_ISOLATION,
                     loc,
@@ -551,7 +652,10 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
                     block=body.block_id,
                     detail=_DETAIL_ACCESS_RACE,
                 )
-            )
+            ) and emit:
+                self._emit_isolation_event(
+                    butterfly, loc, s.first_access[loc]
+                )
         # S.ACCESS n (s.GEN U s.KILL) is caught symmetrically when each
         # wing block is processed as its own butterfly's body (the wing
         # relation is symmetric), so flagging it here would only

@@ -159,13 +159,27 @@ class ButterflyRaceCheck(ButterflyAnalysis[AccessSummary, WingAccesses]):
         s = self._summaries[body.block_id]
         decode = self._loc_bits.decode
         for loc in decode(ww):
-            self._flag(body, loc, s.first_write[loc], "write-write")
+            self._flag(
+                butterfly, loc, s.first_write[loc], "write-write", "writes"
+            )
         for loc in decode(wr):
-            self._flag(body, loc, s.first_write[loc], "read-write")
+            self._flag(
+                butterfly, loc, s.first_write[loc], "read-write", "reads"
+            )
         for loc in decode(rw):
-            self._flag(body, loc, s.first_read[loc], "read-write")
+            self._flag(
+                butterfly, loc, s.first_read[loc], "read-write", "writes"
+            )
 
-    def _flag(self, body: Block, loc: int, offset: int, kind: str) -> None:
+    def _flag(
+        self,
+        butterfly: Butterfly,
+        loc: int,
+        offset: int,
+        kind: str,
+        wing_side: str,
+    ) -> None:
+        body = butterfly.body
         ref = body.global_ref(offset)
         if self.errors.record(
             ErrorKind.UNSAFE_ISOLATION,
@@ -177,6 +191,39 @@ class ButterflyRaceCheck(ButterflyAnalysis[AccessSummary, WingAccesses]):
             self.races.append(
                 RaceReport(location=loc, body_ref=ref, kind=kind)
             )
+            rec = self.recorder
+            if rec.enabled:
+                wing = self._wing_touching(butterfly, loc, wing_side)
+                rec.event(
+                    "error",
+                    kind=ErrorKind.UNSAFE_ISOLATION.value,
+                    location=loc,
+                    epoch=body.block_id[0],
+                    thread=body.block_id[1],
+                    index=offset,
+                    ref=list(ref),
+                    stage="second",
+                    conflict=kind,
+                    wing=list(wing) if wing is not None else None,
+                )
+
+    def _wing_touching(
+        self, butterfly: Butterfly, loc: int, side: str
+    ) -> Optional[BlockId]:
+        """Provenance: the first wing whose ``side`` footprint (reads or
+        writes) involves ``loc`` -- the access the conflict is blamed
+        on."""
+        for wing in butterfly.wings:
+            s = self._summaries.get(wing.block_id)
+            if s is not None and loc in getattr(s, side):
+                return wing.block_id
+        return None
+
+    def emit_metrics(self, recorder: Any) -> None:
+        """End-of-run gauges: intern-table pressure and conflict count."""
+        for key, value in self._loc_bits.stats().items():
+            recorder.gauge(f"intern.{key}", value)
+        recorder.gauge("racecheck.races", len(self.races))
 
     # -- step 4 --------------------------------------------------------------
 

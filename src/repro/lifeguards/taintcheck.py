@@ -31,7 +31,7 @@ a block -- with the reaching-definitions update rules.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from repro.core.epoch import Block, BlockId, InstrId
 from repro.core.framework import ButterflyAnalysis
@@ -270,13 +270,29 @@ class ButterflyTaintCheck(ButterflyAnalysis[TaintSummary, List[TaintSummary]]):
         lastcheck, flagged = result
         self._summaries[body.block_id].lastcheck.update(lastcheck)
         errors = self.errors
+        rec = self.recorder
+        emit = rec.enabled
         for offset, loc in flagged:
-            errors.record(
+            if errors.record(
                 ErrorKind.TAINTED_JUMP,
                 loc,
                 ref=body.global_ref(offset),
                 detail="possibly-tainted data used as jump target",
-            )
+            ) and emit:
+                # Taint resolution walks rules from the whole window, so
+                # no single wing is blamed; provenance is the body block
+                # plus the check stage.
+                rec.event(
+                    "error",
+                    kind=ErrorKind.TAINTED_JUMP.value,
+                    location=loc,
+                    epoch=body.block_id[0],
+                    thread=body.block_id[1],
+                    index=offset,
+                    ref=list(body.global_ref(offset)),
+                    stage="second",
+                    wing=None,
+                )
 
     def _location_tainted(
         self,
@@ -321,6 +337,11 @@ class ButterflyTaintCheck(ButterflyAnalysis[TaintSummary, List[TaintSummary]]):
         kill_l -= gen_l
         self.sos.advance(lid, gen_l, lambda loc: loc in kill_l)
         self._evict(lid - 1)
+
+    def emit_metrics(self, recorder: Any) -> None:
+        """End-of-run gauges: flagged jumps and window residency."""
+        recorder.gauge("taintcheck.tainted_jumps", len(self.errors))
+        recorder.gauge("taintcheck.resident_summaries", len(self._summaries))
 
     def _lastcheck_span(self, loc: int, lid: int, tid: int) -> Optional[Value]:
         """LASTCHECK(x, (l-1, l), t): the thread's most recent resolution

@@ -1,0 +1,23 @@
+"""Engine observability: metrics, spans, and a structured event log.
+
+See :mod:`repro.obs.recorder` for the API and ``docs/observability.md``
+for the event schema and overhead numbers.
+"""
+
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    JsonlSink,
+    NullRecorder,
+    Recorder,
+    normalize_events,
+    read_events,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "JsonlSink",
+    "NullRecorder",
+    "Recorder",
+    "normalize_events",
+    "read_events",
+]

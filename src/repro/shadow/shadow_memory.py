@@ -29,6 +29,15 @@ class ShadowMemory:
         self._pages: Dict[int, List[Any]] = {}
         self.reads = 0
         self.writes = 0
+        #: Observability counters: burst (range) accesses vs the
+        #: per-word ``load``/``store`` calls folded into ``reads``/
+        #: ``writes``, words moved by bursts, and total page
+        #: materializations (plain int adds; read via :meth:`stats`).
+        self.burst_reads = 0
+        self.burst_writes = 0
+        self.burst_read_words = 0
+        self.burst_write_words = 0
+        self.pages_allocated = 0
 
     def _page_of(self, addr: int) -> Tuple[int, int]:
         return addr // self.page_size, addr % self.page_size
@@ -50,6 +59,7 @@ class ShadowMemory:
         if page is None:
             page = [self.default] * self.page_size
             self._pages[pid] = page
+            self.pages_allocated += 1
         page[off] = value
 
     def store_range(self, start: int, size: int, value: Any) -> None:
@@ -64,6 +74,8 @@ class ShadowMemory:
         if size <= 0:
             return
         self.writes += 1
+        self.burst_writes += 1
+        self.burst_write_words += size
         page_size = self.page_size
         pages = self._pages
         end = start + size
@@ -73,6 +85,7 @@ class ShadowMemory:
             span = min(page_size - off, end - start)
             page = pages.get(pid)
             if page is None:
+                self.pages_allocated += 1
                 if span == page_size:
                     # Whole-page fast path: no fill-then-overwrite.
                     pages[pid] = [value] * page_size
@@ -94,6 +107,8 @@ class ShadowMemory:
         if size <= 0:
             return []
         self.reads += 1
+        self.burst_reads += 1
+        self.burst_read_words += size
         page_size = self.page_size
         pages = self._pages
         default = self.default
@@ -117,6 +132,29 @@ class ShadowMemory:
     def resident_pages(self) -> int:
         """Second-level pages materialized so far."""
         return len(self._pages)
+
+    def stats(self) -> Dict[str, Any]:
+        """Access-pattern telemetry: burst vs per-word traffic and page
+        allocation pressure (consumed by ``repro stats`` and the bench
+        report)."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "burst_reads": self.burst_reads,
+            "burst_writes": self.burst_writes,
+            "burst_read_words": self.burst_read_words,
+            "burst_write_words": self.burst_write_words,
+            "scalar_reads": self.reads - self.burst_reads,
+            "scalar_writes": self.writes - self.burst_writes,
+            "pages_allocated": self.pages_allocated,
+            "resident_pages": len(self._pages),
+            "page_size": self.page_size,
+        }
+
+    def emit_metrics(self, recorder: Any, prefix: str = "shadow") -> None:
+        """Publish :meth:`stats` as gauges named ``<prefix>.<key>``."""
+        for key, value in self.stats().items():
+            recorder.gauge(f"{prefix}.{key}", value)
 
     def nonzero_items(self) -> Iterator[Tuple[int, Any]]:
         """Iterate ``(addr, value)`` for locations differing from the

@@ -32,6 +32,7 @@ from repro.core.epoch import (
 from repro.core.framework import ButterflyEngine, EngineStats
 from repro.lifeguards.addrcheck import ButterflyAddrCheck
 from repro.lifeguards.sequential import SequentialAddrCheck
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.shadow.metadata_tlb import MetadataTLB
 from repro.sim.accelerators import IdempotentFilter
 from repro.sim.cmp import LOCATION_STRIDE, run_parallel, run_serialized
@@ -182,12 +183,14 @@ class LBASystem:
         partition: Optional[EpochPartition] = None,
         guard: Optional[ButterflyAddrCheck] = None,
         backend: str = "serial",
+        recorder: Optional["Recorder"] = None,
     ) -> ButterflyRun:
         """Parallel, Monitoring: butterfly AddrCheck on 2k cores.
 
         Runs the real lifeguard over the partitioned trace (on the given
         execution backend; results are backend-independent), then prices
-        its measured work with the cost model.
+        its measured work with the cost model.  ``recorder`` threads an
+        observability recorder through to the engine (default: off).
         """
         config = MachineConfig.for_app_threads(program.num_threads)
         costs = self.costs
@@ -202,7 +205,11 @@ class LBASystem:
             guard = ButterflyAddrCheck(
                 initially_allocated=program.preallocated
             )
-        with ButterflyEngine(guard, backend=backend) as engine:
+        with ButterflyEngine(
+            guard,
+            backend=backend,
+            recorder=NULL_RECORDER if recorder is None else recorder,
+        ) as engine:
             stats = engine.run(partition)
 
         app = run_parallel(program, config)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import read_events
 
 
 class TestParser:
@@ -71,3 +72,158 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "epoch size" in out
         assert "slowdown" in out
+
+
+class TestEmitEvents:
+    def test_check_writes_parseable_event_log(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        assert main(
+            [
+                "check", "--benchmark", "LU", "--threads", "2",
+                "--events", "2000", "--epoch-size", "256",
+                "--emit-events", str(path),
+            ]
+        ) == 0
+        assert f"events to {path}" in capsys.readouterr().out
+        events = read_events(str(path))
+        names = {ev["ev"] for ev in events}
+        assert {"run.attach", "pass.first", "pass.second",
+                "epoch.summary", "run.finish"} <= names
+        # Epoch spans cover every epoch; every event is seq-numbered.
+        epochs = [ev["epoch"] for ev in events if ev["ev"] == "pass.first"]
+        assert epochs == sorted(epochs)
+        assert [ev["seq"] for ev in events] == list(
+            range(1, len(events) + 1)
+        )
+
+    def test_check_race_event_log(self, tmp_path, capsys):
+        path = tmp_path / "race.jsonl"
+        assert main(
+            [
+                "check", "--benchmark", "OCEAN", "--threads", "2",
+                "--events", "2000", "--epoch-size", "512",
+                "--lifeguard", "race", "--emit-events", str(path),
+            ]
+        ) == 0
+        events = read_events(str(path))
+        for ev in events:
+            if ev["ev"] == "error":
+                assert ev["stage"] == "second"
+                assert ev["conflict"] in ("write-write", "read-write")
+
+    def test_sweep_event_log_tags_each_config(self, tmp_path, capsys):
+        path = tmp_path / "sweep.jsonl"
+        assert main(
+            [
+                "sweep", "--benchmark", "LU", "--threads", "2",
+                "--events", "2000", "--sizes", "256", "512",
+                "--emit-events", str(path),
+            ]
+        ) == 0
+        events = read_events(str(path))
+        sizes = [
+            ev["epoch_size"] for ev in events if ev["ev"] == "sweep.config"
+        ]
+        assert sizes == [256, 512]
+
+
+class TestStatsCommand:
+    def test_stats_prints_span_and_metric_summary(self, capsys):
+        assert main(
+            [
+                "stats", "--benchmark", "LU", "--threads", "2",
+                "--events", "2000", "--epoch-size", "256",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "spans (aggregated):" in out
+        assert "pass.first" in out
+        assert "gauges:" in out
+        assert "intern.size" in out
+
+    def test_stats_race_lifeguard(self, capsys):
+        assert main(
+            [
+                "stats", "--benchmark", "OCEAN", "--threads", "2",
+                "--events", "2000", "--epoch-size", "512",
+                "--lifeguard", "race",
+            ]
+        ) == 0
+        assert "racecheck.races" in capsys.readouterr().out
+
+    def test_stats_emit_events(self, tmp_path, capsys):
+        path = tmp_path / "stats.jsonl"
+        assert main(
+            [
+                "stats", "--benchmark", "LU", "--threads", "2",
+                "--events", "2000", "--epoch-size", "256",
+                "--emit-events", str(path),
+            ]
+        ) == 0
+        assert read_events(str(path))
+
+
+class TestErrorPaths:
+    """Unwritable outputs exit 2 with a one-line message, no traceback."""
+
+    def bad_path(self, tmp_path):
+        return str(tmp_path / "no" / "such" / "dir" / "out")
+
+    def test_check_unwritable_emit_events(self, tmp_path, capsys):
+        rc = main(
+            ["check", "--events", "64",
+             "--emit-events", self.bad_path(tmp_path)]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro check: error: cannot write")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_sweep_unwritable_emit_events(self, tmp_path, capsys):
+        rc = main(
+            ["sweep", "--events", "64",
+             "--emit-events", self.bad_path(tmp_path)]
+        )
+        assert rc == 2
+        assert capsys.readouterr().err.startswith(
+            "repro sweep: error: cannot write"
+        )
+
+    def test_bench_unwritable_output(self, tmp_path, capsys):
+        rc = main(["bench", "--output", self.bad_path(tmp_path)])
+        assert rc == 2
+        assert capsys.readouterr().err.startswith(
+            "repro bench: error: cannot write"
+        )
+
+    def test_bench_unwritable_emit_events(self, tmp_path, capsys):
+        rc = main(
+            ["bench", "--output", str(tmp_path / "ok.json"),
+             "--emit-events", self.bad_path(tmp_path)]
+        )
+        assert rc == 2
+        assert capsys.readouterr().err.startswith(
+            "repro bench: error: cannot write"
+        )
+
+    def test_bench_bad_repeats(self, capsys):
+        rc = main(["bench", "--repeats", "0"])
+        assert rc == 2
+        assert "--repeats must be >= 1" in capsys.readouterr().err
+
+    def test_generate_unwritable_output(self, tmp_path, capsys):
+        rc = main(
+            ["generate", "--events", "64",
+             "--output", self.bad_path(tmp_path)]
+        )
+        assert rc == 2
+        assert capsys.readouterr().err.startswith(
+            "repro generate: error: cannot write"
+        )
+
+    def test_check_missing_trace(self, tmp_path, capsys):
+        rc = main(["check", "--trace", str(tmp_path / "nope.trace")])
+        assert rc == 2
+        assert capsys.readouterr().err.startswith(
+            "repro check: error: cannot read"
+        )

@@ -4,6 +4,7 @@ import json
 
 from repro.bench.perf import run_perf
 from repro.cli import main
+from repro.obs import read_events
 
 
 class TestRunPerf:
@@ -11,11 +12,12 @@ class TestRunPerf:
         out = tmp_path / "BENCH_test.json"
         report = run_perf(repeats=1, output_path=str(out))
 
-        assert report["schema"] == 1
+        assert report["schema"] == 2
         assert set(report["workloads"]) == {
             "microbench_core",
             "reaching_defs",
             "shadow_store_range",
+            "observability_overhead",
         }
 
         core = report["workloads"]["microbench_core"]
@@ -42,6 +44,41 @@ class TestRunPerf:
         for name, entry in runs.items():
             assert entry["engine_stats"] == ref["engine_stats"], name
             assert entry["errors"] == ref["errors"], name
+
+    def test_per_epoch_rows_consistent_with_run_totals(self):
+        """The schema-2 ``per_epoch`` section must agree with the timed
+        runs: same epoch count, instruction totals, and final cumulative
+        error count."""
+        report = run_perf(repeats=1)
+        core = report["workloads"]["microbench_core"]
+        per_epoch = core["per_epoch"]
+        stats = core["runs"]["optimized_serial"]["engine_stats"]
+        assert len(per_epoch) == stats["epochs_processed"]
+        assert [row["epoch"] for row in per_epoch] == list(
+            range(len(per_epoch))
+        )
+        assert (
+            sum(row["instructions"] for row in per_epoch)
+            == stats["first_pass_instructions"]
+        )
+        assert sum(row["meets"] for row in per_epoch) == stats["meets"]
+        assert per_epoch[-1]["errors_total"] == core["runs"][
+            "optimized_serial"
+        ]["errors"]
+
+    def test_events_path_captures_instrumented_replay(self, tmp_path):
+        events_file = tmp_path / "bench_events.jsonl"
+        run_perf(repeats=1, events_path=str(events_file))
+        events = read_events(str(events_file))
+        names = {ev["ev"] for ev in events}
+        assert {"run.attach", "pass.first", "pass.second",
+                "epoch.summary", "run.finish"} <= names
+
+    def test_observability_overhead_entry(self):
+        report = run_perf(repeats=1)
+        obs = report["workloads"]["observability_overhead"]
+        assert set(obs["runs"]) == {"disabled", "enabled"}
+        assert obs["overhead_ratio"] > 0
 
 
 class TestBenchCLI:

@@ -24,6 +24,7 @@ from repro.core.reaching_defs import ReachingDefinitions
 from repro.lifeguards.addrcheck import ButterflyAddrCheck
 from repro.lifeguards.racecheck import ButterflyRaceCheck
 from repro.lifeguards.taintcheck import ButterflyTaintCheck
+from repro.obs import Recorder, normalize_events
 from repro.trace.generator import (
     simulated_alloc_program,
     simulated_taint_program,
@@ -177,6 +178,154 @@ class TestTaintCheckDeterminism:
                 ref_guard.errors
             ), name
             assert _sos_states(guard) == _sos_states(ref_guard), name
+
+
+def _metrics_fingerprint(rec):
+    """The recorder's deterministic content.
+
+    ``backend.*`` telemetry (fan-out batches, task submit/complete,
+    queue depth) exists only on concurrent backends and is excluded by
+    contract; everything else must be bit-identical across backends.
+    """
+    return (
+        {k: v for k, v in rec.counters.items()
+         if not k.startswith("backend.")},
+        {k: v for k, v in rec.gauges.items()
+         if not k.startswith("backend.")},
+        {k: v[0] for k, v in rec.spans.items()
+         if not k.startswith("backend.")},
+    )
+
+
+def _instrumented_run(make_guard, prog, h):
+    """One recorded run per backend; return {name: (log, metrics)}."""
+    out = {}
+    for name, backend in BACKENDS:
+        rec = Recorder()
+        guard = make_guard()
+        with ButterflyEngine(guard, backend=backend, recorder=rec) as engine:
+            engine.run(partition_by_global_order(prog, h))
+        out[name] = (normalize_events(rec.events), _metrics_fingerprint(rec))
+    return out
+
+
+class TestObservabilityDeterminism:
+    """The event log and metrics are analysis facts, not schedule facts.
+
+    After :func:`normalize_events` (drop ``backend.*``, strip wall-clock
+    fields, renumber), the logs of all three backends must compare
+    equal -- including the order of error events, since all emission
+    happens on the serial commit path.
+    """
+
+    @given(
+        seed=st.integers(0, 10_000),
+        threads=st.integers(1, 3),
+        h=st.integers(1, 10),
+        err=st.floats(0.0, 0.3),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_addrcheck_logs_identical(self, seed, threads, h, err):
+        prog = simulated_alloc_program(
+            random.Random(seed),
+            num_threads=threads,
+            total_events=60,
+            num_locations=6,
+            inject_error_rate=err,
+        )
+        runs = _instrumented_run(ButterflyAddrCheck, prog, h)
+        ref_log, ref_metrics = runs["serial"]
+        assert any(ev["ev"] == "epoch.summary" for ev in ref_log)
+        for name in ("threads", "processes"):
+            log, metrics = runs[name]
+            assert log == ref_log, name
+            assert metrics == ref_metrics, name
+
+    @given(
+        seed=st.integers(0, 10_000),
+        threads=st.integers(1, 3),
+        h=st.integers(1, 8),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_racecheck_logs_identical(self, seed, threads, h):
+        prog = simulated_alloc_program(
+            random.Random(seed),
+            num_threads=threads,
+            total_events=50,
+            num_locations=5,
+        )
+        runs = _instrumented_run(ButterflyRaceCheck, prog, h)
+        ref_log, ref_metrics = runs["serial"]
+        for name in ("threads", "processes"):
+            log, metrics = runs[name]
+            assert log == ref_log, name
+            assert metrics == ref_metrics, name
+
+    @given(
+        seed=st.integers(0, 10_000),
+        threads=st.integers(1, 3),
+        h=st.integers(1, 8),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_taintcheck_logs_identical(self, seed, threads, h):
+        prog = simulated_taint_program(
+            random.Random(seed),
+            num_threads=threads,
+            total_events=40,
+            num_locations=5,
+        )
+        runs = _instrumented_run(ButterflyTaintCheck, prog, h)
+        ref_log, ref_metrics = runs["serial"]
+        for name in ("threads", "processes"):
+            log, metrics = runs[name]
+            assert log == ref_log, name
+            assert metrics == ref_metrics, name
+
+    @given(
+        seed=st.integers(0, 10_000),
+        threads=st.integers(1, 3),
+        h=st.integers(1, 10),
+        err=st.floats(0.0, 0.3),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_optimized_reference_same_errors_and_epoch_counts(
+        self, seed, threads, h, err
+    ):
+        """Differential: the bitset fast path and the reference
+        implementation emit the same error *events* (unordered: decode
+        order vs set iteration) and identical per-epoch error counts in
+        ``epoch.summary``."""
+        prog = simulated_alloc_program(
+            random.Random(seed),
+            num_threads=threads,
+            total_events=60,
+            num_locations=6,
+            inject_error_rate=err,
+        )
+        logs = {}
+        for optimized in (False, True):
+            rec = Recorder()
+            guard = ButterflyAddrCheck(optimized=optimized)
+            with ButterflyEngine(guard, recorder=rec) as engine:
+                engine.run(partition_by_global_order(prog, h))
+            logs[optimized] = normalize_events(rec.events)
+
+        def error_set(log):
+            return {
+                frozenset(
+                    (k, tuple(v) if isinstance(v, list) else v)
+                    for k, v in ev.items()
+                    if k != "seq"
+                )
+                for ev in log
+                if ev["ev"] == "error"
+            }
+
+        def epoch_rows(log):
+            return [ev for ev in log if ev["ev"] == "epoch.summary"]
+
+        assert error_set(logs[True]) == error_set(logs[False])
+        assert epoch_rows(logs[True]) == epoch_rows(logs[False])
 
 
 class TestReachingDefsDeterminism:
