@@ -17,7 +17,13 @@ Workloads:
 - ``shadow_store_range`` -- bulk range writes vs. the equivalent
   per-address store loop;
 - ``observability_overhead`` -- the core workload with the recorder
-  off (the default everywhere else) vs. a live in-memory recorder.
+  off (the default everywhere else) vs. a live in-memory recorder;
+- ``resilience_overhead`` -- the core workload on the bare serial
+  backend vs. the same backend wrapped in the fault-free resilience
+  supervisor (``benchmarks/test_resilience_overhead.py`` holds this
+  within its budget).  With ``inject_faults`` set, an additional
+  ``faulted`` run times the supervised backend recovering from the
+  given deterministic fault schedule.
 
 Read a ``BENCH_*.json`` as: ``runs.<name>.best_s`` is the best-of-N
 wall time in seconds (N = ``repeats``), ``engine_stats`` the exact work
@@ -25,7 +31,8 @@ counters of that run (identical across backends by design), and
 ``speedup_vs_baseline`` the reference-serial best divided by the
 optimized-serial best.  Since schema 2 the ``microbench_core`` entry
 also carries ``per_epoch``: deterministic per-epoch rows (instructions,
-meets, error attribution) from one instrumented replay.
+meets, error attribution) from one instrumented replay.  Schema 3 adds
+the ``resilience_overhead`` workload.
 """
 
 from __future__ import annotations
@@ -198,6 +205,66 @@ def _bench_observability_overhead(repeats: int) -> Dict[str, Any]:
     }
 
 
+def _bench_resilience_overhead(
+    repeats: int, inject_faults: Optional[str] = None
+) -> Dict[str, Any]:
+    """Bare serial backend vs. the fault-free supervisor around it.
+
+    The supervisor's fault-free path is one ``isinstance`` check and a
+    validity scan per batch; ``overhead_ratio`` is the measured price.
+    With a fault spec, ``faulted`` additionally times recovery (retries,
+    backoff, pool recycling) -- reported for context, not budgeted.
+    """
+    from repro.resilience import FaultPlan, RetryPolicy, SupervisedBackend
+
+    partition = _core_partition()
+
+    def bare() -> None:
+        guard = ButterflyAddrCheck(optimized=True)
+        with ButterflyEngine(guard, backend="serial") as engine:
+            engine.run(partition)
+
+    def supervised() -> None:
+        guard = ButterflyAddrCheck(optimized=True)
+        backend = SupervisedBackend("serial")
+        try:
+            with ButterflyEngine(guard, backend=backend) as engine:
+                engine.run(partition)
+        finally:
+            backend.close()
+
+    runs = {
+        "bare_serial": _time_best(bare, repeats),
+        "supervised_serial": _time_best(supervised, repeats),
+    }
+    params: Dict[str, Any] = {"backend": "serial", "optimized": True}
+    if inject_faults:
+        plan = FaultPlan.parse(inject_faults)
+        params["inject_faults"] = inject_faults
+
+        def faulted() -> None:
+            guard = ButterflyAddrCheck(optimized=True)
+            backend = SupervisedBackend(
+                "serial", policy=RetryPolicy(), plan=plan
+            )
+            try:
+                with ButterflyEngine(guard, backend=backend) as engine:
+                    engine.run(partition)
+            finally:
+                backend.close()
+
+        runs["faulted_serial"] = _time_best(faulted, repeats)
+    return {
+        "description": "microbench core bare vs. supervised (fault-free)",
+        "params": params,
+        "runs": runs,
+        "overhead_ratio": (
+            runs["supervised_serial"]["best_s"]
+            / runs["bare_serial"]["best_s"]
+        ),
+    }
+
+
 def _bench_reaching_defs(repeats: int) -> Dict[str, Any]:
     partition = _core_partition()
     runs: Dict[str, Any] = {}
@@ -258,14 +325,16 @@ def run_perf(
     repeats: int = 5,
     output_path: Optional[str] = None,
     events_path: Optional[str] = None,
+    inject_faults: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run every perf workload; optionally write the JSON report.
 
     ``events_path`` additionally captures the instrumented replay's
-    JSONL event log (the run feeding the ``per_epoch`` section).
+    JSONL event log (the run feeding the ``per_epoch`` section);
+    ``inject_faults`` adds a faulted run to ``resilience_overhead``.
     """
     report: Dict[str, Any] = {
-        "schema": 2,
+        "schema": 3,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "cpu_count": os.cpu_count(),
@@ -275,6 +344,9 @@ def run_perf(
             "reaching_defs": _bench_reaching_defs(repeats),
             "shadow_store_range": _bench_shadow_store_range(repeats),
             "observability_overhead": _bench_observability_overhead(repeats),
+            "resilience_overhead": _bench_resilience_overhead(
+                repeats, inject_faults
+            ),
         },
     }
     if output_path is not None:

@@ -10,26 +10,42 @@ Examples
     python -m repro figure13
     python -m repro check --benchmark OCEAN --threads 4 --epoch-size 512
     python -m repro check --benchmark OCEAN --emit-events events.jsonl
+    python -m repro check --benchmark OCEAN --checkpoint run.ckpt
+    python -m repro check --backend processes --inject-faults crash=0.05,seed=7
+    python -m repro resume --checkpoint run.ckpt
     python -m repro sweep --benchmark OCEAN --threads 4
+    python -m repro sweep --traces a.jsonl b.jsonl --quarantine bad/
     python -m repro stats --benchmark OCEAN --threads 4
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import os
+import shutil
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bench.experiments import figure11, figure12, figure13, table1
 from repro.bench.harness import ExperimentConfig, ExperimentSuite
 from repro.bench.reporting import render_table
+from repro.core.epoch import partition_by_global_order, partition_fixed
 from repro.core.framework import ButterflyEngine
-from repro.core.parallel import BACKEND_CHOICES
+from repro.core.parallel import BACKEND_CHOICES, ExecutionBackend
+from repro.errors import CheckpointError, ResilienceError, TraceError
 from repro.lifeguards.addrcheck import ButterflyAddrCheck
 from repro.lifeguards.racecheck import ButterflyRaceCheck
 from repro.lifeguards.reports import compare_reports
 from repro.lifeguards.sequential import SequentialAddrCheck
 from repro.obs import NULL_RECORDER, JsonlSink, Recorder
+from repro.resilience import (
+    Checkpointer,
+    FaultPlan,
+    RetryPolicy,
+    SupervisedBackend,
+    load_checkpoint,
+)
 from repro.sim.lba import LBASystem
 from repro.trace.serialize import load_file, save_file
 from repro.workloads.registry import BENCHMARKS, get_benchmark
@@ -66,6 +82,165 @@ def _finish_events(recorder: Recorder, args: argparse.Namespace) -> None:
     if getattr(args, "emit_events", None):
         recorder.close()
         print(f"wrote {len(recorder.events)} events to {args.emit_events}")
+
+
+def _resolve_backend(
+    args: argparse.Namespace, command: str
+) -> "tuple[Any, Optional[int]]":
+    """``--backend`` plus the resilience flags -> engine backend.
+
+    Plain runs return the backend *name* (the engine then owns the
+    pool); ``--supervised`` or ``--inject-faults`` return a constructed
+    :class:`SupervisedBackend` the caller must close via
+    :func:`_close_backend`.  Returns ``(None, exit_code)`` on a
+    malformed fault spec.
+    """
+    plan = None
+    spec = getattr(args, "inject_faults", None)
+    if spec:
+        try:
+            plan = FaultPlan.parse(spec)
+        except ResilienceError as exc:
+            return None, _fail(command, str(exc))
+    if not getattr(args, "supervised", False) and plan is None:
+        return args.backend, None
+    policy = RetryPolicy(
+        max_retries=getattr(args, "retries", 3),
+        task_timeout=getattr(args, "task_timeout", 30.0),
+    )
+    return SupervisedBackend(args.backend, policy=policy, plan=plan), None
+
+
+def _close_backend(backend: Any) -> None:
+    """Close a backend the CLI constructed (the engine only owns
+    backends it built from a name)."""
+    if isinstance(backend, ExecutionBackend):
+        backend.close()
+
+
+def _partition_for(program, epoch_size: int):
+    """The partition rule the LBA substrate uses: cut by the recorded
+    global order when one exists (heartbeats fire in execution time)."""
+    if program.true_order is not None:
+        return partition_by_global_order(program, epoch_size)
+    return partition_fixed(program, epoch_size)
+
+
+def _make_guard(lifeguard: str, program):
+    if lifeguard == "addrcheck":
+        return ButterflyAddrCheck(initially_allocated=program.preallocated)
+    return ButterflyRaceCheck()
+
+
+def _sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _run_meta(
+    args: argparse.Namespace, program, trace_path: Optional[str]
+) -> Dict[str, Any]:
+    """The checkpoint's configuration fingerprint: everything needed to
+    rebuild the identical trace and partition at resume time."""
+    if trace_path:
+        trace_abs = os.path.abspath(trace_path)
+        return {
+            "benchmark": None,
+            "trace": trace_abs,
+            "trace_sha256": _sha256(trace_abs),
+            "threads": program.num_threads,
+            "events": None,
+            "seed": None,
+            "epoch_size": args.epoch_size,
+            "lifeguard": args.lifeguard,
+        }
+    return {
+        "benchmark": args.benchmark,
+        "trace": None,
+        "trace_sha256": None,
+        "threads": args.threads,
+        "events": args.events,
+        "seed": args.seed,
+        "epoch_size": args.epoch_size,
+        "lifeguard": args.lifeguard,
+    }
+
+
+def _drive_engine(
+    args: argparse.Namespace,
+    engine: ButterflyEngine,
+    partition,
+    checkpoint_path: Optional[str],
+    meta: Dict[str, Any],
+    start_epoch: int = 0,
+) -> bool:
+    """Feed the remaining epochs; return True when the run finished.
+
+    ``--stop-after-epoch N`` exits cleanly right after receiving epoch
+    ``N`` -- the kill/resume drill used by the resilience tests and the
+    CI fault-injection job.
+    """
+    if checkpoint_path:
+        engine.enable_checkpoints(
+            Checkpointer(
+                checkpoint_path,
+                meta,
+                every=getattr(args, "checkpoint_every", 1),
+            )
+        )
+    stop_after = getattr(args, "stop_after_epoch", None)
+    for lid in range(start_epoch, partition.num_epochs):
+        engine.feed_epoch(lid)
+        if stop_after is not None and lid >= stop_after:
+            message = f"stopped after receiving epoch {lid}"
+            if checkpoint_path:
+                message += (
+                    "; resume with: repro resume "
+                    f"--checkpoint {checkpoint_path}"
+                )
+            print(message)
+            return False
+    engine.finish()
+    return True
+
+
+def _print_check_results(
+    label: str,
+    threads: int,
+    epoch_size: int,
+    lifeguard: str,
+    limit: int,
+    program,
+    partition,
+    guard,
+) -> None:
+    """The check/resume result block (identical for both commands, so
+    a resumed run's output can be diffed against an uninterrupted
+    one)."""
+    if lifeguard == "addrcheck":
+        truth = SequentialAddrCheck(program.preallocated)
+        truth.run_order(program)
+        precision = compare_reports(
+            truth.errors, guard.errors, program.memory_op_count
+        )
+        print(f"benchmark: {label}, {threads} threads, "
+              f"h={epoch_size} events, "
+              f"{partition.num_epochs} epochs")
+        print(f"flags: {precision.flagged}  true: {precision.true_positives}"
+              f"  false positives: {precision.false_positives}"
+              f"  false negatives: {precision.false_negatives}")
+        print(f"false-positive rate: "
+              f"{precision.false_positive_rate:.4%} of memory accesses")
+    else:
+        print(f"benchmark: {label}, {threads} threads, "
+              f"h={epoch_size} events")
+        print(f"potential conflicts: {len(guard.races)}")
+        for race in guard.races[:limit]:
+            print(f"  {race.kind:12s} loc=0x{race.location:x} "
+                  f"at {race.body_ref}")
 
 
 def _suite(args: argparse.Namespace) -> ExperimentSuite:
@@ -129,86 +304,200 @@ def cmd_check(args: argparse.Namespace) -> int:
     recorder, rc = _open_recorder(args, "check")
     if recorder is None:
         return rc
-    if args.trace:
+    trace_path = args.trace
+    if trace_path:
         try:
-            program = load_file(args.trace)
+            program = load_file(trace_path)
         except OSError as exc:
-            return _fail("check", f"cannot read {args.trace}: {exc}")
+            return _fail("check", f"cannot read {trace_path}: {exc}")
+        except TraceError as exc:
+            return _fail("check", str(exc))
         args.threads = program.num_threads
     else:
         program = get_benchmark(args.benchmark).generate(
             args.threads, args.events, seed=args.seed
         )
-    system = LBASystem()
-    if args.lifeguard == "addrcheck":
-        run = system.butterfly(
-            program, args.epoch_size, backend=args.backend, recorder=recorder
+    backend, rc = _resolve_backend(args, "check")
+    if backend is None:
+        return rc
+    partition = _partition_for(program, args.epoch_size)
+    guard = _make_guard(args.lifeguard, program)
+    meta = _run_meta(args, program, trace_path)
+    engine = ButterflyEngine(guard, backend=backend, recorder=recorder)
+    try:
+        engine.attach(partition)
+        finished = _drive_engine(
+            args, engine, partition, args.checkpoint, meta
         )
-        guard = run.guard
-        truth = SequentialAddrCheck(program.preallocated)
-        truth.run_order(program)
-        precision = compare_reports(
-            truth.errors, guard.errors, program.memory_op_count
+    except ResilienceError as exc:
+        return _fail("check", str(exc))
+    finally:
+        engine.close()
+        _close_backend(backend)
+    if finished:
+        _print_check_results(
+            args.benchmark, args.threads, args.epoch_size,
+            args.lifeguard, args.limit, program, partition, guard,
         )
-        print(f"benchmark: {args.benchmark}, {args.threads} threads, "
-              f"h={args.epoch_size} events, "
-              f"{run.partition.num_epochs} epochs")
-        print(f"flags: {precision.flagged}  true: {precision.true_positives}"
-              f"  false positives: {precision.false_positives}"
-              f"  false negatives: {precision.false_negatives}")
-        print(f"false-positive rate: "
-              f"{precision.false_positive_rate:.4%} of memory accesses")
-    else:
-        guard = ButterflyRaceCheck()
-        from repro.core.epoch import partition_by_global_order
-
-        partition = partition_by_global_order(program, args.epoch_size)
-        with ButterflyEngine(
-            guard, backend=args.backend, recorder=recorder
-        ) as engine:
-            engine.run(partition)
-        print(f"benchmark: {args.benchmark}, {args.threads} threads, "
-              f"h={args.epoch_size} events")
-        print(f"potential conflicts: {len(guard.races)}")
-        for race in guard.races[: args.limit]:
-            print(f"  {race.kind:12s} loc=0x{race.location:x} "
-                  f"at {race.body_ref}")
     _finish_events(recorder, args)
     return 0
 
 
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Continue a checkpointed run killed at an epoch boundary.
+
+    The checkpoint's configuration fingerprint rebuilds the identical
+    trace and partition; the continued run's error log, stats, and
+    output are bit-identical to an uninterrupted one.  Any workload
+    flag passed here is cross-checked against the fingerprint and a
+    mismatch refuses to resume.
+    """
+    recorder, rc = _open_recorder(args, "resume")
+    if recorder is None:
+        return rc
+    try:
+        checkpoint = load_checkpoint(args.checkpoint)
+    except CheckpointError as exc:
+        return _fail("resume", str(exc))
+    meta = dict(checkpoint.meta)
+    expected = dict(meta)
+    for key in ("benchmark", "threads", "events", "seed",
+                "epoch_size", "lifeguard"):
+        value = getattr(args, key, None)
+        if value is not None:
+            expected[key] = value
+    if getattr(args, "trace", None):
+        expected["trace"] = os.path.abspath(args.trace)
+    try:
+        checkpoint.verify(expected)
+    except CheckpointError as exc:
+        return _fail("resume", str(exc))
+    if meta.get("trace"):
+        try:
+            program = load_file(meta["trace"])
+        except OSError as exc:
+            return _fail("resume", f"cannot read {meta['trace']}: {exc}")
+        except TraceError as exc:
+            return _fail("resume", str(exc))
+        if meta.get("trace_sha256"):
+            digest = _sha256(meta["trace"])
+            if digest != meta["trace_sha256"]:
+                return _fail(
+                    "resume",
+                    f"trace file {meta['trace']} changed since the "
+                    "checkpoint was taken (sha256 mismatch)",
+                )
+        label = meta["trace"]
+    else:
+        program = get_benchmark(meta["benchmark"]).generate(
+            meta["threads"], meta["events"], seed=meta["seed"]
+        )
+        label = meta["benchmark"]
+    backend, rc = _resolve_backend(args, "resume")
+    if backend is None:
+        return rc
+    partition = _partition_for(program, meta["epoch_size"])
+    guard = checkpoint.analysis
+    engine = ButterflyEngine(guard, backend=backend, recorder=recorder)
+    try:
+        engine.attach(partition)
+        checkpoint.restore_into(engine)
+        finished = _drive_engine(
+            args, engine, partition, args.checkpoint, meta,
+            start_epoch=checkpoint.next_epoch,
+        )
+    except (ResilienceError, CheckpointError) as exc:
+        return _fail("resume", str(exc))
+    finally:
+        engine.close()
+        _close_backend(backend)
+    if finished:
+        _print_check_results(
+            label, meta["threads"], meta["epoch_size"],
+            meta["lifeguard"], args.limit, program, partition, guard,
+        )
+    _finish_events(recorder, args)
+    return 0
+
+
+def _quarantine_file(path: str, directory: str) -> str:
+    os.makedirs(directory, exist_ok=True)
+    dest = os.path.join(directory, os.path.basename(path))
+    shutil.move(path, dest)
+    return dest
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Epoch-size sweep for one benchmark (the paper's tuning knob)."""
+    """Epoch-size sweep for one benchmark (the paper's tuning knob),
+    or over saved trace files (``--traces``)."""
     recorder, rc = _open_recorder(args, "sweep")
     if recorder is None:
         return rc
-    program = get_benchmark(args.benchmark).generate(
-        args.threads, args.events, seed=args.seed
-    )
-    truth = SequentialAddrCheck(program.preallocated)
-    truth.run_order(program)
-    system = LBASystem()
-    baseline = system.unmonitored_sequential(program)
-    rows = []
-    for h in args.sizes:
-        if recorder.enabled:
-            recorder.event("sweep.config", epoch_size=h)
-        run = system.butterfly(
-            program, h, backend=args.backend, recorder=recorder
-        )
-        precision = compare_reports(
-            truth.errors, run.guard.errors, program.memory_op_count
-        )
-        rows.append((
-            h,
-            run.partition.num_epochs,
-            f"{run.result.cycles / baseline.cycles:.2f}x",
-            precision.false_positives,
-            f"{precision.false_positive_rate:.3%}",
+    backend, rc = _resolve_backend(args, "sweep")
+    if backend is None:
+        return rc
+    programs: List[Tuple[str, Any]] = []
+    if args.traces:
+        for path in args.traces:
+            try:
+                programs.append((path, load_file(path)))
+            except OSError as exc:
+                _close_backend(backend)
+                return _fail("sweep", f"cannot read {path}: {exc}")
+            except TraceError as exc:
+                if args.quarantine:
+                    dest = _quarantine_file(path, args.quarantine)
+                    print(
+                        f"repro sweep: warning: quarantined unparseable "
+                        f"trace {path} -> {dest} ({exc})",
+                        file=sys.stderr,
+                    )
+                    continue
+                _close_backend(backend)
+                return _fail("sweep", str(exc))
+        if not programs:
+            _close_backend(backend)
+            return _fail("sweep", "no readable trace files remain")
+    else:
+        programs.append((
+            args.benchmark,
+            get_benchmark(args.benchmark).generate(
+                args.threads, args.events, seed=args.seed
+            ),
         ))
-    print(render_table(
-        ("epoch size", "epochs", "slowdown", "false pos", "FP rate"), rows
-    ))
+    system = LBASystem()
+    try:
+        for label, program in programs:
+            truth = SequentialAddrCheck(program.preallocated)
+            truth.run_order(program)
+            baseline = system.unmonitored_sequential(program)
+            rows = []
+            for h in args.sizes:
+                if recorder.enabled:
+                    recorder.event("sweep.config", epoch_size=h)
+                run = system.butterfly(
+                    program, h, backend=backend, recorder=recorder
+                )
+                precision = compare_reports(
+                    truth.errors, run.guard.errors, program.memory_op_count
+                )
+                rows.append((
+                    h,
+                    run.partition.num_epochs,
+                    f"{run.result.cycles / baseline.cycles:.2f}x",
+                    precision.false_positives,
+                    f"{precision.false_positive_rate:.3%}",
+                ))
+            if args.traces:
+                print(f"trace: {label}")
+            print(render_table(
+                ("epoch size", "epochs", "slowdown", "false pos", "FP rate"),
+                rows,
+            ))
+    except ResilienceError as exc:
+        return _fail("sweep", str(exc))
+    finally:
+        _close_backend(backend)
     _finish_events(recorder, args)
     return 0
 
@@ -219,6 +508,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.repeats < 1:
         return _fail("bench", f"--repeats must be >= 1, got {args.repeats}")
+    if args.inject_faults:
+        try:
+            FaultPlan.parse(args.inject_faults)
+        except ResilienceError as exc:
+            return _fail("bench", str(exc))
     # Fail before measuring, not minutes later at report time.
     for path in (args.output, args.emit_events):
         if path is None:
@@ -232,6 +526,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         output_path=args.output,
         events_path=args.emit_events,
+        inject_faults=args.inject_faults,
     )
     core = report["workloads"]["microbench_core"]
     print(f"wrote {args.output}")
@@ -243,18 +538,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
           f"optimized {core['runs']['optimized_serial']['best_s']*1e3:.1f} ms)")
     obs = report["workloads"]["observability_overhead"]
     print(f"observability overhead: {obs['overhead_ratio']:.3f}x when enabled")
+    res = report["workloads"]["resilience_overhead"]
+    print(f"supervision overhead: {res['overhead_ratio']:.3f}x fault-free")
     return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
     """Run one instrumented workload and print the metrics summary."""
-    from repro.core.epoch import partition_by_global_order, partition_fixed
-
     recorder, rc = _open_recorder(args, "stats")
     if recorder is None:
         return rc
     if not recorder.enabled:
         recorder = Recorder()  # stats is pointless without a live recorder
+    backend, rc = _resolve_backend(args, "stats")
+    if backend is None:
+        return rc
     program = get_benchmark(args.benchmark).generate(
         args.threads, args.events, seed=args.seed
     )
@@ -262,14 +560,16 @@ def cmd_stats(args: argparse.Namespace) -> int:
         guard = ButterflyAddrCheck(initially_allocated=program.preallocated)
     else:
         guard = ButterflyRaceCheck()
-    if program.true_order is not None:
-        partition = partition_by_global_order(program, args.epoch_size)
-    else:
-        partition = partition_fixed(program, args.epoch_size)
-    with ButterflyEngine(
-        guard, backend=args.backend, recorder=recorder
-    ) as engine:
-        engine.run(partition)
+    partition = _partition_for(program, args.epoch_size)
+    try:
+        with ButterflyEngine(
+            guard, backend=backend, recorder=recorder
+        ) as engine:
+            engine.run(partition)
+    except ResilienceError as exc:
+        return _fail("stats", str(exc))
+    finally:
+        _close_backend(backend)
 
     snap = recorder.snapshot()
     print(f"benchmark: {args.benchmark}, {args.threads} threads, "
@@ -296,6 +596,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print("\ngauges:")
         for name, value in sorted(snap["gauges"].items()):
             print(f"  {name} = {value}")
+    if args.summary_json:
+        try:
+            recorder.dump_snapshot(args.summary_json)
+        except OSError as exc:
+            return _fail("stats", f"cannot write {args.summary_json}: {exc}")
+        print(f"wrote metrics summary to {args.summary_json}")
     _finish_events(recorder, args)
     return 0
 
@@ -312,6 +618,42 @@ def _add_emit_events_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--emit-events", default=None, metavar="PATH",
         help="write the observability event log to PATH as JSON lines",
+    )
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--supervised", action="store_true",
+        help="wrap the backend in the resilience supervisor "
+             "(per-task timeout, bounded retry, pool healing, "
+             "degradation ladder)",
+    )
+    parser.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="deterministic fault injection, e.g. "
+             "'crash=0.05,hang=0.02,corrupt=0.05,seed=7' "
+             "(implies --supervised; see docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=3,
+        help="max retries per work unit under supervision (default: 3)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=30.0,
+        help="seconds before a pooled work unit is declared hung "
+             "(default: 30)",
+    )
+
+
+def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="write a checkpoint every N committed epochs (default: 1)",
+    )
+    parser.add_argument(
+        "--stop-after-epoch", type=int, default=None, metavar="N",
+        help="exit cleanly after receiving epoch N (kill/resume drill; "
+             "the last checkpoint then covers epoch N-1)",
     )
 
 
@@ -355,9 +697,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--limit", type=int, default=10,
                    help="max conflicts to print (race mode)")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="snapshot run state to PATH after each committed "
+                        "epoch (resume with 'repro resume')")
+    _add_checkpoint_args(p)
     _add_backend_arg(p)
+    _add_resilience_args(p)
     _add_emit_events_arg(p)
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "resume",
+        help="continue a checkpointed run killed at an epoch boundary",
+    )
+    p.add_argument("--checkpoint", required=True, metavar="PATH",
+                   help="checkpoint file written by 'repro check'")
+    p.add_argument("--trace", default=None,
+                   help="cross-check: must match the checkpointed trace")
+    p.add_argument("--benchmark", default=None, choices=sorted(BENCHMARKS),
+                   help="cross-check: must match the checkpointed config")
+    p.add_argument("--threads", type=int, default=None)
+    p.add_argument("--events", type=int, default=None)
+    p.add_argument("--epoch-size", type=int, default=None)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument(
+        "--lifeguard", default=None, choices=("addrcheck", "race")
+    )
+    p.add_argument("--limit", type=int, default=10,
+                   help="max conflicts to print (race mode)")
+    _add_checkpoint_args(p)
+    _add_backend_arg(p)
+    _add_resilience_args(p)
+    _add_emit_events_arg(p)
+    p.set_defaults(func=cmd_resume)
 
     p = sub.add_parser("sweep", help="epoch-size sweep for one benchmark")
     p.add_argument("--benchmark", default="OCEAN", choices=sorted(BENCHMARKS))
@@ -368,7 +740,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--sizes", type=int, nargs="+",
         default=[256, 512, 1024, 2048, 4096],
     )
+    p.add_argument(
+        "--traces", nargs="+", default=None, metavar="PATH",
+        help="sweep saved trace files instead of generating a benchmark",
+    )
+    p.add_argument(
+        "--quarantine", default=None, metavar="DIR",
+        help="move unparseable --traces files into DIR and continue "
+             "instead of aborting the sweep",
+    )
     _add_backend_arg(p)
+    _add_resilience_args(p)
     _add_emit_events_arg(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -379,6 +761,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report path (default: BENCH_1.json)")
     p.add_argument("--repeats", type=int, default=5,
                    help="timing repetitions per configuration (best-of)")
+    p.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="additionally time the core workload under supervised "
+             "fault injection with SPEC",
+    )
     _add_emit_events_arg(p)
     p.set_defaults(func=cmd_bench)
 
@@ -395,7 +782,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--lifeguard", default="addrcheck", choices=("addrcheck", "race")
     )
+    p.add_argument(
+        "--summary-json", default=None, metavar="PATH",
+        help="also write the metrics snapshot to PATH (atomic rename)",
+    )
     _add_backend_arg(p)
+    _add_resilience_args(p)
     _add_emit_events_arg(p)
     p.set_defaults(func=cmd_stats)
     return parser

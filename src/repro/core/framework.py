@@ -212,8 +212,20 @@ class ButterflyEngine(Generic[Summary, SideIn]):
         self._next_to_receive = 0
         self._next_to_process = 0
         self._finished = False
+        self._checkpointer: Optional[Any] = None
 
     # -- lifecycle ------------------------------------------------------
+
+    def enable_checkpoints(self, checkpointer: Any) -> None:
+        """Snapshot run state after committed epochs.
+
+        ``checkpointer`` is typically a
+        :class:`~repro.resilience.checkpoint.Checkpointer`; its
+        ``after_epoch(engine, lid)`` is called each time epoch ``lid``'s
+        bodies have committed and its SOS advance has been published --
+        the engine's natural safe point for resume.
+        """
+        self._checkpointer = checkpointer
 
     def reset(self) -> None:
         """Detach from the current partition and zero all run state.
@@ -437,6 +449,8 @@ class ButterflyEngine(Generic[Summary, SideIn]):
         if stale >= 0:
             for tid in range(partition.num_threads):
                 summaries.pop((stale, tid), None)
+        if self._checkpointer is not None:
+            self._checkpointer.after_epoch(self, lid)
 
     def _second_pass(
         self,

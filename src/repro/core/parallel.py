@@ -26,7 +26,12 @@ from __future__ import annotations
 import abc
 import os
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import AnalysisError
@@ -107,8 +112,27 @@ class _PooledBackend(ExecutionBackend):
     ) -> List[Any]:
         if self.recorder.enabled:
             return self._map_ordered_instrumented(fn, items)
-        # Executor.map preserves submission order in its results.
-        return list(self.executor.map(_apply, ((fn, item) for item in items)))
+        executor = self.executor
+        futures = [executor.submit(_apply, (fn, item)) for item in items]
+        return self._collect_ordered(futures)
+
+    def _collect_ordered(self, futures: List["Future"]) -> List[Any]:
+        """Collect results in submission order; never leak on failure.
+
+        A failing ``future.result()`` used to abandon the remaining
+        in-flight futures inside a now-suspect executor.  Instead,
+        cancel everything still pending and drop the executor entirely
+        before re-raising, so any retry (e.g. by a
+        :class:`~repro.resilience.supervisor.SupervisedBackend` wrapping
+        this one) starts from a clean pool.
+        """
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            self.discard()
+            raise
 
     def _map_ordered_instrumented(
         self, fn: Callable[..., Any], items: Sequence[Tuple]
@@ -136,22 +160,40 @@ class _PooledBackend(ExecutionBackend):
                 futures.append(executor.submit(_timed_apply, (fn, item)))
                 rec.event("backend.task.submit", backend=self.name, task=i)
             results = []
-            for i, future in enumerate(futures):
-                result, dur_ns = future.result()
-                rec.count("backend.tasks_completed")
-                rec.event(
-                    "backend.task.complete",
-                    backend=self.name,
-                    task=i,
-                    pending=n - i - 1,
-                    dur_ns=dur_ns,
-                )
-                results.append(result)
+            try:
+                for i, future in enumerate(futures):
+                    result, dur_ns = future.result()
+                    rec.count("backend.tasks_completed")
+                    rec.event(
+                        "backend.task.complete",
+                        backend=self.name,
+                        task=i,
+                        pending=n - i - 1,
+                        dur_ns=dur_ns,
+                    )
+                    results.append(result)
+            except BaseException:
+                # Same no-leak contract as _collect_ordered.
+                for future in futures:
+                    future.cancel()
+                self.discard()
+                raise
         return results
 
     def close(self) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def discard(self) -> None:
+        """Drop the executor without waiting for its workers.
+
+        For broken or hung pools, where :meth:`close` would block on
+        workers that will never finish.  Pending work is cancelled; the
+        next :attr:`executor` access lazily builds a fresh pool.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
 
 

@@ -23,3 +23,14 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator received invalid parameters."""
+
+
+class ResilienceError(ReproError):
+    """The resilience layer could not recover from a fault (retries
+    exhausted, an unrecoverable backend failure, or a malformed
+    fault-injection spec)."""
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint file is unreadable, incompatible, or was taken
+    under a different configuration than the resuming run."""

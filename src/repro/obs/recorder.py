@@ -33,6 +33,7 @@ documented in ``docs/observability.md``.
 from __future__ import annotations
 
 import json
+import os
 import time
 from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Tuple
 
@@ -43,6 +44,11 @@ WALL_CLOCK_FIELDS = ("dur_ns", "t_ns")
 
 class JsonlSink:
     """Append events to a text stream as JSON lines.
+
+    Crash-safe by construction: :meth:`open` uses line buffering and
+    each record is emitted as one ``write`` of a complete line, so a
+    killed run leaves a log that is readable up to (at worst) a single
+    truncated final record -- which :func:`read_events` tolerates.
 
     Owns the handle when constructed via :meth:`open`; :meth:`close` is
     idempotent either way.
@@ -56,16 +62,24 @@ class JsonlSink:
     def open(cls, path: str) -> "JsonlSink":
         """Open ``path`` for writing (raises ``OSError`` up front so
         callers fail before doing any work, not at flush time)."""
-        return cls(open(path, "w"), owns_stream=True)
+        return cls(open(path, "w", buffering=1), owns_stream=True)
 
     def write(self, event: Dict[str, Any]) -> None:
         if self._stream is not None:
-            self._stream.write(json.dumps(event, separators=(",", ":")))
-            self._stream.write("\n")
+            # One write call per record: with a line-buffered stream the
+            # whole line reaches the OS before the next event starts.
+            self._stream.write(
+                json.dumps(event, separators=(",", ":")) + "\n"
+            )
 
     def close(self) -> None:
-        if self._stream is not None and self._owns:
-            self._stream.close()
+        if self._stream is not None:
+            try:
+                self._stream.flush()
+            except ValueError:  # caller closed the handle underneath us
+                pass
+            if self._owns:
+                self._stream.close()
         self._stream = None
 
 
@@ -180,6 +194,21 @@ class Recorder:
             self._sink.close()
             self._sink = None
 
+    def dump_snapshot(self, path: str) -> None:
+        """Write :meth:`snapshot` to ``path`` as JSON, atomically.
+
+        Uses the write-temp-then-rename protocol so a reader never sees
+        a partially written summary, even if this process is killed
+        mid-dump.
+        """
+        tmp = f"{path}.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
     def __enter__(self) -> "Recorder":
         return self
 
@@ -233,15 +262,16 @@ NULL_RECORDER = NullRecorder()
 
 def normalize_events(
     events: Iterable[Dict[str, Any]],
-    drop_prefixes: Tuple[str, ...] = ("backend.",),
+    drop_prefixes: Tuple[str, ...] = ("backend.", "resilience."),
 ) -> List[Dict[str, Any]]:
     """Project an event log onto its deterministic content.
 
     Strips the wall-clock fields (:data:`WALL_CLOCK_FIELDS`) and drops
     event families that are schedule-dependent by nature (by default the
-    ``backend.*`` telemetry, which only exists on concurrent backends).
-    ``seq`` is recomputed after filtering so logs from different
-    backends compare equal.
+    ``backend.*`` telemetry, which only exists on concurrent backends,
+    and ``resilience.*``, which depends on the fault schedule and the
+    supervision configuration).  ``seq`` is recomputed after filtering
+    so logs from different backends compare equal.
     """
     out: List[Dict[str, Any]] = []
     for ev in events:
@@ -259,11 +289,24 @@ def normalize_events(
 
 
 def read_events(path: str) -> List[Dict[str, Any]]:
-    """Parse a JSONL event log written by :class:`JsonlSink`."""
+    """Parse a JSONL event log written by :class:`JsonlSink`.
+
+    Tolerates a truncated *final* record (the footprint a killed run
+    leaves behind): the partial line is dropped, everything before it
+    is returned.  A malformed record anywhere else still raises --
+    that is corruption, not truncation.
+    """
     out: List[Dict[str, Any]] = []
     with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                out.append(json.loads(line))
+        lines = fh.readlines()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(json.loads(line))
+        except ValueError:
+            if i == len(lines) - 1:
+                break  # truncated-at-a-record tail from a killed run
+            raise
     return out

@@ -1,0 +1,40 @@
+"""Resilient execution: fault injection, supervised backends, and
+epoch-boundary checkpoint/resume.
+
+See ``docs/robustness.md`` for the fault model, retry/backoff defaults,
+the degradation ladder, and the checkpoint format.
+"""
+
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    Checkpointer,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    CorruptedResult,
+    FaultPlan,
+    InjectedFault,
+    result_is_valid,
+)
+from repro.resilience.supervisor import (
+    DEGRADATION_LADDER,
+    RetryPolicy,
+    SupervisedBackend,
+)
+
+__all__ = [
+    "Checkpoint",
+    "Checkpointer",
+    "CorruptedResult",
+    "DEGRADATION_LADDER",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "InjectedFault",
+    "RetryPolicy",
+    "SupervisedBackend",
+    "load_checkpoint",
+    "result_is_valid",
+    "save_checkpoint",
+]

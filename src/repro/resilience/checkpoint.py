@@ -1,0 +1,191 @@
+"""Epoch-boundary checkpoint/resume for the butterfly engine.
+
+The engine's ordered-commit discipline gives a natural safe point: the
+instant epoch ``l``'s bodies have committed and ``SOS_{l+2}`` is
+published, the entire analysis state is a deterministic function of the
+trace prefix.  A :class:`Checkpointer` snapshots exactly that state --
+the analysis object (SOS/LSOS history, interner tables, shadow memory,
+error log), the engine's window of block summaries, and its
+``EngineStats``/progress counters -- after each committed epoch.
+
+Snapshots are written with the classic atomic-rename protocol (write to
+a sibling temp file, flush, fsync, ``os.replace``), so a checkpoint
+file on disk is always a complete, loadable snapshot no matter when the
+writer was killed.
+
+A checkpoint embeds a ``meta`` fingerprint of the run configuration
+(workload, seed, epoch size, lifeguard, trace digest).  Resume refuses
+a checkpoint whose fingerprint disagrees with the resuming command --
+continuing an analysis over a different trace would silently produce
+garbage -- and otherwise restores the engine mid-stream so the
+continued run's error log, stats, and summaries are bit-identical to an
+uninterrupted one (``repro resume``, and the equivalence tests in
+``tests/resilience/test_checkpoint.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.errors import CheckpointError
+from repro.obs.recorder import NULL_RECORDER
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.framework import ButterflyEngine
+
+FORMAT = "repro-checkpoint"
+VERSION = 1
+
+
+def _engine_state(engine: "ButterflyEngine") -> Dict[str, Any]:
+    """The engine's resumable state (see the module docstring)."""
+    return {
+        "stats": engine.stats,
+        "summaries": engine._summaries,
+        "first_pass_errors": engine._first_pass_errors,
+        "next_to_receive": engine._next_to_receive,
+        "next_to_process": engine._next_to_process,
+        "analysis": engine.analysis,
+    }
+
+
+def save_checkpoint(
+    path: str, engine: "ButterflyEngine", meta: Dict[str, Any]
+) -> None:
+    """Atomically snapshot ``engine`` (and its analysis) to ``path``.
+
+    The analysis's recorder is detached during pickling (a live sink
+    holds an open file handle); resume re-attaches whatever recorder
+    the resuming run configures.
+    """
+    analysis = engine.analysis
+    had_recorder = "recorder" in analysis.__dict__
+    saved_recorder = analysis.__dict__.pop("recorder", None)
+    try:
+        payload = pickle.dumps(
+            {
+                "format": FORMAT,
+                "version": VERSION,
+                "meta": dict(meta),
+                "engine": _engine_state(engine),
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    finally:
+        if had_recorder:
+            analysis.recorder = saved_recorder
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+class Checkpoint:
+    """A loaded checkpoint: config fingerprint plus engine state."""
+
+    def __init__(self, meta: Dict[str, Any], state: Dict[str, Any]) -> None:
+        self.meta = meta
+        self._state = state
+
+    @property
+    def analysis(self) -> Any:
+        return self._state["analysis"]
+
+    @property
+    def next_epoch(self) -> int:
+        """The first epoch the resumed run still has to receive."""
+        return self._state["next_to_receive"]
+
+    def verify(self, expected_meta: Dict[str, Any]) -> None:
+        """Refuse to resume under a different configuration."""
+        mismatches = [
+            f"{key}: checkpoint={self.meta.get(key)!r} "
+            f"run={expected_meta.get(key)!r}"
+            for key in sorted(set(self.meta) | set(expected_meta))
+            if self.meta.get(key) != expected_meta.get(key)
+        ]
+        if mismatches:
+            raise CheckpointError(
+                "checkpoint was taken under a different configuration "
+                "(" + "; ".join(mismatches) + ")"
+            )
+
+    def restore_into(self, engine: "ButterflyEngine") -> None:
+        """Fast-forward an attached engine to the checkpointed state.
+
+        The engine must have been constructed around this checkpoint's
+        ``analysis`` object and attached to the (identically
+        partitioned) trace; this rewrites its progress counters and
+        summary window so the next :meth:`feed_epoch` continues the
+        run.
+        """
+        state = self._state
+        if engine.analysis is not state["analysis"]:
+            raise CheckpointError(
+                "engine must be constructed around the checkpoint's "
+                "analysis object (engine.analysis is not it)"
+            )
+        engine.stats = state["stats"]
+        engine._summaries = state["summaries"]
+        engine._first_pass_errors = state["first_pass_errors"]
+        engine._next_to_receive = state["next_to_receive"]
+        engine._next_to_process = state["next_to_process"]
+
+
+def load_checkpoint(path: str) -> Checkpoint:
+    """Read and structurally validate a checkpoint file."""
+    try:
+        with open(path, "rb") as fh:
+            raw = pickle.load(fh)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        raise CheckpointError(
+            f"{path} is not a readable checkpoint: {exc}"
+        ) from exc
+    if not isinstance(raw, dict) or raw.get("format") != FORMAT:
+        raise CheckpointError(f"{path} is not a repro checkpoint file")
+    if raw.get("version") != VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {raw.get('version')!r} "
+            f"(this build reads version {VERSION})"
+        )
+    return Checkpoint(raw["meta"], raw["engine"])
+
+
+class Checkpointer:
+    """Engine hook writing a snapshot after committed epochs.
+
+    Attach with :meth:`ButterflyEngine.enable_checkpoints`; the engine
+    calls :meth:`after_epoch` each time an epoch's bodies have
+    committed and its SOS advance has been published.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        meta: Optional[Dict[str, Any]] = None,
+        every: int = 1,
+    ) -> None:
+        if every < 1:
+            raise CheckpointError(f"checkpoint interval must be >= 1: {every}")
+        self.path = path
+        self.meta = dict(meta or {})
+        self.every = every
+        self.written = 0
+
+    def after_epoch(self, engine: "ButterflyEngine", lid: int) -> None:
+        if (lid + 1) % self.every:
+            return
+        rec = engine.recorder
+        if rec.enabled:
+            with rec.span("resilience.checkpoint", epoch=lid):
+                save_checkpoint(self.path, engine, self.meta)
+            rec.count("resilience.checkpoints")
+        else:
+            save_checkpoint(self.path, engine, self.meta)
+        self.written += 1

@@ -1,0 +1,200 @@
+"""Deterministic fault injection for the execution backends.
+
+A :class:`FaultPlan` is a seeded, pure decision function: given a work
+unit's identity ``(batch, index)`` and its retry ``attempt``, it decides
+whether that execution raises (*crash*), stalls (*hang*), dies taking
+its worker process with it (*kill*), or returns a detectably corrupted
+summary (*corrupt*).  The decision depends only on the plan's seed and
+the task identity -- never on wall clock, scheduling, or process
+identity -- so a fault schedule is reproducible run to run and the
+fault-injection property tests can pin exact recovery behaviour.
+
+Plans are frozen dataclasses of primitives, so they pickle across the
+process-pool boundary; the worker-side wrapper
+(:func:`faulted_apply`) re-evaluates the same pure decision inside the
+worker.
+
+The CLI surfaces plans as ``--inject-faults SPEC`` where ``SPEC`` is a
+comma-separated list of ``key=value`` pairs::
+
+    crash=0.05,hang=0.02,corrupt=0.05,seed=7
+    kill=0.01,seed=3,hang_s=0.25
+
+Keys: per-kind rates (``crash``, ``hang``, ``kill``, ``corrupt``, each
+a probability in ``[0, 1]``; their sum must stay ``<= 1``), ``seed``
+(default 0), and ``hang_s`` (stall duration in seconds, default 0.25).
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+from repro.errors import ResilienceError
+
+#: Fault kinds a plan can inject, in cumulative-probability order.
+FAULT_KINDS = ("crash", "hang", "kill", "corrupt")
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(*values: int) -> int:
+    """SplitMix64-style avalanche over the packed inputs.
+
+    Used instead of ``hash()`` (salted per process) and ``random``
+    (stateful) so decisions agree between the coordinator and any
+    worker process.
+    """
+    h = 0x9E3779B97F4A7C15
+    for v in values:
+        h = (h ^ (v & _MASK64)) * 0xBF58476D1CE4E5B9 & _MASK64
+        h ^= h >> 27
+        h = h * 0x94D049BB133111EB & _MASK64
+        h ^= h >> 31
+    return h
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a work unit the fault plan chose to crash."""
+
+    def __init__(self, key: Tuple[int, int], attempt: int) -> None:
+        super().__init__(
+            f"injected crash in task {key} (attempt {attempt})"
+        )
+        self.key = key
+        self.attempt = attempt
+
+
+class CorruptedResult:
+    """A detectably corrupted work-unit result.
+
+    Models a summary whose integrity check fails: the supervisor's
+    result validation rejects it and schedules a retry, exactly as a
+    checksum mismatch would in a real monitor.
+    """
+
+    __slots__ = ("key", "attempt")
+
+    def __init__(self, key: Tuple[int, int], attempt: int) -> None:
+        self.key = key
+        self.attempt = attempt
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CorruptedResult(key={self.key}, attempt={self.attempt})"
+
+
+def result_is_valid(result: Any) -> bool:
+    """The supervisor's result validation hook."""
+    return not isinstance(result, CorruptedResult)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, deterministic fault schedule (see module docstring)."""
+
+    crash: float = 0.0
+    hang: float = 0.0
+    kill: float = 0.0
+    corrupt: float = 0.0
+    seed: int = 0
+    hang_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        for kind in FAULT_KINDS:
+            rate = getattr(self, kind)
+            if not 0.0 <= rate <= 1.0:
+                raise ResilienceError(
+                    f"fault rate {kind}={rate!r} must be in [0, 1]"
+                )
+        if sum(getattr(self, k) for k in FAULT_KINDS) > 1.0:
+            raise ResilienceError("fault rates must sum to at most 1")
+
+    @property
+    def total_rate(self) -> float:
+        return sum(getattr(self, k) for k in FAULT_KINDS)
+
+    def decide(self, key: Tuple[int, int], attempt: int) -> Optional[str]:
+        """The fault (or ``None``) for one execution of one task.
+
+        Pure: depends only on ``(seed, key, attempt)``.
+        """
+        u = _mix(self.seed, key[0], key[1], attempt) / float(1 << 64)
+        edge = 0.0
+        for kind in FAULT_KINDS:
+            edge += getattr(self, kind)
+            if u < edge:
+                return kind
+        return None
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from an ``--inject-faults`` spec string."""
+        fields: dict = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ResilienceError(
+                    f"bad fault spec part {part!r}: expected key=value"
+                )
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key in FAULT_KINDS or key == "hang_s":
+                    fields[key] = float(value)
+                elif key == "seed":
+                    fields[key] = int(value)
+                else:
+                    raise ResilienceError(
+                        f"unknown fault spec key {key!r} (choose from "
+                        f"{', '.join(FAULT_KINDS + ('seed', 'hang_s'))})"
+                    )
+            except ValueError as exc:
+                raise ResilienceError(
+                    f"bad fault spec value {part!r}: {exc}"
+                ) from None
+        if not any(k in fields for k in FAULT_KINDS):
+            raise ResilienceError(
+                f"fault spec {spec!r} names no fault kind "
+                f"({', '.join(FAULT_KINDS)})"
+            )
+        return cls(**fields)
+
+
+def faulted_apply(
+    payload: Tuple[
+        Callable[..., Any], Tuple, FaultPlan, Tuple[int, int], int, bool
+    ]
+) -> Any:
+    """Worker-side wrapper executing one possibly-faulted work unit.
+
+    ``payload`` is ``(fn, args, plan, key, attempt, allow_kill)``.
+    Module-level (and all-primitive-carrying) so it crosses the
+    process-pool boundary.  ``allow_kill`` is set by the supervisor only
+    when the unit runs in a sacrificial worker process; elsewhere a
+    ``kill`` decision downgrades to ``crash`` so injection never takes
+    the coordinating process down.
+    """
+    fn, args, plan, key, attempt, allow_kill = payload
+    fault = plan.decide(key, attempt)
+    if fault == "crash" or (fault == "kill" and not allow_kill):
+        raise InjectedFault(key, attempt)
+    if fault == "kill":
+        os._exit(113)  # simulate a worker crash: breaks the pool
+    if fault == "corrupt":
+        # The unit's work is lost, not merely mislabeled: fn must NOT
+        # run, because on shares-memory backends work units may consume
+        # their context argument (e.g. the AddrCheck scanner's running
+        # LSOS), and the retry needs it pristine.
+        return CorruptedResult(key, attempt)
+    if fault == "hang":
+        time.sleep(plan.hang_s)
+        # A hung unit can outlive its timeout and race the retry that
+        # replaced it, so it may only touch a private copy of its args.
+        return fn(*copy.deepcopy(args))
+    return fn(*args)

@@ -49,31 +49,86 @@ def dump(program: TraceProgram, fp: IO[str]) -> None:
     fp.write(json.dumps({"preallocated": sorted(program.preallocated)}) + "\n")
 
 
-def load(fp: IO[str]) -> TraceProgram:
-    """Read a program written by :func:`dump`."""
-    header = json.loads(fp.readline())
-    if header.get("format") != "repro-trace":
-        raise TraceError("not a repro trace file")
+def load(fp: IO[str], name: str = "<trace>") -> TraceProgram:
+    """Read a program written by :func:`dump`.
+
+    Every structural defect -- invalid JSON, a truncated file, missing
+    keys, wrong record shapes -- raises :class:`TraceError` carrying
+    ``name`` and the offending line number, never a raw ``KeyError`` or
+    ``ValueError``.  ``name`` defaults to a placeholder; ``load_file``
+    passes the path.
+    """
+    lineno = 0
+
+    def next_record(what: str) -> object:
+        nonlocal lineno
+        lineno += 1
+        line = fp.readline()
+        if not line.strip():
+            raise TraceError(
+                f"{name}:{lineno}: unexpected end of file "
+                f"(expected {what})"
+            )
+        try:
+            return json.loads(line)
+        except ValueError as exc:
+            raise TraceError(
+                f"{name}:{lineno}: invalid JSON ({what}): {exc}"
+            ) from None
+
+    def tail_field(key: str) -> object:
+        record = next_record(key)
+        if not isinstance(record, dict) or key not in record:
+            raise TraceError(
+                f"{name}:{lineno}: expected a {{{key!r}: ...}} record, "
+                f"got {record!r}"
+            )
+        return record[key]
+
+    header = next_record("header")
+    if not isinstance(header, dict) or header.get("format") != "repro-trace":
+        raise TraceError(f"{name}:{lineno}: not a repro trace file")
     if header.get("version") != FORMAT_VERSION:
         raise TraceError(
-            f"unsupported trace version {header.get('version')!r}"
+            f"{name}:{lineno}: unsupported trace version "
+            f"{header.get('version')!r}"
+        )
+    num_threads = header.get("threads")
+    if not isinstance(num_threads, int) or num_threads < 0:
+        raise TraceError(
+            f"{name}:{lineno}: bad thread count {num_threads!r}"
         )
     threads: List[ThreadTrace] = []
-    for _ in range(header["threads"]):
-        raw = json.loads(fp.readline())
-        threads.append(ThreadTrace([_decode_instr(r) for r in raw]))
-    true_order = json.loads(fp.readline())["true_order"]
-    ts_order = json.loads(fp.readline())["timesliced_order"]
-    preallocated = json.loads(fp.readline())["preallocated"]
-    program = TraceProgram(
-        threads,
-        true_order=[tuple(x) for x in true_order] if true_order else None,
-        timesliced_order=(
-            [tuple(x) for x in ts_order] if ts_order else None
-        ),
-        preallocated=frozenset(preallocated),
-    )
-    program.validate()
+    for tid in range(num_threads):
+        raw = next_record(f"thread {tid} events")
+        if not isinstance(raw, list):
+            raise TraceError(
+                f"{name}:{lineno}: thread {tid} events must be a list, "
+                f"got {type(raw).__name__}"
+            )
+        try:
+            threads.append(ThreadTrace([_decode_instr(r) for r in raw]))
+        except TraceError as exc:
+            raise TraceError(f"{name}:{lineno}: {exc}") from None
+    true_order = tail_field("true_order")
+    ts_order = tail_field("timesliced_order")
+    preallocated = tail_field("preallocated")
+    try:
+        program = TraceProgram(
+            threads,
+            true_order=(
+                [tuple(x) for x in true_order] if true_order else None
+            ),
+            timesliced_order=(
+                [tuple(x) for x in ts_order] if ts_order else None
+            ),
+            preallocated=frozenset(preallocated),
+        )
+        program.validate()
+    except TraceError as exc:
+        raise TraceError(f"{name}: {exc}") from None
+    except (TypeError, ValueError) as exc:
+        raise TraceError(f"{name}: malformed trace records: {exc}") from None
     return program
 
 
@@ -84,6 +139,6 @@ def save_file(program: TraceProgram, path: Union[str, Path]) -> None:
 
 
 def load_file(path: Union[str, Path]) -> TraceProgram:
-    """Read a program from ``path``."""
+    """Read a program from ``path`` (diagnostics carry the path)."""
     with open(path) as fp:
-        return load(fp)
+        return load(fp, name=str(path))

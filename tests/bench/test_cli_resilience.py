@@ -1,0 +1,226 @@
+"""CLI resilience surfaces: failure paths, resume, quarantine, faults.
+
+Every failure exits 2 with a one-line ``repro <cmd>: error: ...``
+diagnostic on stderr (never a traceback), and the recovery paths --
+``repro resume``, ``--quarantine``, ``--inject-faults`` -- must leave
+results indistinguishable from an undisturbed run.
+"""
+
+import json
+import os
+
+from repro.cli import main
+from repro.obs import read_events
+
+CHECK_ARGS = [
+    "check", "--benchmark", "OCEAN", "--threads", "2",
+    "--events", "3000", "--epoch-size", "256",
+]
+
+
+def _one_line_error(capsys, command):
+    err = capsys.readouterr().err
+    lines = err.strip().splitlines()
+    assert len(lines) == 1, err
+    assert lines[0].startswith(f"repro {command}: error:")
+    return lines[0]
+
+
+class TestCorruptTraceFailures:
+    def test_check_rejects_invalid_json_with_context(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trace"
+        bad.write_text("this is not json\n")
+        assert main(["check", "--trace", str(bad)]) == 2
+        message = _one_line_error(capsys, "check")
+        assert f"{bad}:1" in message  # file and line of the defect
+
+    def test_check_rejects_truncated_trace(self, tmp_path, capsys):
+        path = tmp_path / "trunc.trace"
+        assert main([
+            "generate", "--benchmark", "LU", "--threads", "2",
+            "--events", "500", "--output", str(path),
+        ]) == 0
+        capsys.readouterr()
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n")
+        assert main(["check", "--trace", str(path)]) == 2
+        assert "unexpected end of file" in _one_line_error(capsys, "check")
+
+    def test_bad_fault_spec_rejected(self, capsys):
+        assert main(CHECK_ARGS + ["--inject-faults", "explode=0.5"]) == 2
+        assert "unknown fault spec key" in _one_line_error(capsys, "check")
+
+
+class TestResume:
+    def _interrupted_then_resumed(self, tmp_path, capsys, extra=()):
+        ck = str(tmp_path / "run.ckpt")
+        assert main(CHECK_ARGS) == 0
+        full = capsys.readouterr().out
+        assert main(
+            CHECK_ARGS
+            + ["--checkpoint", ck, "--stop-after-epoch", "4"]
+            + list(extra)
+        ) == 0
+        stopped = capsys.readouterr().out
+        assert "stopped after receiving epoch 4" in stopped
+        assert main(["resume", "--checkpoint", ck]) == 0
+        return full, capsys.readouterr().out
+
+    def test_resumed_output_identical_to_uninterrupted(self, tmp_path, capsys):
+        full, resumed = self._interrupted_then_resumed(tmp_path, capsys)
+        assert resumed == full
+
+    def test_resume_after_faulty_interrupted_run(self, tmp_path, capsys):
+        full, resumed = self._interrupted_then_resumed(
+            tmp_path, capsys,
+            extra=["--backend", "threads", "--retries", "8",
+                   "--inject-faults", "crash=0.15,corrupt=0.1,seed=7"],
+        )
+        assert resumed == full
+
+    def test_mismatched_config_refused(self, tmp_path, capsys):
+        ck = str(tmp_path / "run.ckpt")
+        assert main(
+            CHECK_ARGS + ["--checkpoint", ck, "--stop-after-epoch", "3"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["resume", "--checkpoint", ck, "--epoch-size", "512"]
+        ) == 2
+        message = _one_line_error(capsys, "resume")
+        assert "different configuration" in message
+        assert "epoch_size: checkpoint=256 run=512" in message
+
+    def test_missing_checkpoint_file(self, tmp_path, capsys):
+        assert main(
+            ["resume", "--checkpoint", str(tmp_path / "absent.ckpt")]
+        ) == 2
+        assert "cannot read checkpoint" in _one_line_error(capsys, "resume")
+
+    def test_garbage_checkpoint_file(self, tmp_path, capsys):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(b"\x00\x01 not a checkpoint")
+        assert main(["resume", "--checkpoint", str(path)]) == 2
+        _one_line_error(capsys, "resume")
+
+    def test_resume_trace_run_verifies_digest(self, tmp_path, capsys):
+        trace = tmp_path / "t.trace"
+        ck = str(tmp_path / "t.ckpt")
+        assert main([
+            "generate", "--benchmark", "OCEAN", "--threads", "2",
+            "--events", "3000", "--output", str(trace),
+        ]) == 0
+        assert main([
+            "check", "--trace", str(trace), "--epoch-size", "256",
+            "--checkpoint", ck, "--stop-after-epoch", "3",
+        ]) == 0
+        capsys.readouterr()
+        # Tamper with the trace after the checkpoint was taken.
+        with open(trace, "a") as fh:
+            fh.write("\n")
+        assert main(["resume", "--checkpoint", ck]) == 2
+        assert "sha256 mismatch" in _one_line_error(capsys, "resume")
+
+
+class TestSweepQuarantine:
+    def _traces(self, tmp_path):
+        good = tmp_path / "good.trace"
+        bad = tmp_path / "bad.trace"
+        assert main([
+            "generate", "--benchmark", "LU", "--threads", "2",
+            "--events", "500", "--output", str(good),
+        ]) == 0
+        bad.write_text("{ mangled\n")
+        return good, bad
+
+    def test_quarantine_moves_bad_trace_and_continues(self, tmp_path, capsys):
+        good, bad = self._traces(tmp_path)
+        quarantine = tmp_path / "quarantined"
+        assert main([
+            "sweep", "--traces", str(good), str(bad),
+            "--quarantine", str(quarantine), "--sizes", "256",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "quarantined unparseable trace" in captured.err
+        assert not bad.exists()
+        assert (quarantine / "bad.trace").exists()
+        assert f"trace: {good}" in captured.out
+        assert "epoch size" in captured.out
+
+    def test_without_quarantine_sweep_fails(self, tmp_path, capsys):
+        good, bad = self._traces(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["sweep", "--traces", str(good), str(bad), "--sizes", "256"]
+        ) == 2
+        _one_line_error(capsys, "sweep")
+        assert bad.exists()  # hard failure must not move files
+
+    def test_all_traces_quarantined_fails(self, tmp_path, capsys):
+        bad = tmp_path / "only.trace"
+        bad.write_text("nope\n")
+        assert main([
+            "sweep", "--traces", str(bad),
+            "--quarantine", str(tmp_path / "q"), "--sizes", "256",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "no readable trace files remain" in err
+
+
+class TestFaultInjectionCLI:
+    def test_faulty_output_identical_to_fault_free(self, capsys):
+        assert main(CHECK_ARGS) == 0
+        reference = capsys.readouterr().out
+        assert main(
+            CHECK_ARGS
+            + ["--backend", "threads", "--retries", "8",
+               "--inject-faults", "crash=0.2,corrupt=0.1,seed=11"]
+        ) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_exhausted_retries_fail_cleanly(self, capsys):
+        assert main(
+            CHECK_ARGS
+            + ["--backend", "threads", "--retries", "1",
+               "--inject-faults", "crash=1.0"]
+        ) == 2
+        assert "failed" in _one_line_error(capsys, "check")
+
+    def test_fault_events_carry_provenance(self, tmp_path, capsys):
+        log = tmp_path / "faults.jsonl"
+        assert main(
+            CHECK_ARGS
+            + ["--backend", "threads",
+               "--inject-faults", "crash=0.3,seed=1",
+               "--emit-events", str(log)]
+        ) == 0
+        events = read_events(str(log))
+        faults = [ev for ev in events if ev["ev"] == "resilience.fault"]
+        assert faults, "a 30% crash rate must hit at least once"
+        for ev in faults:
+            assert ev["kind"] == "crash"
+            assert "epoch" in ev and "thread" in ev
+            assert "batch" in ev and "attempt" in ev
+
+
+class TestStatsSummaryJson:
+    def test_summary_json_written_atomically(self, tmp_path, capsys):
+        out = tmp_path / "summary.json"
+        assert main([
+            "stats", "--benchmark", "LU", "--threads", "2",
+            "--events", "2000", "--epoch-size", "256",
+            "--summary-json", str(out),
+        ]) == 0
+        assert f"wrote metrics summary to {out}" in capsys.readouterr().out
+        snap = json.loads(out.read_text())
+        assert set(snap) == {"counters", "gauges", "spans"}
+        assert "pass.first" in snap["spans"]
+        assert not os.path.exists(str(out) + ".tmp")
+
+    def test_unwritable_summary_json(self, tmp_path, capsys):
+        assert main([
+            "stats", "--benchmark", "LU", "--threads", "2",
+            "--events", "500", "--epoch-size", "256",
+            "--summary-json", str(tmp_path / "no" / "dir" / "s.json"),
+        ]) == 2
+        _one_line_error(capsys, "stats")

@@ -12,12 +12,13 @@ class TestRunPerf:
         out = tmp_path / "BENCH_test.json"
         report = run_perf(repeats=1, output_path=str(out))
 
-        assert report["schema"] == 2
+        assert report["schema"] == 3
         assert set(report["workloads"]) == {
             "microbench_core",
             "reaching_defs",
             "shadow_store_range",
             "observability_overhead",
+            "resilience_overhead",
         }
 
         core = report["workloads"]["microbench_core"]
@@ -79,6 +80,18 @@ class TestRunPerf:
         obs = report["workloads"]["observability_overhead"]
         assert set(obs["runs"]) == {"disabled", "enabled"}
         assert obs["overhead_ratio"] > 0
+
+    def test_resilience_overhead_entry(self):
+        report = run_perf(repeats=1)
+        res = report["workloads"]["resilience_overhead"]
+        assert set(res["runs"]) == {"bare_serial", "supervised_serial"}
+        assert res["overhead_ratio"] > 0
+
+    def test_resilience_overhead_faulted_run(self):
+        report = run_perf(repeats=1, inject_faults="crash=0.05,seed=7")
+        res = report["workloads"]["resilience_overhead"]
+        assert "faulted_serial" in res["runs"]
+        assert res["params"]["inject_faults"] == "crash=0.05,seed=7"
 
 
 class TestBenchCLI:

@@ -1,0 +1,210 @@
+"""Tests for epoch-boundary checkpoint/resume."""
+
+import os
+import pickle
+import random
+
+import pytest
+
+from repro.core.epoch import partition_by_global_order
+from repro.core.framework import ButterflyEngine
+from repro.errors import CheckpointError
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.obs import Recorder
+from repro.resilience import (
+    Checkpointer,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.trace.generator import simulated_alloc_program
+
+
+def _program(seed=5, threads=3, events=120):
+    return simulated_alloc_program(
+        random.Random(seed),
+        num_threads=threads,
+        total_events=events,
+        num_locations=8,
+        inject_error_rate=0.2,
+    )
+
+
+def _fingerprint(guard, stats):
+    return (
+        (
+            stats.epochs_processed,
+            stats.first_pass_instructions,
+            stats.second_pass_instructions,
+            stats.meets,
+            stats.wing_summaries_combined,
+        ),
+        [(r.kind, r.location, r.ref, r.block, r.detail) for r in guard.errors],
+        (dict(guard.sos._states), guard.sos._frontier),
+    )
+
+
+def _run_uninterrupted(part):
+    guard = ButterflyAddrCheck()
+    stats = ButterflyEngine(guard).run(part)
+    return _fingerprint(guard, stats)
+
+
+META = {"benchmark": "X", "epoch_size": 8, "seed": 5}
+
+
+class TestSaveLoadRoundtrip:
+    def test_resume_matches_uninterrupted(self, tmp_path):
+        part = partition_by_global_order(_program(), 8)
+        reference = _run_uninterrupted(part)
+        path = str(tmp_path / "run.ckpt")
+
+        # Kill the run after feeding epoch 2 (checkpoint covers epoch 1).
+        guard = ButterflyAddrCheck()
+        engine = ButterflyEngine(guard)
+        engine.enable_checkpoints(Checkpointer(path, META))
+        engine.attach(part)
+        for lid in range(3):
+            engine.feed_epoch(lid)
+
+        ck = load_checkpoint(path)
+        assert ck.meta == META
+        assert ck.next_epoch == 3
+        resumed = ButterflyEngine(ck.analysis)
+        resumed.attach(part)
+        ck.restore_into(resumed)
+        for lid in range(ck.next_epoch, part.num_epochs):
+            resumed.feed_epoch(lid)
+        resumed.finish()
+        assert _fingerprint(ck.analysis, resumed.stats) == reference
+
+    def test_resume_from_every_boundary(self, tmp_path):
+        """Killing at ANY epoch boundary resumes bit-identically."""
+        part = partition_by_global_order(_program(events=80), 6)
+        reference = _run_uninterrupted(part)
+        # Feeding only epoch 0 commits nothing (no checkpoint yet), so
+        # the earliest killable boundary is after feeding two epochs.
+        for stop_after in range(2, part.num_epochs):
+            path = str(tmp_path / f"b{stop_after}.ckpt")
+            engine = ButterflyEngine(ButterflyAddrCheck())
+            engine.enable_checkpoints(Checkpointer(path, META))
+            engine.attach(part)
+            for lid in range(stop_after):
+                engine.feed_epoch(lid)
+            ck = load_checkpoint(path)
+            resumed = ButterflyEngine(ck.analysis)
+            resumed.attach(part)
+            ck.restore_into(resumed)
+            for lid in range(ck.next_epoch, part.num_epochs):
+                resumed.feed_epoch(lid)
+            resumed.finish()
+            assert (
+                _fingerprint(ck.analysis, resumed.stats) == reference
+            ), f"diverged when killed after epoch {stop_after - 1}"
+
+    def test_checkpoint_strips_live_recorder(self, tmp_path):
+        # A live recorder (open file sink) must not poison the pickle,
+        # and must still be attached after the save.
+        part = partition_by_global_order(_program(events=60), 8)
+        rec = Recorder()
+        guard = ButterflyAddrCheck()
+        engine = ButterflyEngine(guard, recorder=rec)
+        path = str(tmp_path / "rec.ckpt")
+        engine.enable_checkpoints(Checkpointer(path, META))
+        engine.attach(part)
+        for lid in range(part.num_epochs):
+            engine.feed_epoch(lid)
+        engine.finish()
+        assert guard.recorder is rec
+        ck = load_checkpoint(path)
+        # The restored analysis fell back to the class default.
+        assert "recorder" not in ck.analysis.__dict__
+        assert rec.counters["resilience.checkpoints"] >= 1
+        assert any(
+            ev["ev"] == "resilience.checkpoint" for ev in rec.events
+        )
+
+
+class TestCheckpointerPolicy:
+    def test_every_n_epochs(self, tmp_path):
+        part = partition_by_global_order(_program(), 8)
+        path = str(tmp_path / "every.ckpt")
+        cp = Checkpointer(path, META, every=3)
+        engine = ButterflyEngine(ButterflyAddrCheck())
+        engine.enable_checkpoints(cp)
+        engine.run(part)
+        # Epochs 2, 5, 8, ... -> one write per completed group of 3.
+        assert cp.written == part.num_epochs // 3
+
+    def test_bad_interval_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="interval"):
+            Checkpointer(str(tmp_path / "x.ckpt"), every=0)
+
+    def test_atomic_write_leaves_no_temp_file(self, tmp_path):
+        part = partition_by_global_order(_program(events=60), 8)
+        path = str(tmp_path / "atomic.ckpt")
+        engine = ButterflyEngine(ButterflyAddrCheck())
+        engine.enable_checkpoints(Checkpointer(path, META))
+        engine.run(part)
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+
+
+class TestVerify:
+    def _checkpoint(self, tmp_path):
+        part = partition_by_global_order(_program(events=60), 8)
+        path = str(tmp_path / "v.ckpt")
+        engine = ButterflyEngine(ButterflyAddrCheck())
+        engine.attach(part)
+        engine.feed_epoch(0)
+        engine.feed_epoch(1)
+        save_checkpoint(path, engine, META)
+        return load_checkpoint(path)
+
+    def test_matching_meta_accepted(self, tmp_path):
+        self._checkpoint(tmp_path).verify(dict(META))
+
+    def test_mismatch_names_every_differing_key(self, tmp_path):
+        ck = self._checkpoint(tmp_path)
+        bad = dict(META, epoch_size=16, seed=9)
+        with pytest.raises(CheckpointError) as exc_info:
+            ck.verify(bad)
+        message = str(exc_info.value)
+        assert "epoch_size: checkpoint=8 run=16" in message
+        assert "seed: checkpoint=5 run=9" in message
+
+    def test_restore_requires_the_checkpoints_analysis(self, tmp_path):
+        ck = self._checkpoint(tmp_path)
+        part = partition_by_global_order(_program(events=60), 8)
+        stranger = ButterflyEngine(ButterflyAddrCheck())
+        stranger.attach(part)
+        with pytest.raises(CheckpointError, match="analysis"):
+            ck.restore_into(stranger)
+
+
+class TestLoadFailures:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(str(tmp_path / "absent.ckpt"))
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_bytes(b"this is not a pickle")
+        with pytest.raises(CheckpointError, match="not a readable checkpoint"):
+            load_checkpoint(str(path))
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "alien.ckpt"
+        path.write_bytes(pickle.dumps({"format": "other", "version": 1}))
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            load_checkpoint(str(path))
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        path.write_bytes(
+            pickle.dumps(
+                {"format": "repro-checkpoint", "version": 99, "meta": {},
+                 "engine": {}}
+            )
+        )
+        with pytest.raises(CheckpointError, match="version 99"):
+            load_checkpoint(str(path))

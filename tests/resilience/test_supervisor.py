@@ -1,0 +1,316 @@
+"""Tests for the supervised backend (retry, timeout, healing, ladder)."""
+
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.epoch import partition_by_global_order
+from repro.core.framework import ButterflyEngine
+from repro.core.parallel import (
+    SerialBackend,
+    ThreadPoolBackend,
+    ProcessPoolBackend,
+)
+from repro.errors import ResilienceError
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.obs import Recorder
+from repro.resilience import (
+    DEGRADATION_LADDER,
+    FaultPlan,
+    RetryPolicy,
+    SupervisedBackend,
+)
+
+import random
+
+from repro.trace.generator import simulated_alloc_program
+
+#: Zero-delay policy so retry tests don't sleep.
+FAST = RetryPolicy(backoff_base=0.0, jitter=0.0)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError("boom")
+
+
+@dataclass(frozen=True)
+class KillFirstAttempt(FaultPlan):
+    """Every task's first execution dies; retries are clean.
+
+    Module-level so it pickles into process-pool workers.
+    """
+
+    def decide(self, key, attempt):
+        return "kill" if attempt == 0 else None
+
+
+@dataclass(frozen=True)
+class CrashFirstAttempt(FaultPlan):
+    def decide(self, key, attempt):
+        return "crash" if attempt == 0 else None
+
+
+@dataclass(frozen=True)
+class CorruptFirstAttempt(FaultPlan):
+    def decide(self, key, attempt):
+        return "corrupt" if attempt == 0 else None
+
+
+class TestBackendSurface:
+    def test_name_and_capabilities_track_inner(self):
+        backend = SupervisedBackend("threads")
+        try:
+            assert backend.name == "supervised:threads"
+            assert backend.concurrent
+            assert backend.shares_memory
+        finally:
+            backend.close()
+
+    def test_serial_inner_not_concurrent(self):
+        backend = SupervisedBackend("serial")
+        assert backend.name == "supervised:serial"
+        assert not backend.concurrent
+
+    def test_ladder_constant(self):
+        assert DEGRADATION_LADDER == ("processes", "threads", "serial")
+
+    def test_owns_a_backend_built_from_an_instance(self):
+        inner = ThreadPoolBackend(max_workers=1)
+        backend = SupervisedBackend(inner)
+        assert backend.inner is inner
+        backend.close()
+
+
+class TestFaultFreeMapping:
+    @pytest.mark.parametrize("inner", ["serial", "threads", "processes"])
+    def test_matches_plain_backend(self, inner):
+        items = [(i,) for i in range(16)]
+        with SupervisedBackend(inner, policy=FAST, max_workers=2) as backend:
+            assert backend.map_ordered(_square, items) == [
+                i * i for i in range(16)
+            ]
+
+    @pytest.mark.parametrize("inner", ["serial", "threads"])
+    def test_empty_batch(self, inner):
+        with SupervisedBackend(inner, policy=FAST) as backend:
+            assert backend.map_ordered(_square, []) == []
+
+
+class TestRetries:
+    @pytest.mark.parametrize("inner", ["serial", "threads"])
+    def test_crash_first_attempt_recovers(self, inner):
+        plan = CrashFirstAttempt()
+        with SupervisedBackend(inner, policy=FAST, plan=plan) as backend:
+            assert backend.map_ordered(_square, [(i,) for i in range(6)]) == [
+                i * i for i in range(6)
+            ]
+
+    @pytest.mark.parametrize("inner", ["serial", "threads"])
+    def test_corrupt_first_attempt_recovers(self, inner):
+        plan = CorruptFirstAttempt()
+        with SupervisedBackend(inner, policy=FAST, plan=plan) as backend:
+            assert backend.map_ordered(_square, [(i,) for i in range(6)]) == [
+                i * i for i in range(6)
+            ]
+
+    @pytest.mark.parametrize("inner", ["serial", "threads"])
+    def test_permanent_fault_exhausts_retries(self, inner):
+        plan = FaultPlan(crash=1.0)
+        policy = RetryPolicy(max_retries=2, backoff_base=0.0, jitter=0.0)
+        with SupervisedBackend(inner, policy=policy, plan=plan) as backend:
+            with pytest.raises(ResilienceError, match="max_retries=2"):
+                backend.map_ordered(_square, [(1,), (2,)])
+
+    def test_real_task_exception_retries_then_raises(self):
+        # A genuine (non-injected) failure follows the same contract.
+        policy = RetryPolicy(max_retries=1, backoff_base=0.0, jitter=0.0)
+        with SupervisedBackend("threads", policy=policy) as backend:
+            with pytest.raises(ResilienceError):
+                backend.map_ordered(_boom, [(1,)])
+
+    def test_retry_events_logged(self):
+        rec = Recorder()
+        plan = CrashFirstAttempt()
+        with SupervisedBackend("threads", policy=FAST, plan=plan) as backend:
+            backend.recorder = rec
+            backend.map_ordered(_square, [(i,) for i in range(4)])
+        assert rec.counters["resilience.faults"] >= 1
+        assert rec.counters["resilience.faults.crash"] >= 1
+        assert rec.counters["resilience.retries"] >= 1
+        kinds = {ev["ev"] for ev in rec.events}
+        assert {"resilience.fault", "resilience.retry"} <= kinds
+
+
+_hang_state = {"armed": False}
+
+
+def _hang_once(x):
+    """Sleeps far past the test's task timeout on its first call only."""
+    if not _hang_state["armed"]:
+        _hang_state["armed"] = True
+        time.sleep(1.0)
+    return x * x
+
+
+class TestTimeoutsAndHealing:
+    def test_timed_out_task_is_retried_on_a_fresh_pool(self):
+        _hang_state["armed"] = False
+        rec = Recorder()
+        policy = RetryPolicy(
+            task_timeout=0.15, backoff_base=0.0, jitter=0.0, degrade_after=99
+        )
+        with SupervisedBackend(
+            ThreadPoolBackend(max_workers=2), policy=policy
+        ) as backend:
+            backend.recorder = rec
+            assert backend.map_ordered(_hang_once, [(i,) for i in range(4)]) == [
+                0, 1, 4, 9
+            ]
+        assert rec.counters["resilience.faults.timeout"] >= 1
+        assert rec.counters["resilience.pool_recycles"] >= 1
+        assert any(
+            ev["ev"] == "resilience.pool.recycle" and ev["reason"] == "timeout"
+            for ev in rec.events
+        )
+
+    def test_broken_process_pool_is_recycled(self):
+        rec = Recorder()
+        policy = RetryPolicy(backoff_base=0.0, jitter=0.0, degrade_after=99)
+        plan = KillFirstAttempt()
+        with SupervisedBackend(
+            ProcessPoolBackend(max_workers=2), policy=policy, plan=plan
+        ) as backend:
+            backend.recorder = rec
+            assert backend.map_ordered(_square, [(i,) for i in range(3)]) == [
+                0, 1, 4
+            ]
+        assert rec.counters["resilience.pool_recycles"] >= 1
+
+
+class TestDegradationLadder:
+    def test_threads_degrade_to_serial_mid_batch(self):
+        _hang_state["armed"] = False
+        rec = Recorder()
+        policy = RetryPolicy(
+            task_timeout=0.15, backoff_base=0.0, jitter=0.0, degrade_after=1
+        )
+        with SupervisedBackend(
+            ThreadPoolBackend(max_workers=2), policy=policy
+        ) as backend:
+            backend.recorder = rec
+            result = backend.map_ordered(_hang_once, [(i,) for i in range(5)])
+            assert result == [0, 1, 4, 9, 16]
+            assert isinstance(backend.inner, SerialBackend)
+            assert backend.name == "supervised:serial"
+            # The engine's fan-out contract was fixed at construction.
+            assert backend.concurrent
+        degrades = [ev for ev in rec.events if ev["ev"] == "resilience.degrade"]
+        assert degrades == [
+            {
+                "seq": degrades[0]["seq"],
+                "ev": "resilience.degrade",
+                "from_backend": "threads",
+                "to_backend": "serial",
+                "after_failures": 1,
+            }
+        ]
+
+    def test_processes_degrade_to_threads(self):
+        rec = Recorder()
+        policy = RetryPolicy(backoff_base=0.0, jitter=0.0, degrade_after=1)
+        plan = KillFirstAttempt()
+        with SupervisedBackend(
+            ProcessPoolBackend(max_workers=2), policy=policy, plan=plan
+        ) as backend:
+            backend.recorder = rec
+            assert backend.map_ordered(_square, [(i,) for i in range(4)]) == [
+                0, 1, 4, 9
+            ]
+            assert isinstance(backend.inner, ThreadPoolBackend)
+        assert any(
+            ev["ev"] == "resilience.degrade"
+            and ev["from_backend"] == "processes"
+            and ev["to_backend"] == "threads"
+            for ev in rec.events
+        )
+
+    def test_serial_cannot_degrade_further(self):
+        backend = SupervisedBackend("serial")
+        assert backend._degrade() is False
+
+
+class TestEngineIntegration:
+    def test_supervised_faulty_run_matches_fault_free(self):
+        prog = simulated_alloc_program(
+            random.Random(5),
+            num_threads=3,
+            total_events=120,
+            num_locations=8,
+            inject_error_rate=0.2,
+        )
+        part = partition_by_global_order(prog, 8)
+        ref = ButterflyAddrCheck()
+        ref_stats = ButterflyEngine(ref).run(part)
+
+        plan = FaultPlan(crash=0.15, corrupt=0.1, seed=3)
+        policy = RetryPolicy(max_retries=8, backoff_base=0.0, jitter=0.0)
+        guard = ButterflyAddrCheck()
+        with SupervisedBackend("threads", policy=policy, plan=plan) as backend:
+            with ButterflyEngine(guard, backend=backend) as engine:
+                stats = engine.run(part)
+        assert stats == ref_stats
+        assert [
+            (r.kind, r.location, r.ref, r.block) for r in guard.errors
+        ] == [(r.kind, r.location, r.ref, r.block) for r in ref.errors]
+
+    def test_fault_provenance_carries_epoch_and_thread(self):
+        prog = simulated_alloc_program(
+            random.Random(5),
+            num_threads=3,
+            total_events=120,
+            num_locations=8,
+        )
+        part = partition_by_global_order(prog, 8)
+        rec = Recorder()
+        plan = CrashFirstAttempt()
+        policy = RetryPolicy(max_retries=8, backoff_base=0.0, jitter=0.0)
+        guard = ButterflyAddrCheck()
+        with SupervisedBackend("threads", policy=policy, plan=plan) as backend:
+            with ButterflyEngine(
+                guard, backend=backend, recorder=rec
+            ) as engine:
+                engine.run(part)
+        faults = [ev for ev in rec.events if ev["ev"] == "resilience.fault"]
+        assert faults
+        assert all(
+            ev["epoch"] is not None and ev["thread"] is not None
+            for ev in faults
+        )
+
+
+class TestPooledBackendLeakFix:
+    """Satellite: a failing batch must not leak in-flight futures."""
+
+    def test_plain_path_discards_executor_on_failure(self):
+        backend = ThreadPoolBackend(max_workers=2)
+        backend.map_ordered(_square, [(1,)])
+        with pytest.raises(ValueError, match="boom"):
+            backend.map_ordered(_boom, [(i,) for i in range(8)])
+        # The suspect executor was dropped; the next use builds a fresh
+        # pool lazily instead of reusing one with abandoned futures.
+        assert backend._executor is None
+        assert backend.map_ordered(_square, [(3,)]) == [9]
+        backend.close()
+
+    def test_instrumented_path_discards_executor_on_failure(self):
+        backend = ThreadPoolBackend(max_workers=2)
+        backend.recorder = Recorder()
+        with pytest.raises(ValueError, match="boom"):
+            backend.map_ordered(_boom, [(i,) for i in range(8)])
+        assert backend._executor is None
+        backend.close()
