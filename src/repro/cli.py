@@ -16,6 +16,8 @@ Examples
     python -m repro sweep --benchmark OCEAN --threads 4
     python -m repro sweep --traces a.jsonl b.jsonl --quarantine bad/
     python -m repro stats --benchmark OCEAN --threads 4
+    python -m repro fuzz --seed 4 --budget-seconds 60
+    python -m repro fuzz --mutant narrow-window --trials 20
 """
 
 from __future__ import annotations
@@ -48,6 +50,7 @@ from repro.resilience import (
 )
 from repro.sim.lba import LBASystem
 from repro.trace.serialize import load_file, save_file
+from repro.verify import DEFAULT_TRIALS, MODE_NAMES, MUTANTS, run_fuzz
 from repro.workloads.registry import BENCHMARKS, get_benchmark
 
 
@@ -400,7 +403,11 @@ def cmd_resume(args: argparse.Namespace) -> int:
     guard = checkpoint.analysis
     engine = ButterflyEngine(guard, backend=backend, recorder=recorder)
     try:
-        engine.attach(partition)
+        # resumed=True suppresses the duplicate run.attach event, and
+        # restore_into continues the log numbering from the checkpoint
+        # boundary: the resumed event log is the exact suffix of the
+        # uninterrupted one, never a re-count of finished epochs.
+        engine.attach(partition, resumed=True)
         checkpoint.restore_into(engine)
         finished = _drive_engine(
             args, engine, partition, args.checkpoint, meta,
@@ -541,6 +548,59 @@ def cmd_bench(args: argparse.Namespace) -> int:
     res = report["workloads"]["resilience_overhead"]
     print(f"supervision overhead: {res['overhead_ratio']:.3f}x fault-free")
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzz campaign: generate adversarial traces, demand
+    agreement across every mode pair, shrink and archive any
+    disagreement.  Exit 0 when every check agreed, 1 when findings were
+    written to the failures directory, 2 on usage errors."""
+    if args.budget_seconds is not None and args.budget_seconds <= 0:
+        return _fail(
+            "fuzz", f"--budget-seconds must be > 0, got {args.budget_seconds}"
+        )
+    if args.trials is not None and args.trials < 1:
+        return _fail("fuzz", f"--trials must be >= 1, got {args.trials}")
+    if args.oracle_budget < 0:
+        return _fail(
+            "fuzz", f"--oracle-budget must be >= 0, got {args.oracle_budget}"
+        )
+    recorder, rc = _open_recorder(args, "fuzz")
+    if recorder is None:
+        return rc
+    report = run_fuzz(
+        seed=args.seed,
+        budget_seconds=args.budget_seconds,
+        trials=args.trials,
+        modes=tuple(args.modes),
+        shrink=args.shrink,
+        failures_dir=args.failures_dir,
+        recorder=recorder,
+        oracle_budget=args.oracle_budget,
+        backend=args.backend,
+        mutant=args.mutant,
+    )
+    mix = ", ".join(
+        f"{k}={v}" for k, v in sorted(report.cases_by_label.items())
+    )
+    print(f"seed {report.seed}: {report.trials} trials "
+          f"in {report.elapsed_s:.1f}s ({mix})")
+    for mode in report.modes:
+        print(f"  {mode:10s} checks={report.checks_run.get(mode, 0):<6d}"
+              f"skipped={report.skipped.get(mode, 0)}")
+    if report.ok:
+        print("all mode pairs agreed")
+        _finish_events(recorder, args)
+        return 0
+    print(f"{len(report.findings)} disagreement(s); "
+          f"minimal repros in {args.failures_dir}/")
+    for f in report.findings:
+        print(f"  trial {f.trial} [{f.mode}] {f.label}: "
+              f"{f.original_instructions} -> {f.shrunk_instructions} "
+              f"instructions, {f.artifact}")
+        print(f"    {f.detail}")
+    _finish_events(recorder, args)
+    return 1
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -768,6 +828,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_emit_events_arg(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzz campaign: adversarial traces must agree "
+             "across every mode pair; disagreements are shrunk to "
+             "minimal repros",
+    )
+    p.add_argument("--seed", type=int, default=1,
+                   help="campaign seed; trial i is a pure function of "
+                        "(seed, i), so a seed replays its campaign")
+    p.add_argument("--budget-seconds", type=float, default=None,
+                   metavar="S",
+                   help="stop starting new trials after S seconds")
+    p.add_argument("--trials", type=int, default=None, metavar="N",
+                   help=f"run exactly N trials (default {DEFAULT_TRIALS} "
+                        "when no --budget-seconds)")
+    p.add_argument("--modes", nargs="+", default=list(MODE_NAMES),
+                   choices=MODE_NAMES, metavar="MODE",
+                   help="mode pairs to check (default: all of "
+                        f"{', '.join(MODE_NAMES)})")
+    p.add_argument("--no-shrink", dest="shrink", action="store_false",
+                   help="archive disagreements without delta-debugging "
+                        "them to minimal repros")
+    p.add_argument("--failures-dir", default="repro-failures",
+                   metavar="DIR",
+                   help="where minimal repros land (default: "
+                        "repro-failures)")
+    p.add_argument("--oracle-budget", type=int, default=9, metavar="N",
+                   help="max instructions for the all-orderings oracle; "
+                        "bigger traces skip the orderings pair "
+                        "(default: 9)")
+    p.add_argument("--backend", default="threads", choices=BACKEND_CHOICES,
+                   help="parallel backend the backends pair compares "
+                        "against serial (default: threads)")
+    p.add_argument("--mutant", default=None, choices=sorted(MUTANTS),
+                   help="self-test: activate a deliberate bug; the "
+                        "campaign is then expected to exit 1 with a "
+                        "tiny repro")
+    _add_emit_events_arg(p)
+    p.set_defaults(func=cmd_fuzz, shrink=True)
 
     p = sub.add_parser(
         "stats",

@@ -267,7 +267,14 @@ class ButterflyEngine(Generic[Summary, SideIn]):
 
     # -- streaming ------------------------------------------------------
 
-    def attach(self, partition: EpochPartition) -> None:
+    def attach(self, partition: EpochPartition, resumed: bool = False) -> None:
+        """Bind the engine to a partition and announce the run.
+
+        ``resumed=True`` marks a continuation of a checkpointed run:
+        the uninterrupted run already emitted its ``run.attach``, so a
+        resume must not emit a second one (the resumed log is the exact
+        suffix of the uninterrupted log past the checkpoint boundary).
+        """
         if self._partition is not None:
             raise AnalysisError(
                 "engine already attached to a partition; call reset() "
@@ -279,11 +286,12 @@ class ButterflyEngine(Generic[Summary, SideIn]):
             self.analysis.recorder = self.recorder
             # The backend name stays out of analysis-level events so
             # logs compare equal across backends.
-            self.recorder.event(
-                "run.attach",
-                epochs=partition.num_epochs,
-                threads=partition.num_threads,
-            )
+            if not resumed:
+                self.recorder.event(
+                    "run.attach",
+                    epochs=partition.num_epochs,
+                    threads=partition.num_threads,
+                )
 
     def feed_epoch(self, lid: int) -> None:
         """Receive epoch ``l``: first-pass its blocks, then process the

@@ -34,16 +34,33 @@ def _thread_schedule(partition: EpochPartition, tid: int) -> List[InstrId]:
     return ids
 
 
+def _last_epoch(partition: EpochPartition, up_to_epoch: Optional[int]) -> int:
+    """Resolve and validate the ``up_to_epoch`` prefix argument.
+
+    An out-of-range value used to be accepted silently (negative values
+    enumerated nothing, too-large values masked caller bugs); an oracle
+    that quietly quantifies over the wrong prefix is worse than useless.
+    """
+    if up_to_epoch is None:
+        return partition.num_epochs - 1
+    if not 0 <= up_to_epoch < partition.num_epochs:
+        raise ValueError(
+            f"up_to_epoch={up_to_epoch} out of range for a partition "
+            f"with {partition.num_epochs} epochs"
+        )
+    return up_to_epoch
+
+
 def all_valid_orderings(
     partition: EpochPartition, up_to_epoch: Optional[int] = None
 ) -> Iterator[List[InstrId]]:
     """Every valid ordering of the first ``up_to_epoch + 1`` epochs.
 
-    Exponential; tests keep the instruction count under ~10.
+    Exponential; tests keep the instruction count under ~10.  Empty
+    blocks, empty threads, and an empty final epoch are all legal: they
+    contribute no instructions and never wedge the cursor bookkeeping.
     """
-    last = (
-        partition.num_epochs - 1 if up_to_epoch is None else up_to_epoch
-    )
+    last = _last_epoch(partition, up_to_epoch)
     schedules = [
         [iid for iid in _thread_schedule(partition, t) if iid[0] <= last]
         for t in range(partition.num_threads)
@@ -91,9 +108,7 @@ def random_valid_ordering(
 ) -> List[InstrId]:
     """Sample one valid ordering uniformly over schedulable choices."""
     rng = rng or random.Random()
-    last = (
-        partition.num_epochs - 1 if up_to_epoch is None else up_to_epoch
-    )
+    last = _last_epoch(partition, up_to_epoch)
     schedules = [
         [iid for iid in _thread_schedule(partition, t) if iid[0] <= last]
         for t in range(partition.num_threads)

@@ -526,7 +526,12 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
         rec = self.recorder
         emit = rec.enabled
         flags = 0
-        for loc in decode(change_hits):
+        # Sorted location order: decode() yields interning order, which
+        # depends on which instruction touched a location first; sorting
+        # makes the report order a function of the trace alone, so the
+        # optimized and reference paths are bit-identical (the fuzz
+        # harness's optref mode diffs them report-for-report).
+        for loc in sorted(decode(change_hits)):
             if errors.record(
                 ErrorKind.UNSAFE_ISOLATION,
                 loc,
@@ -539,7 +544,7 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
                     self._emit_isolation_event(
                         butterfly, loc, s.first_change[loc]
                     )
-        for loc in decode(access_hits):
+        for loc in sorted(decode(access_hits)):
             if errors.record(
                 ErrorKind.UNSAFE_ISOLATION,
                 loc,
@@ -628,8 +633,11 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
         emit = self.recorder.enabled
         changed = s.gen | s.kill
         wing_changed = side_in.changed
+        # Sorted location order, matching the optimized path: raw set
+        # intersection order is hash-dependent, and a multi-location
+        # extent would flag its locations in an arbitrary order.
         # (s.GEN U s.KILL) n (S.GEN U S.KILL): racing state changes.
-        for loc in changed & wing_changed:
+        for loc in sorted(changed & wing_changed):
             if self.errors.flag(
                 ErrorReport(
                     ErrorKind.UNSAFE_ISOLATION,
@@ -643,7 +651,7 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
                     butterfly, loc, s.first_change[loc]
                 )
         # s.ACCESS n (S.GEN U S.KILL): access during a concurrent change.
-        for loc in s.access & wing_changed:
+        for loc in sorted(s.access & wing_changed):
             if self.errors.flag(
                 ErrorReport(
                     ErrorKind.UNSAFE_ISOLATION,

@@ -147,6 +147,25 @@ class Recorder:
 
     # -- events ---------------------------------------------------------
 
+    @property
+    def seq(self) -> int:
+        """Sequence number of the most recently emitted event (0 when
+        nothing has been emitted).  Checkpoints persist this so a
+        resumed run's log continues the numbering instead of restarting
+        at 1 and re-covering already-logged epochs."""
+        return self._seq
+
+    def resume_from(self, seq: int) -> None:
+        """Continue an earlier log: the next event gets ``seq + 1``.
+
+        Used by checkpoint resume so that truncating the interrupted
+        run's log at the checkpoint boundary and concatenating the
+        resumed log yields exactly the uninterrupted run's log.
+        """
+        if seq < 0:
+            raise ValueError(f"cannot resume event log from seq {seq}")
+        self._seq = seq
+
     def event(self, name: str, **fields: Any) -> None:
         """Append a structured event to the log (and the sink)."""
         self._seq += 1

@@ -47,6 +47,12 @@ def _engine_state(engine: "ButterflyEngine") -> Dict[str, Any]:
         "first_pass_errors": engine._first_pass_errors,
         "next_to_receive": engine._next_to_receive,
         "next_to_process": engine._next_to_process,
+        # How many observability events the run had emitted when this
+        # snapshot was taken.  Resume continues the log's numbering from
+        # here instead of re-emitting events for already-covered epochs,
+        # so truncate-at-boundary(interrupted log) + resumed log equals
+        # the uninterrupted log.
+        "events_emitted": engine.recorder.seq,
         "analysis": engine.analysis,
     }
 
@@ -100,6 +106,15 @@ class Checkpoint:
         """The first epoch the resumed run still has to receive."""
         return self._state["next_to_receive"]
 
+    @property
+    def events_emitted(self) -> int:
+        """Event-log position at the snapshot (the dedup boundary).
+
+        Older checkpoints (written before the field existed) report 0,
+        which degrades to the historical restart-at-1 numbering.
+        """
+        return self._state.get("events_emitted", 0)
+
     def verify(self, expected_meta: Dict[str, Any]) -> None:
         """Refuse to resume under a different configuration."""
         mismatches = [
@@ -134,6 +149,8 @@ class Checkpoint:
         engine._first_pass_errors = state["first_pass_errors"]
         engine._next_to_receive = state["next_to_receive"]
         engine._next_to_process = state["next_to_process"]
+        if engine.recorder.enabled:
+            engine.recorder.resume_from(self.events_emitted)
 
 
 def load_checkpoint(path: str) -> Checkpoint:

@@ -23,6 +23,21 @@ class MetadataTLB:
         hit_cycles: int = 1,
         miss_cycles: int = 30,
     ) -> None:
+        if page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {page_size}")
+        if associativity < 1:
+            raise ValueError(
+                f"associativity must be >= 1, got {associativity}"
+            )
+        if entries < associativity:
+            # Covers entries <= 0 too: num_sets would be 0 and every
+            # lookup would die on ``page % 0``.  (entries ==
+            # associativity is legal -- it collapses to one
+            # fully-associative set.)
+            raise ValueError(
+                f"entries ({entries}) must be >= associativity "
+                f"({associativity}) so the TLB has at least one set"
+            )
         if entries % associativity != 0:
             raise ValueError("entries must be a multiple of associativity")
         self.page_size = page_size

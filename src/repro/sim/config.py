@@ -33,11 +33,29 @@ class CacheConfig:
         return self.num_lines // self.associativity
 
     def validate(self) -> None:
+        if self.line_bytes < 1:
+            raise SimulationError(
+                f"line size must be >= 1 byte, got {self.line_bytes}"
+            )
+        if self.associativity < 1:
+            raise SimulationError(
+                f"associativity must be >= 1, got {self.associativity}"
+            )
         if self.size_bytes % self.line_bytes:
             raise SimulationError("cache size must be a multiple of line size")
         if self.num_lines % self.associativity:
             raise SimulationError(
                 "line count must be a multiple of associativity"
+            )
+        if self.num_sets < 1:
+            # A geometry whose lines don't fill one set (e.g. size 0, or
+            # fewer lines than ways) would crash set indexing with
+            # ``line % 0``; a one-set (fully associative) cache is the
+            # legal minimum.
+            raise SimulationError(
+                f"cache geometry yields {self.num_sets} sets "
+                f"({self.num_lines} lines / {self.associativity} ways); "
+                "need at least one"
             )
 
 

@@ -59,6 +59,77 @@ def random_program(
     return TraceProgram(threads)
 
 
+def adversarial_instrs(
+    rng: random.Random,
+    length: int,
+    num_locations: int = 4,
+    ops: Sequence[Op] = (Op.WRITE, Op.READ, Op.MALLOC, Op.FREE, Op.NOP),
+    hot_locations: Optional[Sequence[int]] = None,
+    straddle_stride: int = 0,
+    max_extent: int = 1,
+) -> List[Instr]:
+    """One thread's worth of deliberately hostile events.
+
+    The knobs bias toward the cases that historically break analyses:
+
+    - ``hot_locations`` concentrates every address choice on a tiny set,
+      maximizing cross-thread conflicts (wing-heavy butterflies);
+    - ``straddle_stride`` > 0 aligns sized MALLOC/FREE/range bases just
+      *under* multiples of the stride so their extents straddle it
+      (shadow-page and bitset-word boundaries);
+    - ``max_extent`` > 1 enables sized allocation events at all.
+
+    Unlike the simulated-execution generators this draws arbitrary
+    event soup: illegal frees, double mallocs and reads of unallocated
+    memory are all fair game, which is exactly what a differential
+    harness wants (both sides of every pair must agree on the errors).
+    """
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length}")
+
+    def pick_loc() -> int:
+        if hot_locations:
+            return rng.choice(list(hot_locations))
+        return rng.randrange(num_locations)
+
+    def pick_base_size() -> "tuple[int, int]":
+        size = rng.randint(1, max_extent)
+        if straddle_stride > 0 and size > 1 and rng.random() < 0.75:
+            # Start size-1..1 slots before a stride multiple so the
+            # extent crosses it.
+            k = rng.randrange(1, max(2, num_locations // straddle_stride + 1))
+            base = max(0, k * straddle_stride - rng.randint(1, size - 1))
+            return base, size
+        return pick_loc(), size
+
+    instrs: List[Instr] = []
+    for _ in range(length):
+        op = rng.choice(list(ops))
+        if op is Op.WRITE:
+            instrs.append(Instr.write(pick_loc()))
+        elif op is Op.READ:
+            instrs.append(Instr.read(pick_loc()))
+        elif op is Op.MALLOC:
+            base, size = pick_base_size()
+            instrs.append(Instr.malloc(base, size))
+        elif op is Op.FREE:
+            base, size = pick_base_size()
+            instrs.append(Instr.free(base, size))
+        elif op is Op.ASSIGN:
+            dst = pick_loc()
+            srcs = [pick_loc() for _ in range(rng.randint(1, 2))]
+            instrs.append(Instr.assign(dst, *srcs))
+        elif op is Op.TAINT:
+            instrs.append(Instr.taint(pick_loc()))
+        elif op is Op.UNTAINT:
+            instrs.append(Instr.untaint(pick_loc()))
+        elif op is Op.JUMP:
+            instrs.append(Instr.jump(pick_loc()))
+        else:
+            instrs.append(Instr.nop())
+    return instrs
+
+
 def simulated_alloc_program(
     rng: random.Random,
     num_threads: int = 2,

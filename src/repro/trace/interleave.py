@@ -125,6 +125,8 @@ def relaxed_thread_orders(
     slots early, provided it never passes an instruction it conflicts
     with.  ``window=0`` degenerates to program order.
     """
+    if window < 0:
+        raise ValueError(f"reorder window must be >= 0, got {window}")
 
     n = len(trace)
 

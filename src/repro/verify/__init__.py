@@ -1,0 +1,49 @@
+"""Differential verification: adversarial fuzzing with trace shrinking.
+
+The paper's guarantees are relational -- butterfly vs. sequential over
+all valid orderings, optimized vs. reference, parallel vs. serial,
+faulted vs. clean, resumed vs. uninterrupted.  This package turns each
+relation into an executable check: a seeded generator produces
+adversarial traces, a harness runs every mode pair and demands
+agreement, and a delta-debugging shrinker reduces any disagreement to a
+minimal JSON repro under ``repro-failures/``.  The ``repro fuzz`` CLI
+subcommand (and the CI ``fuzz-smoke`` job) drive it end to end; see
+``docs/verification.md``.
+"""
+
+from repro.verify.fuzz import (
+    DEFAULT_TRIALS,
+    FuzzFinding,
+    FuzzReport,
+    run_fuzz,
+)
+from repro.verify.generator import (
+    FAMILIES,
+    AdversarialCaseGenerator,
+    TraceCase,
+)
+from repro.verify.harness import (
+    MODE_NAMES,
+    DifferentialHarness,
+    Disagreement,
+)
+from repro.verify.mutants import MUTANTS, apply_mutant
+from repro.verify.shrink import load_repro, shrink_case, write_repro
+
+__all__ = [
+    "AdversarialCaseGenerator",
+    "DEFAULT_TRIALS",
+    "DifferentialHarness",
+    "Disagreement",
+    "FAMILIES",
+    "FuzzFinding",
+    "FuzzReport",
+    "MODE_NAMES",
+    "MUTANTS",
+    "TraceCase",
+    "apply_mutant",
+    "load_repro",
+    "run_fuzz",
+    "shrink_case",
+    "write_repro",
+]

@@ -1,0 +1,116 @@
+"""Deliberate-bug mutants: proof the harness actually catches things.
+
+A differential fuzzer that has never failed proves nothing -- maybe the
+modes agree, maybe the checks are vacuous.  Each mutant here reverts
+one shipped bugfix (or plants a classic soundness hole) behind a
+context manager; the self-tests in ``tests/verify/`` assert that with
+the mutant active the fuzzer finds a disagreement and shrinks it to a
+tiny repro, and ``repro fuzz --mutant <name>`` runs the same drill from
+the CLI.
+
+Mutants monkeypatch module attributes and restore them on exit, so they
+must never be active concurrently with real analysis work.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, Iterator
+
+from repro.errors import CheckpointError
+
+
+@contextlib.contextmanager
+def resume_event_replay() -> Iterator[None]:
+    """Revert the resume event-log dedup fix.
+
+    The pre-fix behavior: ``attach`` emits a second ``run.attach`` on
+    resume and ``restore_into`` leaves the recorder's sequence at zero,
+    so a resumed run's log restarts numbering and re-covers completed
+    epochs instead of continuing the uninterrupted log's suffix.
+    """
+    from repro.core.framework import ButterflyEngine
+    from repro.resilience.checkpoint import Checkpoint
+
+    orig_attach = ButterflyEngine.attach
+    orig_restore = Checkpoint.restore_into
+
+    def attach(self, partition, resumed=False):
+        # Pre-fix: the resumed flag did not exist.
+        return orig_attach(self, partition, resumed=False)
+
+    def restore_into(self, engine):
+        # The pre-fix implementation, verbatim: no recorder handoff.
+        state = self._state
+        if engine.analysis is not state["analysis"]:
+            raise CheckpointError(
+                "engine must be constructed around the checkpoint's "
+                "analysis object (engine.analysis is not it)"
+            )
+        engine.stats = state["stats"]
+        engine._summaries = state["summaries"]
+        engine._first_pass_errors = state["first_pass_errors"]
+        engine._next_to_receive = state["next_to_receive"]
+        engine._next_to_process = state["next_to_process"]
+
+    ButterflyEngine.attach = attach
+    Checkpoint.restore_into = restore_into
+    try:
+        yield
+    finally:
+        ButterflyEngine.attach = orig_attach
+        Checkpoint.restore_into = orig_restore
+
+
+@contextlib.contextmanager
+def narrow_window() -> Iterator[None]:
+    """Strip next-epoch wings from every butterfly.
+
+    A classic unsound 'optimization': treating epoch ``l+1`` as
+    strictly after epoch ``l`` shrinks every meet, but valid orderings
+    let adjacent epochs interleave, so errors that only appear when a
+    future wing runs first are silently missed.  The ``orderings`` mode
+    pair exists precisely to catch this.
+    """
+    from repro.core import framework
+    from repro.core.window import Butterfly
+
+    orig = framework.butterflies_for_epoch
+
+    def narrowed(partition, lid):
+        out = []
+        for bf in orig(partition, lid):
+            wings = tuple(
+                b for b in bf.wings
+                if b.block_id[0] <= bf.body.block_id[0]
+            )
+            out.append(
+                Butterfly(
+                    body=bf.body, head=bf.head, tail=bf.tail, wings=wings
+                )
+            )
+        return out
+
+    framework.butterflies_for_epoch = narrowed
+    try:
+        yield
+    finally:
+        framework.butterflies_for_epoch = orig
+
+
+#: Registry used by ``repro fuzz --mutant`` and the self-tests.
+MUTANTS: Dict[str, Callable[[], "contextlib.AbstractContextManager"]] = {
+    "resume-replay": resume_event_replay,
+    "narrow-window": narrow_window,
+}
+
+
+def apply_mutant(name: str) -> "contextlib.AbstractContextManager":
+    """Resolve a mutant by name (raising on unknown names)."""
+    try:
+        factory = MUTANTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutant {name!r}; choose from {sorted(MUTANTS)}"
+        ) from None
+    return factory()

@@ -2,7 +2,9 @@
 
 import random
 
-from repro.core.epoch import partition_fixed
+import pytest
+
+from repro.core.epoch import partition_fixed, partition_from_boundaries
 from repro.core.ordering import (
     all_valid_orderings,
     is_valid_ordering,
@@ -73,6 +75,57 @@ class TestTwoEpochRule:
         assert is_valid_ordering(part, ok)
         ok2 = [(0, 1, 0), (1, 1, 0), (0, 0, 0), (1, 0, 0)]
         assert is_valid_ordering(part, ok2)
+
+
+class TestDegenerateShapes:
+    """Empty threads, empty epochs, and empty programs are legal
+    partitions; the oracle must enumerate them, not crash."""
+
+    def test_empty_thread(self):
+        prog = TraceProgram.from_lists(
+            [Instr.write(0), Instr.write(1)], []
+        )
+        part = partition_from_boundaries(prog, [[1, 2], [0, 0]])
+        orders = list(all_valid_orderings(part))
+        assert orders == [[(0, 0, 0), (1, 0, 0)]]
+        rng = random.Random(3)
+        assert is_valid_ordering(part, random_valid_ordering(part, rng))
+
+    def test_empty_final_epoch(self):
+        prog = TraceProgram.from_lists([Instr.write(0), Instr.write(1)])
+        part = partition_from_boundaries(prog, [[1, 2, 2]])
+        orders = list(all_valid_orderings(part))
+        assert orders == [[(0, 0, 0), (1, 0, 0)]]
+
+    def test_empty_program(self):
+        prog = TraceProgram.from_lists([])
+        part = partition_from_boundaries(prog, [[0]])
+        assert list(all_valid_orderings(part)) == [[]]
+        assert is_valid_ordering(part, [])
+        assert random_valid_ordering(part, random.Random(0)) == []
+
+    def test_interleaved_empty_blocks(self):
+        # Thread 1's middle epoch is empty; the two-epoch rule must
+        # still be enforced around it.
+        prog = TraceProgram.from_lists(
+            [Instr.write(0), Instr.write(1), Instr.write(2)],
+            [Instr.write(100)],
+        )
+        part = partition_from_boundaries(prog, [[1, 2, 3], [1, 1, 1]])
+        for order in all_valid_orderings(part):
+            assert is_valid_ordering(part, order)
+            assert len(order) == 4
+
+    def test_up_to_epoch_out_of_range_rejected(self):
+        part = partition(lengths=(2, 2), h=1)
+        with pytest.raises(ValueError, match="out of range"):
+            list(all_valid_orderings(part, up_to_epoch=part.num_epochs))
+        with pytest.raises(ValueError, match="out of range"):
+            list(all_valid_orderings(part, up_to_epoch=-1))
+        with pytest.raises(ValueError, match="out of range"):
+            random_valid_ordering(
+                part, random.Random(0), up_to_epoch=part.num_epochs
+            )
 
 
 class TestRandomOrdering:

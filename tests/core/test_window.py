@@ -1,6 +1,9 @@
 """Unit tests for butterfly windows."""
 
-from repro.core.epoch import partition_fixed
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.epoch import partition_fixed, partition_from_boundaries
 from repro.core.window import butterfly_for, sliding_windows
 from repro.trace.events import Instr
 from repro.trace.program import TraceProgram
@@ -67,6 +70,57 @@ class TestConcurrencyPredicate:
         ids = {b.block_id for b in bf.all_blocks()}
         assert (1, 0) in ids and (0, 0) in ids and (2, 0) in ids
         assert len(ids) == 9  # 3 own + 6 wings
+
+
+class TestConcurrencyMatchesWings:
+    """``is_potentially_concurrent`` must be exactly wing membership:
+    the predicate and ``wing_ids()`` are two encodings of the same
+    three-epoch window, including its first/last-epoch truncations."""
+
+    @given(
+        lengths=st.lists(st.integers(0, 6), min_size=1, max_size=4),
+        h=st.integers(1, 4),
+        data=st.data(),
+    )
+    @settings(max_examples=80)
+    def test_predicate_agrees_with_wing_membership(self, lengths, h, data):
+        if not any(lengths):
+            lengths = list(lengths)
+            lengths[0] = 1
+        prog = TraceProgram.from_lists(
+            *[[Instr.nop()] * n for n in lengths]
+        )
+        num_epochs = (max(lengths) + h - 1) // h
+        boundaries = [
+            [min((k + 1) * h, n) for k in range(num_epochs)]
+            for n in lengths
+        ]
+        part = partition_from_boundaries(prog, boundaries)
+        all_ids = [
+            (l, t)
+            for l in range(part.num_epochs)
+            for t in range(part.num_threads)
+        ]
+        for lid in range(part.num_epochs):
+            for tid in range(part.num_threads):
+                bf = butterfly_for(part, lid, tid)
+                wings = set(bf.wing_ids())
+                for other in all_ids:
+                    assert bf.is_potentially_concurrent(other) == (
+                        other in wings
+                    ), (bf.body_id, other)
+
+    def test_first_and_last_epoch_explicitly(self):
+        part = partition(threads=2, per_thread=6, h=2)
+        first = butterfly_for(part, 0, 0)
+        last = butterfly_for(part, part.num_epochs - 1, 0)
+        for bf in (first, last):
+            wings = set(bf.wing_ids())
+            for l in range(part.num_epochs):
+                for t in range(part.num_threads):
+                    assert bf.is_potentially_concurrent((l, t)) == (
+                        (l, t) in wings
+                    )
 
 
 class TestSlidingWindows:

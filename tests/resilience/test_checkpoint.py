@@ -11,6 +11,7 @@ from repro.core.framework import ButterflyEngine
 from repro.errors import CheckpointError
 from repro.lifeguards.addrcheck import ButterflyAddrCheck
 from repro.obs import Recorder
+from repro.obs.recorder import normalize_events
 from repro.resilience import (
     Checkpointer,
     load_checkpoint,
@@ -122,6 +123,105 @@ class TestSaveLoadRoundtrip:
         assert any(
             ev["ev"] == "resilience.checkpoint" for ev in rec.events
         )
+
+
+class TestResumeEventLog:
+    """A resumed run's event log must be the exact suffix of the
+    uninterrupted log: no duplicate ``run.attach``, no re-counted
+    epochs for work completed before the kill."""
+
+    def _uninterrupted(self, part):
+        rec = Recorder()
+        engine = ButterflyEngine(ButterflyAddrCheck(), recorder=rec)
+        engine.attach(part)
+        for lid in range(part.num_epochs):
+            engine.feed_epoch(lid)
+        engine.finish()
+        return rec
+
+    def _stitched(self, part, path, stop_after):
+        """Kill after ``stop_after`` fed epochs, resume, and stitch
+        checkpoint-prefix + resumed log."""
+        stopped_rec = Recorder()
+        engine = ButterflyEngine(ButterflyAddrCheck(), recorder=stopped_rec)
+        engine.enable_checkpoints(Checkpointer(path, META))
+        engine.attach(part)
+        for lid in range(stop_after):
+            engine.feed_epoch(lid)
+
+        ck = load_checkpoint(path)
+        prefix = [
+            e for e in stopped_rec.events if e["seq"] <= ck.events_emitted
+        ]
+        resumed_rec = Recorder()
+        resumed = ButterflyEngine(ck.analysis, recorder=resumed_rec)
+        resumed.attach(part, resumed=True)
+        ck.restore_into(resumed)
+        for lid in range(ck.next_epoch, part.num_epochs):
+            resumed.feed_epoch(lid)
+        resumed.finish()
+        return prefix + resumed_rec.events
+
+    def test_stitched_log_equals_uninterrupted(self, tmp_path):
+        part = partition_by_global_order(_program(events=80), 8)
+        reference = normalize_events(self._uninterrupted(part).events)
+        stitched = self._stitched(part, str(tmp_path / "log.ckpt"), 3)
+        assert normalize_events(stitched) == reference
+
+    def test_every_kill_boundary_stitches_identically(self, tmp_path):
+        part = partition_by_global_order(_program(events=60), 6)
+        reference = normalize_events(self._uninterrupted(part).events)
+        for stop_after in range(2, part.num_epochs):
+            stitched = self._stitched(
+                part, str(tmp_path / f"log{stop_after}.ckpt"), stop_after
+            )
+            assert normalize_events(stitched) == reference, (
+                f"event log diverged when killed after epoch "
+                f"{stop_after - 1}"
+            )
+
+    def test_no_duplicate_run_attach(self, tmp_path):
+        part = partition_by_global_order(_program(events=60), 8)
+        stitched = self._stitched(part, str(tmp_path / "dup.ckpt"), 3)
+        attaches = [e for e in stitched if e["ev"] == "run.attach"]
+        assert len(attaches) == 1
+
+    def test_checkpoint_records_events_emitted(self, tmp_path):
+        part = partition_by_global_order(_program(events=60), 8)
+        rec = Recorder()
+        engine = ButterflyEngine(ButterflyAddrCheck(), recorder=rec)
+        path = str(tmp_path / "seq.ckpt")
+        engine.enable_checkpoints(Checkpointer(path, META))
+        engine.attach(part)
+        for lid in range(3):
+            engine.feed_epoch(lid)
+        ck = load_checkpoint(path)
+        assert 0 < ck.events_emitted <= rec.seq
+
+    def test_old_checkpoints_default_to_zero(self, tmp_path):
+        # Pre-fix checkpoints lack the field; resume must still work.
+        part = partition_by_global_order(_program(events=60), 8)
+        engine = ButterflyEngine(ButterflyAddrCheck())
+        path = str(tmp_path / "old.ckpt")
+        engine.enable_checkpoints(Checkpointer(path, META))
+        engine.attach(part)
+        for lid in range(3):
+            engine.feed_epoch(lid)
+        import pickle
+
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        del payload["engine"]["events_emitted"]
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+        ck = load_checkpoint(path)
+        assert ck.events_emitted == 0
+        resumed = ButterflyEngine(ck.analysis)
+        resumed.attach(part, resumed=True)
+        ck.restore_into(resumed)
+        for lid in range(ck.next_epoch, part.num_epochs):
+            resumed.feed_epoch(lid)
+        resumed.finish()
 
 
 class TestCheckpointerPolicy:

@@ -54,3 +54,37 @@ class TestMetadataTLB:
     def test_entries_must_divide(self):
         with pytest.raises(ValueError):
             MetadataTLB(entries=5, associativity=4)
+
+
+class TestDegenerateGeometry:
+    """Configs that used to crash with ZeroDivisionError on the first
+    lookup must be rejected up front -- or, when legal (one set), work."""
+
+    def test_zero_entries_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            MetadataTLB(entries=0)
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            MetadataTLB(entries=-4)
+
+    def test_zero_associativity_rejected(self):
+        with pytest.raises(ValueError):
+            MetadataTLB(entries=4, associativity=0)
+
+    def test_zero_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            MetadataTLB(page_size=0)
+
+    def test_entries_below_associativity_rejected(self):
+        with pytest.raises(ValueError):
+            MetadataTLB(entries=2, associativity=4)
+
+    def test_fully_associative_single_set_works(self):
+        # entries == associativity -> exactly one set; this is a legal
+        # fully-associative TLB and every lookup lands in set 0.
+        tlb = MetadataTLB(entries=4, associativity=4, page_size=16)
+        for page in range(8):
+            tlb.lookup(page * 16)
+        assert tlb.hits + tlb.misses == 8
+        assert tlb.lookup(7 * 16) == tlb.hit_cycles

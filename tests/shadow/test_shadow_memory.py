@@ -1,5 +1,7 @@
 """Unit tests for the two-level shadow memory."""
 
+import random
+
 import pytest
 
 from repro.shadow.shadow_memory import ShadowMemory
@@ -103,3 +105,93 @@ class TestShadowMemory:
     def test_invalid_page_size(self):
         with pytest.raises(ValueError):
             ShadowMemory(page_size=0)
+
+
+class _ByteReference:
+    """Per-byte model of ShadowMemory: a plain dict, no fast paths."""
+
+    def __init__(self, default=0):
+        self.default = default
+        self.cells = {}
+
+    def store(self, addr, value):
+        self.cells[addr] = value
+
+    def store_range(self, start, size, value):
+        for addr in range(start, start + size):
+            self.cells[addr] = value
+
+    def load(self, addr):
+        return self.cells.get(addr, self.default)
+
+    def load_range(self, start, size):
+        return [self.load(a) for a in range(start, start + size)]
+
+
+class TestRangeDifferential:
+    """The burst fast paths must be observationally identical to the
+    per-byte reference, especially across page boundaries and for
+    zero-size ranges."""
+
+    def _diff_run(self, page_size, seed, ops=200, span=200):
+        rng = random.Random(seed)
+        shadow = ShadowMemory(page_size=page_size)
+        reference = _ByteReference()
+        for step in range(ops):
+            start = rng.randrange(span)
+            choice = rng.random()
+            if choice < 0.35:
+                # Sizes biased toward page-straddling and degenerate 0.
+                size = rng.choice(
+                    (0, 1, page_size - 1, page_size,
+                     page_size + 1, 3 * page_size)
+                )
+                value = rng.randint(1, 9)
+                shadow.store_range(start, size, value)
+                reference.store_range(start, size, value)
+            elif choice < 0.55:
+                value = rng.randint(1, 9)
+                shadow.store(start, value)
+                reference.store(start, value)
+            elif choice < 0.8:
+                size = rng.choice((0, 1, page_size, 2 * page_size + 1))
+                assert shadow.load_range(start, size) == \
+                    reference.load_range(start, size), (step, start, size)
+            else:
+                assert shadow.load(start) == reference.load(start)
+        full = span + 4 * page_size
+        assert shadow.load_range(0, full) == reference.load_range(0, full)
+
+    @pytest.mark.parametrize("page_size", [1, 2, 4, 8, 16])
+    def test_random_bursts_match_per_byte_reference(self, page_size):
+        for seed in range(4):
+            self._diff_run(page_size, seed)
+
+    def test_straddle_exactly_two_pages(self):
+        shadow = ShadowMemory(page_size=8)
+        shadow.store_range(7, 2, "x")  # last byte of page 0, first of 1
+        assert shadow.load(7) == "x"
+        assert shadow.load(8) == "x"
+        assert shadow.load(6) == 0
+        assert shadow.load(9) == 0
+
+    def test_zero_size_range_touches_nothing(self):
+        shadow = ShadowMemory(page_size=8)
+        shadow.store_range(5, 0, "x")
+        assert shadow.resident_pages == 0
+        assert shadow.load(5) == 0
+        assert shadow.load_range(5, 0) == []
+
+    def test_negative_size_range_touches_nothing(self):
+        shadow = ShadowMemory(page_size=8)
+        shadow.store_range(5, -3, "x")
+        assert shadow.resident_pages == 0
+        assert shadow.load_range(5, -3) == []
+
+    def test_whole_page_replacement_preserves_later_writes(self):
+        # The whole-page fast path replaces the page list wholesale;
+        # later scalar stores must land in the replaced list.
+        shadow = ShadowMemory(page_size=4)
+        shadow.store_range(4, 4, "a")  # exactly page 1
+        shadow.store(5, "b")
+        assert shadow.load_range(4, 4) == ["a", "b", "a", "a"]

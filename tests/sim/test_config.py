@@ -46,6 +46,29 @@ class TestCacheConfig:
         with pytest.raises(SimulationError):
             CacheConfig(100, 64, 4, 1).validate()
 
+    def test_zero_line_bytes_rejected_not_zero_division(self):
+        with pytest.raises(SimulationError):
+            CacheConfig(64 * 1024, 0, 4, 2).validate()
+
+    def test_zero_associativity_rejected_not_zero_division(self):
+        with pytest.raises(SimulationError):
+            CacheConfig(64 * 1024, 64, 0, 2).validate()
+
+    def test_degenerate_num_sets_rejected(self):
+        # size == line_bytes * associativity -> one set is legal;
+        # anything smaller must be a SimulationError, not a % 0 crash.
+        CacheConfig(64 * 4, 64, 4, 2).validate()
+        with pytest.raises(SimulationError):
+            CacheConfig(64 * 2, 64, 4, 2).validate()
+
+    def test_single_set_cache_simulates(self):
+        from repro.sim.cache import SetAssocCache
+
+        cache = SetAssocCache(CacheConfig(64 * 4, 64, 4, 2))
+        for addr in (0, 64, 128, 192, 256):
+            cache.access(addr)
+        assert cache.hits + cache.misses == 5
+
 
 class TestCostModel:
     def test_paper_record_overhead_range(self):

@@ -104,6 +104,28 @@ class TestRelaxedOrders:
         assert len(relaxed) > len(sc)
 
 
+class TestRelaxedEdgeCases:
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            list(relaxed_thread_orders([Instr.nop()], window=-1))
+
+    def test_empty_trace_yields_one_empty_order(self):
+        assert list(relaxed_thread_orders([], window=2)) == [[]]
+
+    def test_relaxed_interleavings_with_empty_thread(self):
+        prog = TraceProgram.from_lists(
+            [Instr.write(0), Instr.write(1)], []
+        )
+        orders = [tuple(o) for o in relaxed_interleavings(prog, window=1)]
+        assert len(orders) == len(set(orders))
+        assert all(len(o) == 2 for o in orders)
+
+    def test_relaxed_interleavings_of_empty_program(self):
+        prog = TraceProgram.from_lists([])
+        assert [list(o) for o in relaxed_interleavings(prog, window=1)] \
+            == [[]]
+
+
 class TestSerialize:
     def test_serialize_round_trip(self):
         prog = two_by_two()

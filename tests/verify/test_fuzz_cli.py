@@ -1,0 +1,80 @@
+"""Exit-code and plumbing tests for ``repro fuzz``."""
+
+import json
+import os
+
+from repro.cli import main
+
+
+class TestExitCodes:
+    def test_clean_campaign_exits_zero(self, tmp_path, capsys):
+        rc = main([
+            "fuzz", "--seed", "4", "--trials", "8",
+            "--failures-dir", str(tmp_path / "failures"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all mode pairs agreed" in out
+        assert not os.path.exists(tmp_path / "failures")
+
+    def test_mutant_campaign_exits_one_and_writes_artifacts(
+        self, tmp_path, capsys
+    ):
+        failures = tmp_path / "failures"
+        rc = main([
+            "fuzz", "--seed", "4", "--trials", "3",
+            "--mutant", "resume-replay",
+            "--failures-dir", str(failures),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "disagreement" in out
+        assert list(failures.glob("resume-seed4-trial*.json"))
+
+    def test_bad_budget_exits_two(self, capsys):
+        rc = main(["fuzz", "--budget-seconds", "0"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "--budget-seconds" in err
+
+    def test_bad_trials_exits_two(self, capsys):
+        rc = main(["fuzz", "--trials", "0"])
+        assert rc == 2
+
+
+class TestPlumbing:
+    def test_emit_events_writes_provenance_log(self, tmp_path):
+        events_path = tmp_path / "events.jsonl"
+        rc = main([
+            "fuzz", "--seed", "4", "--trials", "5",
+            "--failures-dir", str(tmp_path / "failures"),
+            "--emit-events", str(events_path),
+        ])
+        assert rc == 0
+        events = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+        ]
+        trials = [e for e in events if e["ev"] == "verify.trial"]
+        assert len(trials) == 5
+        assert events[-1]["ev"] == "verify.campaign"
+        assert events[-1]["disagreements"] == 0
+
+    def test_mode_subset_only_runs_those_modes(self, tmp_path, capsys):
+        rc = main([
+            "fuzz", "--seed", "4", "--trials", "4",
+            "--modes", "optref", "backends",
+            "--failures-dir", str(tmp_path / "failures"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "optref" in out
+        assert "orderings" not in out
+
+    def test_budget_seconds_bounds_the_campaign(self, tmp_path, capsys):
+        rc = main([
+            "fuzz", "--seed", "4", "--budget-seconds", "0.5",
+            "--failures-dir", str(tmp_path / "failures"),
+        ])
+        assert rc == 0
+        assert "trials" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Unit tests for the adversarial case generator."""
+
+import pytest
+
+from repro.verify.generator import (
+    FAMILIES,
+    AdversarialCaseGenerator,
+    TraceCase,
+)
+
+
+class TestDeterminism:
+    def test_case_is_pure_in_seed_and_index(self):
+        a = AdversarialCaseGenerator(7)
+        b = AdversarialCaseGenerator(7)
+        for i in range(12):
+            assert a.case(i).to_json() == b.case(i).to_json()
+
+    def test_out_of_order_generation_matches(self):
+        gen = AdversarialCaseGenerator(3)
+        later = gen.case(9)
+        gen.case(0)
+        assert gen.case(9).to_json() == later.to_json()
+
+    def test_different_seeds_differ(self):
+        a = [AdversarialCaseGenerator(1).case(i).to_json() for i in range(6)]
+        b = [AdversarialCaseGenerator(2).case(i).to_json() for i in range(6)]
+        assert a != b
+
+
+class TestFamilies:
+    def test_one_rotation_covers_every_family(self):
+        gen = AdversarialCaseGenerator(5)
+        labels = {gen.case(i).label for i in range(len(FAMILIES))}
+        assert labels == set(FAMILIES)
+
+    def test_empty_threads_family_has_an_empty_thread(self):
+        gen = AdversarialCaseGenerator(11)
+        for i in range(30):
+            case = gen.case(i)
+            if case.label == "empty_threads":
+                assert any(len(t) == 0 for t in case.threads)
+
+    def test_single_instruction_blocks_hold_at_most_one(self):
+        gen = AdversarialCaseGenerator(11)
+        for i in range(30):
+            case = gen.case(i)
+            if case.label != "single_instruction":
+                continue
+            for cuts in case.boundaries:
+                prev = 0
+                for cut in cuts:
+                    assert cut - prev <= 1
+                    prev = cut
+
+
+class TestCaseValidity:
+    def test_partitions_build_for_many_cases(self):
+        gen = AdversarialCaseGenerator(13)
+        for i in range(40):
+            case = gen.case(i)
+            part = case.partition()
+            assert part.num_epochs == case.num_epochs
+            assert part.num_threads == case.num_threads
+            assert case.total_instructions == sum(
+                len(t) for t in case.threads
+            )
+
+    def test_json_round_trip(self):
+        gen = AdversarialCaseGenerator(17)
+        for i in range(12):
+            case = gen.case(i)
+            back = TraceCase.from_json(case.to_json())
+            assert back == case
+
+    def test_with_threads_preserves_identity_fields(self):
+        case = AdversarialCaseGenerator(19).case(0)
+        edited = case.with_threads(
+            [list(t) for t in case.threads],
+            [list(b) for b in case.boundaries],
+        )
+        assert edited == case

@@ -1,0 +1,99 @@
+"""Mutant drills: the fuzzer must catch a deliberately reverted bugfix.
+
+A fuzzer that has never failed proves nothing.  These tests revert one
+shipped bugfix (or plant a known-unsound optimization) via
+``repro.verify.mutants`` and assert the campaign finds the bug *and*
+shrinks it to a tiny repro -- the subsystem's acceptance drill.
+"""
+
+import os
+
+import pytest
+
+from repro.verify import (
+    AdversarialCaseGenerator,
+    DifferentialHarness,
+    apply_mutant,
+    load_repro,
+    run_fuzz,
+)
+
+
+class TestResumeReplayMutant:
+    """Reverting the resume event-log dedup fix must be caught."""
+
+    def test_fuzzer_finds_and_shrinks_the_reverted_bugfix(self, tmp_path):
+        report = run_fuzz(
+            seed=4,
+            trials=4,
+            failures_dir=str(tmp_path),
+            mutant="resume-replay",
+        )
+        assert not report.ok
+        finding = report.findings[0]
+        assert finding.mode == "resume"
+        # The acceptance bar: the shrunk repro is tiny.
+        assert finding.shrunk_instructions <= 8
+        assert os.path.exists(finding.artifact)
+        case, mode, detail = load_repro(finding.artifact)
+        assert mode == "resume"
+        assert "run.attach" in detail or "event log" in detail
+
+    def test_artifact_replays_the_disagreement_under_the_mutant(
+        self, tmp_path
+    ):
+        report = run_fuzz(
+            seed=4,
+            trials=2,
+            failures_dir=str(tmp_path),
+            mutant="resume-replay",
+        )
+        case, mode, _ = load_repro(report.findings[0].artifact)
+        harness = DifferentialHarness()
+        # Fixed code: the minimal repro agrees again.
+        assert harness.check(case, mode) is None
+        # Mutant active: the same artifact still disagrees.
+        with apply_mutant("resume-replay"):
+            assert harness.check(case, mode) is not None
+
+
+class TestNarrowWindowMutant:
+    """Stripping future wings violates zero-false-negatives; the
+    all-orderings oracle must notice."""
+
+    def test_orderings_oracle_catches_the_narrowed_window(self, tmp_path):
+        report = run_fuzz(
+            seed=4,
+            trials=30,
+            modes=("orderings",),
+            failures_dir=str(tmp_path),
+            mutant="narrow-window",
+        )
+        assert not report.ok
+        finding = report.findings[0]
+        assert finding.mode == "orderings"
+        assert finding.shrunk_instructions <= 8
+        assert "missed an error" in finding.detail
+
+
+class TestRegistry:
+    def test_unknown_mutant_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutant"):
+            apply_mutant("no-such-mutant")
+
+    def test_mutants_restore_patched_attributes(self):
+        from repro.core.framework import ButterflyEngine
+        from repro.resilience.checkpoint import Checkpoint
+
+        attach = ButterflyEngine.attach
+        restore = Checkpoint.restore_into
+        with apply_mutant("resume-replay"):
+            assert ButterflyEngine.attach is not attach
+        assert ButterflyEngine.attach is attach
+        assert Checkpoint.restore_into is restore
+
+    def test_clean_code_passes_the_mutant_free_campaign(self, tmp_path):
+        gen = AdversarialCaseGenerator(4)
+        harness = DifferentialHarness()
+        for i in range(6):
+            assert harness.run_case(gen.case(i)) == []

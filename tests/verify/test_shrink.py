@@ -1,0 +1,107 @@
+"""Unit tests for the delta-debugging shrinker and repro artifacts."""
+
+import pytest
+
+from repro.trace.events import Instr, Op
+from repro.verify.generator import TraceCase
+from repro.verify.shrink import load_repro, shrink_case, write_repro
+
+
+def _case(threads, boundaries):
+    return TraceCase(
+        seed=42,
+        label="handmade",
+        lifeguard="addrcheck",
+        threads=tuple(tuple(t) for t in threads),
+        boundaries=tuple(tuple(b) for b in boundaries),
+    )
+
+
+def _has_free_of(case, loc):
+    return any(
+        i.op is Op.FREE and i.dst == loc for t in case.threads for i in t
+    )
+
+
+class TestShrink:
+    def test_reduces_to_the_single_relevant_instruction(self):
+        case = _case(
+            [
+                [Instr.write(0), Instr.free(5), Instr.read(1)],
+                [Instr.write(2), Instr.write(3)],
+                [Instr.read(4)],
+            ],
+            [[1, 3], [1, 2], [0, 1]],
+        )
+        shrunk = shrink_case(case, lambda c: _has_free_of(c, 5))
+        assert _has_free_of(shrunk, 5)
+        assert shrunk.total_instructions == 1
+        assert shrunk.num_threads == 1
+
+    def test_result_is_locally_minimal(self):
+        # Predicate needs BOTH the free and the read of loc 5, so the
+        # minimum is exactly two instructions.
+        case = _case(
+            [
+                [Instr.free(5), Instr.write(1), Instr.write(2)],
+                [Instr.read(5), Instr.write(3)],
+            ],
+            [[2, 3], [1, 2]],
+        )
+
+        def predicate(c):
+            instrs = [i for t in c.threads for i in t]
+            return any(
+                i.op is Op.FREE and i.dst == 5 for i in instrs
+            ) and any(i.op is Op.READ and 5 in i.srcs for i in instrs)
+
+        shrunk = shrink_case(case, predicate)
+        assert shrunk.total_instructions == 2
+
+    def test_crashing_predicate_counts_as_not_failing(self):
+        case = _case([[Instr.write(0), Instr.write(1)]], [[2]])
+
+        def predicate(c):
+            if c.total_instructions < 2:
+                raise RuntimeError("checker blew up")
+            return True
+
+        shrunk = shrink_case(case, predicate)
+        assert shrunk.total_instructions == 2
+
+    def test_boundaries_stay_consistent_after_shrinking(self):
+        case = _case(
+            [
+                [Instr.write(0), Instr.write(1), Instr.write(2)],
+                [Instr.read(0), Instr.read(1)],
+            ],
+            [[1, 2, 3], [0, 1, 2]],
+        )
+        shrunk = shrink_case(case, lambda c: c.total_instructions >= 1)
+        part = shrunk.partition()  # must not raise
+        assert part.num_epochs == shrunk.num_epochs
+
+
+class TestArtifacts:
+    def test_write_then_load_round_trip(self, tmp_path):
+        case = _case([[Instr.free(5)]], [[1]])
+        path = write_repro(
+            case, "optref", "diverged", directory=str(tmp_path), trial=3
+        )
+        assert path.endswith("optref-seed42-trial3.json")
+        loaded, mode, detail = load_repro(path)
+        assert loaded == case
+        assert mode == "optref"
+        assert detail == "diverged"
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="repro-failure"):
+            load_repro(str(path))
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        case = _case([[Instr.write(0)]], [[1]])
+        path = write_repro(case, "resume", "x", directory=str(tmp_path))
+        assert not any(p.suffix == ".tmp" for p in tmp_path.iterdir())
+        assert path
