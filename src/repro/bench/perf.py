@@ -24,6 +24,13 @@ Workloads:
   within its budget).  With ``inject_faults`` set, an additional
   ``faulted`` run times the supervised backend recovering from the
   given deterministic fault schedule.
+- ``streaming_overhead`` -- the core workload fed through
+  ``engine.run(partition)`` vs. the bounded-memory
+  ``run_source(PartitionSource(...))`` pipeline
+  (``benchmarks/test_streaming_overhead.py`` holds this within its
+  budget).  With ``stream_file`` set, an additional ``stream_file``
+  run times reading a version 2 stream back from disk -- reported for
+  context (it includes JSON decode), not budgeted.
 
 Read a ``BENCH_*.json`` as: ``runs.<name>.best_s`` is the best-of-N
 wall time in seconds (N = ``repeats``), ``engine_stats`` the exact work
@@ -32,7 +39,8 @@ counters of that run (identical across backends by design), and
 optimized-serial best.  Since schema 2 the ``microbench_core`` entry
 also carries ``per_epoch``: deterministic per-epoch rows (instructions,
 meets, error attribution) from one instrumented replay.  Schema 3 adds
-the ``resilience_overhead`` workload.
+the ``resilience_overhead`` workload; schema 4 adds
+``streaming_overhead``.
 """
 
 from __future__ import annotations
@@ -48,6 +56,7 @@ from typing import Any, Callable, Dict, Optional
 from repro.core.epoch import partition_fixed
 from repro.core.framework import ButterflyEngine
 from repro.core.reaching_defs import ReachingDefinitions
+from repro.core.stream import PartitionSource
 from repro.lifeguards.addrcheck import ButterflyAddrCheck
 from repro.obs import JsonlSink, Recorder
 from repro.shadow.shadow_memory import ShadowMemory
@@ -265,6 +274,66 @@ def _bench_resilience_overhead(
     }
 
 
+def _bench_streaming_overhead(
+    repeats: int, stream_file: bool = False
+) -> Dict[str, Any]:
+    """Materialized ``run(partition)`` vs. the streaming pipeline.
+
+    ``streamed`` feeds the identical partition through
+    ``run_source(PartitionSource(...))`` -- same trace in memory, but
+    the engine runs the bounded-window attach/feed path the streaming
+    pipeline uses; the ratio is the pipeline's pure bookkeeping cost.
+    ``stream_file`` additionally round-trips the partition through a
+    version 2 stream file on disk and times reading it back (JSON
+    decode included), which is the honest large-trace number but not a
+    like-for-like engine comparison.
+    """
+    import tempfile
+
+    from repro.trace.serialize import iter_load, save_stream_file
+
+    partition = _core_partition()
+
+    def materialized() -> None:
+        guard = ButterflyAddrCheck(optimized=True)
+        with ButterflyEngine(guard, backend="serial") as engine:
+            engine.run(partition)
+
+    last: Dict[str, Any] = {}
+
+    def streamed() -> None:
+        guard = ButterflyAddrCheck(optimized=True)
+        with ButterflyEngine(guard, backend="serial") as engine:
+            engine.run_source(PartitionSource(partition))
+        last["high_water"] = engine.window_high_water
+
+    runs = {
+        "materialized": _time_best(materialized, repeats),
+        "streamed": _time_best(streamed, repeats),
+    }
+    if stream_file:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            path = os.path.join(tmp, "core.stream.jsonl")
+            save_stream_file(_core_partition(), path)
+
+            def from_file() -> None:
+                guard = ButterflyAddrCheck(optimized=True)
+                with ButterflyEngine(guard, backend="serial") as engine:
+                    engine.run_source(iter_load(path))
+
+            runs["stream_file"] = _time_best(from_file, repeats)
+    return {
+        "description": "microbench core materialized vs. streamed",
+        "params": {"backend": "serial", "optimized": True},
+        "runs": runs,
+        "overhead_ratio": (
+            runs["streamed"]["best_s"] / runs["materialized"]["best_s"]
+        ),
+        "window_high_water": last["high_water"],
+        "window_bound": 3 * CORE_THREADS,
+    }
+
+
 def _bench_reaching_defs(repeats: int) -> Dict[str, Any]:
     partition = _core_partition()
     runs: Dict[str, Any] = {}
@@ -326,15 +395,17 @@ def run_perf(
     output_path: Optional[str] = None,
     events_path: Optional[str] = None,
     inject_faults: Optional[str] = None,
+    stream_file: bool = False,
 ) -> Dict[str, Any]:
     """Run every perf workload; optionally write the JSON report.
 
     ``events_path`` additionally captures the instrumented replay's
     JSONL event log (the run feeding the ``per_epoch`` section);
-    ``inject_faults`` adds a faulted run to ``resilience_overhead``.
+    ``inject_faults`` adds a faulted run to ``resilience_overhead``;
+    ``stream_file`` adds an on-disk run to ``streaming_overhead``.
     """
     report: Dict[str, Any] = {
-        "schema": 3,
+        "schema": 4,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "cpu_count": os.cpu_count(),
@@ -346,6 +417,9 @@ def run_perf(
             "observability_overhead": _bench_observability_overhead(repeats),
             "resilience_overhead": _bench_resilience_overhead(
                 repeats, inject_faults
+            ),
+            "streaming_overhead": _bench_streaming_overhead(
+                repeats, stream_file
             ),
         },
     }

@@ -12,6 +12,9 @@ Examples
     python -m repro check --benchmark OCEAN --emit-events events.jsonl
     python -m repro check --benchmark OCEAN --checkpoint run.ckpt
     python -m repro check --backend processes --inject-faults crash=0.05,seed=7
+    python -m repro check --benchmark OCEAN --stream
+    python -m repro generate --benchmark OCEAN --stream --output big.jsonl
+    python -m repro check --trace big.jsonl        # v2 traces stream
     python -m repro resume --checkpoint run.ckpt
     python -m repro sweep --benchmark OCEAN --threads 4
     python -m repro sweep --traces a.jsonl b.jsonl --quarantine bad/
@@ -32,9 +35,10 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.bench.experiments import figure11, figure12, figure13, table1
 from repro.bench.harness import ExperimentConfig, ExperimentSuite
 from repro.bench.reporting import render_table
-from repro.core.epoch import partition_by_global_order, partition_fixed
+from repro.core.epoch import partition_auto
 from repro.core.framework import ButterflyEngine
 from repro.core.parallel import BACKEND_CHOICES, ExecutionBackend
+from repro.core.stream import EpochSource, PartitionSource
 from repro.errors import CheckpointError, ResilienceError, TraceError
 from repro.lifeguards.addrcheck import ButterflyAddrCheck
 from repro.lifeguards.racecheck import ButterflyRaceCheck
@@ -49,7 +53,14 @@ from repro.resilience import (
     load_checkpoint,
 )
 from repro.sim.lba import LBASystem
-from repro.trace.serialize import load_file, save_file
+from repro.trace.serialize import (
+    STREAM_VERSION,
+    file_version,
+    iter_load,
+    load_file,
+    save_file,
+    save_stream_file,
+)
 from repro.verify import DEFAULT_TRIALS, MODE_NAMES, MUTANTS, run_fuzz
 from repro.workloads.registry import BENCHMARKS, get_benchmark
 
@@ -121,17 +132,9 @@ def _close_backend(backend: Any) -> None:
         backend.close()
 
 
-def _partition_for(program, epoch_size: int):
-    """The partition rule the LBA substrate uses: cut by the recorded
-    global order when one exists (heartbeats fire in execution time)."""
-    if program.true_order is not None:
-        return partition_by_global_order(program, epoch_size)
-    return partition_fixed(program, epoch_size)
-
-
-def _make_guard(lifeguard: str, program):
+def _make_guard(lifeguard: str, preallocated):
     if lifeguard == "addrcheck":
-        return ButterflyAddrCheck(initially_allocated=program.preallocated)
+        return ButterflyAddrCheck(initially_allocated=preallocated)
     return ButterflyRaceCheck()
 
 
@@ -144,31 +147,41 @@ def _sha256(path: str) -> str:
 
 
 def _run_meta(
-    args: argparse.Namespace, program, trace_path: Optional[str]
+    args: argparse.Namespace,
+    num_threads: int,
+    trace_path: Optional[str],
+    stream: bool,
 ) -> Dict[str, Any]:
     """The checkpoint's configuration fingerprint: everything needed to
-    rebuild the identical trace and partition at resume time."""
+    rebuild the identical trace and partition at resume time.
+
+    ``stream`` records whether the run fed the engine through an
+    :class:`EpochSource`; resume replays the same pipeline so a
+    checkpoint taken mid-stream is continued by seeking the reader.
+    """
     if trace_path:
         trace_abs = os.path.abspath(trace_path)
         return {
             "benchmark": None,
             "trace": trace_abs,
             "trace_sha256": _sha256(trace_abs),
-            "threads": program.num_threads,
+            "threads": num_threads,
             "events": None,
             "seed": None,
             "epoch_size": args.epoch_size,
             "lifeguard": args.lifeguard,
+            "stream": stream,
         }
     return {
         "benchmark": args.benchmark,
         "trace": None,
         "trace_sha256": None,
-        "threads": args.threads,
+        "threads": num_threads,
         "events": args.events,
         "seed": args.seed,
         "epoch_size": args.epoch_size,
         "lifeguard": args.lifeguard,
+        "stream": stream,
     }
 
 
@@ -210,6 +223,52 @@ def _drive_engine(
     return True
 
 
+def _drive_engine_stream(
+    args: argparse.Namespace,
+    engine: ButterflyEngine,
+    source: EpochSource,
+    checkpoint_path: Optional[str],
+    meta: Dict[str, Any],
+    start_epoch: int = 0,
+) -> bool:
+    """The streaming counterpart of :func:`_drive_engine`.
+
+    Pulls one epoch at a time from ``source`` (the engine must already
+    be attached to it); ``start_epoch > 0`` is the resume path, seeking
+    the reader past epochs the checkpoint covers.  Honors the same
+    ``--stop-after-epoch`` drill and checkpoint hooks, so a streamed
+    run is killed and resumed exactly like a materialized one.
+    """
+    if checkpoint_path:
+        engine.enable_checkpoints(
+            Checkpointer(
+                checkpoint_path,
+                meta,
+                every=getattr(args, "checkpoint_every", 1),
+            )
+        )
+    stop_after = getattr(args, "stop_after_epoch", None)
+    rows = source.epochs(start_epoch)
+    try:
+        for lid, blocks in enumerate(rows, start=start_epoch):
+            engine.feed_blocks(lid, blocks)
+            if stop_after is not None and lid >= stop_after:
+                message = f"stopped after receiving epoch {lid}"
+                if checkpoint_path:
+                    message += (
+                        "; resume with: repro resume "
+                        f"--checkpoint {checkpoint_path}"
+                    )
+                print(message)
+                return False
+    finally:
+        close = getattr(rows, "close", None)
+        if close is not None:
+            close()
+    engine.finish()
+    return True
+
+
 def _print_check_results(
     label: str,
     threads: int,
@@ -244,6 +303,38 @@ def _print_check_results(
         for race in guard.races[:limit]:
             print(f"  {race.kind:12s} loc=0x{race.location:x} "
                   f"at {race.body_ref}")
+
+
+def _print_window_peak(engine: ButterflyEngine, threads: int) -> None:
+    """The streamed runs' extra line: the observed memory bound."""
+    print(f"stream: peak resident summaries "
+          f"{engine.window_high_water} (bound {3 * threads})")
+
+
+def _print_stream_results(
+    label: str,
+    threads: int,
+    num_epochs: Optional[int],
+    lifeguard: str,
+    limit: int,
+    guard,
+    engine: ButterflyEngine,
+) -> None:
+    """Result block for a pure stream run (no materialized program, so
+    no sequential-oracle precision accounting)."""
+    epochs = "?" if num_epochs is None else num_epochs
+    print(f"trace: {label}, {threads} threads, {epochs} epochs (streamed)")
+    if lifeguard == "addrcheck":
+        print(f"flags: {len(guard.errors)}")
+        for report in guard.errors.reports[:limit]:
+            print(f"  {report.kind.value:18s} loc=0x{report.location:x} "
+                  f"at {report.ref}")
+    else:
+        print(f"potential conflicts: {len(guard.races)}")
+        for race in guard.races[:limit]:
+            print(f"  {race.kind:12s} loc=0x{race.location:x} "
+                  f"at {race.body_ref}")
+    _print_window_peak(engine, threads)
 
 
 def _suite(args: argparse.Namespace) -> ExperimentSuite:
@@ -289,33 +380,61 @@ def cmd_figure13(args: argparse.Namespace) -> int:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
-    """Generate a workload trace and save it to disk."""
+    """Generate a workload trace and save it to disk.
+
+    ``--stream`` writes the epoch-major version 2 layout instead: the
+    epoch geometry (``--epoch-size``) is cut once at write time and
+    baked into the file, and ``repro check`` later reads it back one
+    epoch at a time without materializing the trace.
+    """
     program = get_benchmark(args.benchmark).generate(
         args.threads, args.events, seed=args.seed
     )
     try:
-        save_file(program, args.output)
+        if args.stream:
+            partition = partition_auto(program, args.epoch_size)
+            save_stream_file(partition, args.output)
+        else:
+            save_file(program, args.output)
     except OSError as exc:
         return _fail("generate", f"cannot write {args.output}: {exc}")
+    suffix = (
+        f", {partition.num_epochs} epochs, streamed" if args.stream else ""
+    )
     print(f"wrote {program.total_instructions} events "
-          f"({program.num_threads} threads) to {args.output}")
+          f"({program.num_threads} threads{suffix}) to {args.output}")
     return 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    """Run one lifeguard over a workload (generated or from a file)."""
+    """Run one lifeguard over a workload (generated or from a file).
+
+    Version 2 (epoch-major) trace files always stream -- the engine
+    pulls one epoch at a time and never materializes the trace.
+    ``--stream`` additionally routes generated workloads and version 1
+    files through the same bounded-memory pipeline (the trace is in
+    memory, but the engine's resident state obeys the three-epoch
+    window); the report is identical to a materialized run, plus the
+    observed window peak.
+    """
     recorder, rc = _open_recorder(args, "check")
     if recorder is None:
         return rc
     trace_path = args.trace
+    program = None
+    source = None
     if trace_path:
         try:
-            program = load_file(trace_path)
+            if file_version(trace_path) == STREAM_VERSION:
+                source = iter_load(trace_path)
+                args.threads = source.num_threads
+            else:
+                program = load_file(trace_path)
+                args.threads = program.num_threads
         except OSError as exc:
             return _fail("check", f"cannot read {trace_path}: {exc}")
         except TraceError as exc:
             return _fail("check", str(exc))
-        args.threads = program.num_threads
     else:
         program = get_benchmark(args.benchmark).generate(
             args.threads, args.events, seed=args.seed
@@ -323,25 +442,46 @@ def cmd_check(args: argparse.Namespace) -> int:
     backend, rc = _resolve_backend(args, "check")
     if backend is None:
         return rc
-    partition = _partition_for(program, args.epoch_size)
-    guard = _make_guard(args.lifeguard, program)
-    meta = _run_meta(args, program, trace_path)
+    partition = None
+    if program is not None:
+        partition = partition_auto(program, args.epoch_size)
+        guard = _make_guard(args.lifeguard, program.preallocated)
+        if args.stream:
+            source = PartitionSource(partition)
+    else:
+        guard = _make_guard(args.lifeguard, source.preallocated)
+    streaming = source is not None
+    meta = _run_meta(args, args.threads, trace_path, streaming)
     engine = ButterflyEngine(guard, backend=backend, recorder=recorder)
     try:
-        engine.attach(partition)
-        finished = _drive_engine(
-            args, engine, partition, args.checkpoint, meta
-        )
-    except ResilienceError as exc:
+        if streaming:
+            engine.attach_source(source)
+            finished = _drive_engine_stream(
+                args, engine, source, args.checkpoint, meta
+            )
+        else:
+            engine.attach(partition)
+            finished = _drive_engine(
+                args, engine, partition, args.checkpoint, meta
+            )
+    except (ResilienceError, TraceError) as exc:
         return _fail("check", str(exc))
     finally:
         engine.close()
         _close_backend(backend)
     if finished:
-        _print_check_results(
-            args.benchmark, args.threads, args.epoch_size,
-            args.lifeguard, args.limit, program, partition, guard,
-        )
+        if program is not None:
+            _print_check_results(
+                args.benchmark, args.threads, args.epoch_size,
+                args.lifeguard, args.limit, program, partition, guard,
+            )
+            if streaming:
+                _print_window_peak(engine, args.threads)
+        else:
+            _print_stream_results(
+                trace_path, args.threads, source.num_epochs,
+                args.lifeguard, args.limit, guard, engine,
+            )
     _finish_events(recorder, args)
     return 0
 
@@ -375,21 +515,31 @@ def cmd_resume(args: argparse.Namespace) -> int:
         checkpoint.verify(expected)
     except CheckpointError as exc:
         return _fail("resume", str(exc))
+    program = None
+    source = None
     if meta.get("trace"):
-        try:
-            program = load_file(meta["trace"])
-        except OSError as exc:
-            return _fail("resume", f"cannot read {meta['trace']}: {exc}")
-        except TraceError as exc:
-            return _fail("resume", str(exc))
         if meta.get("trace_sha256"):
-            digest = _sha256(meta["trace"])
+            try:
+                digest = _sha256(meta["trace"])
+            except OSError as exc:
+                return _fail(
+                    "resume", f"cannot read {meta['trace']}: {exc}"
+                )
             if digest != meta["trace_sha256"]:
                 return _fail(
                     "resume",
                     f"trace file {meta['trace']} changed since the "
                     "checkpoint was taken (sha256 mismatch)",
                 )
+        try:
+            if file_version(meta["trace"]) == STREAM_VERSION:
+                source = iter_load(meta["trace"])
+            else:
+                program = load_file(meta["trace"])
+        except OSError as exc:
+            return _fail("resume", f"cannot read {meta['trace']}: {exc}")
+        except TraceError as exc:
+            return _fail("resume", str(exc))
         label = meta["trace"]
     else:
         program = get_benchmark(meta["benchmark"]).generate(
@@ -399,7 +549,13 @@ def cmd_resume(args: argparse.Namespace) -> int:
     backend, rc = _resolve_backend(args, "resume")
     if backend is None:
         return rc
-    partition = _partition_for(program, meta["epoch_size"])
+    partition = None
+    if program is not None:
+        partition = partition_auto(program, meta["epoch_size"])
+        if meta.get("stream"):
+            # The interrupted run streamed; resume through the same
+            # pipeline so its counters and window gauge stay coherent.
+            source = PartitionSource(partition)
     guard = checkpoint.analysis
     engine = ButterflyEngine(guard, backend=backend, recorder=recorder)
     try:
@@ -407,22 +563,38 @@ def cmd_resume(args: argparse.Namespace) -> int:
         # restore_into continues the log numbering from the checkpoint
         # boundary: the resumed event log is the exact suffix of the
         # uninterrupted one, never a re-count of finished epochs.
-        engine.attach(partition, resumed=True)
-        checkpoint.restore_into(engine)
-        finished = _drive_engine(
-            args, engine, partition, args.checkpoint, meta,
-            start_epoch=checkpoint.next_epoch,
-        )
-    except (ResilienceError, CheckpointError) as exc:
+        if source is not None:
+            engine.attach_source(source, resumed=True)
+            checkpoint.restore_into(engine)
+            finished = _drive_engine_stream(
+                args, engine, source, args.checkpoint, meta,
+                start_epoch=checkpoint.next_epoch,
+            )
+        else:
+            engine.attach(partition, resumed=True)
+            checkpoint.restore_into(engine)
+            finished = _drive_engine(
+                args, engine, partition, args.checkpoint, meta,
+                start_epoch=checkpoint.next_epoch,
+            )
+    except (ResilienceError, CheckpointError, TraceError) as exc:
         return _fail("resume", str(exc))
     finally:
         engine.close()
         _close_backend(backend)
     if finished:
-        _print_check_results(
-            label, meta["threads"], meta["epoch_size"],
-            meta["lifeguard"], args.limit, program, partition, guard,
-        )
+        if program is not None:
+            _print_check_results(
+                label, meta["threads"], meta["epoch_size"],
+                meta["lifeguard"], args.limit, program, partition, guard,
+            )
+            if source is not None:
+                _print_window_peak(engine, meta["threads"])
+        else:
+            _print_stream_results(
+                label, meta["threads"], source.num_epochs,
+                meta["lifeguard"], args.limit, guard, engine,
+            )
     _finish_events(recorder, args)
     return 0
 
@@ -483,7 +655,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 if recorder.enabled:
                     recorder.event("sweep.config", epoch_size=h)
                 run = system.butterfly(
-                    program, h, backend=backend, recorder=recorder
+                    program, h, backend=backend, recorder=recorder,
+                    stream=args.stream,
                 )
                 precision = compare_reports(
                     truth.errors, run.guard.errors, program.memory_op_count
@@ -534,6 +707,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         output_path=args.output,
         events_path=args.emit_events,
         inject_faults=args.inject_faults,
+        stream_file=args.stream,
     )
     core = report["workloads"]["microbench_core"]
     print(f"wrote {args.output}")
@@ -547,6 +721,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"observability overhead: {obs['overhead_ratio']:.3f}x when enabled")
     res = report["workloads"]["resilience_overhead"]
     print(f"supervision overhead: {res['overhead_ratio']:.3f}x fault-free")
+    stream = report["workloads"]["streaming_overhead"]
+    print(f"streaming overhead: {stream['overhead_ratio']:.3f}x vs "
+          f"materialized (window peak {stream['window_high_water']}, "
+          f"bound {stream['window_bound']})")
     return 0
 
 
@@ -616,16 +794,16 @@ def cmd_stats(args: argparse.Namespace) -> int:
     program = get_benchmark(args.benchmark).generate(
         args.threads, args.events, seed=args.seed
     )
-    if args.lifeguard == "addrcheck":
-        guard = ButterflyAddrCheck(initially_allocated=program.preallocated)
-    else:
-        guard = ButterflyRaceCheck()
-    partition = _partition_for(program, args.epoch_size)
+    guard = _make_guard(args.lifeguard, program.preallocated)
+    partition = partition_auto(program, args.epoch_size)
     try:
         with ButterflyEngine(
             guard, backend=backend, recorder=recorder
         ) as engine:
-            engine.run(partition)
+            if args.stream:
+                engine.run_source(PartitionSource(partition))
+            else:
+                engine.run(partition)
     except ResilienceError as exc:
         return _fail("stats", str(exc))
     finally:
@@ -664,6 +842,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(f"wrote metrics summary to {args.summary_json}")
     _finish_events(recorder, args)
     return 0
+
+
+def _add_stream_arg(parser: argparse.ArgumentParser, help_text: str) -> None:
+    parser.add_argument("--stream", action="store_true", help=help_text)
 
 
 def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
@@ -742,6 +924,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events", type=int, default=16384)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--output", required=True, help="output trace file")
+    p.add_argument("--epoch-size", type=int, default=512,
+                   help="epoch geometry baked into a --stream trace "
+                        "(default: 512)")
+    _add_stream_arg(
+        p,
+        "write the epoch-major (version 2) stream layout; 'repro "
+        "check' reads it back one epoch at a time",
+    )
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("check", help="run a lifeguard on a workload")
@@ -760,6 +950,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", default=None, metavar="PATH",
                    help="snapshot run state to PATH after each committed "
                         "epoch (resume with 'repro resume')")
+    _add_stream_arg(
+        p,
+        "feed the engine one epoch at a time (bounded memory); "
+        "version 2 trace files stream regardless",
+    )
     _add_checkpoint_args(p)
     _add_backend_arg(p)
     _add_resilience_args(p)
@@ -809,6 +1004,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="move unparseable --traces files into DIR and continue "
              "instead of aborting the sweep",
     )
+    _add_stream_arg(
+        p,
+        "run each configuration through the bounded-memory streaming "
+        "pipeline (results are identical)",
+    )
     _add_backend_arg(p)
     _add_resilience_args(p)
     _add_emit_events_arg(p)
@@ -825,6 +1025,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--inject-faults", default=None, metavar="SPEC",
         help="additionally time the core workload under supervised "
              "fault injection with SPEC",
+    )
+    _add_stream_arg(
+        p,
+        "additionally time the streaming pipeline against a version 2 "
+        "stream file on disk (the streaming_overhead workload always "
+        "measures the in-memory source)",
     )
     _add_emit_events_arg(p)
     p.set_defaults(func=cmd_bench)
@@ -885,6 +1091,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--summary-json", default=None, metavar="PATH",
         help="also write the metrics snapshot to PATH (atomic rename)",
+    )
+    _add_stream_arg(
+        p,
+        "run through the streaming pipeline so the "
+        "engine.window_resident_blocks gauge and stream counters show "
+        "up in the summary",
     )
     _add_backend_arg(p)
     _add_resilience_args(p)

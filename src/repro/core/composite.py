@@ -44,3 +44,7 @@ class CompositeAnalysis(ButterflyAnalysis):
             child.epoch_update(
                 lid, {bid: s[i] for bid, s in summaries.items()}
             )
+
+    def evict_history(self, before: int) -> None:
+        for child in self.children:
+            child.evict_history(before)

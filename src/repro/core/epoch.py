@@ -135,6 +135,19 @@ class EpochPartition:
             for tid in range(self.num_threads):
                 yield self.block(lid, tid)
 
+    def evict_blocks(self, older_than: int) -> None:
+        """Drop cached :class:`Block` objects for epochs ``< older_than``.
+
+        The cache is semantically transparent -- :meth:`block` rebuilds
+        an evicted entry on demand -- but left alone it grows one entry
+        per block ever touched, O(total blocks).  The engine (and
+        :class:`~repro.core.stream.PartitionSource`) evict it in step
+        with the sliding window so a long run's bookkeeping stays
+        O(window).
+        """
+        for key in [k for k in self._blocks if k[0] < older_than]:
+            del self._blocks[key]
+
     def instr(self, iid: InstrId) -> Instr:
         lid, tid, i = iid
         return self.block(lid, tid).instrs[i]
@@ -221,6 +234,17 @@ def partition_with_skew(
             cuts[k] = max(cuts[k], cuts[k - 1])
         boundaries.append(cuts)
     return EpochPartition(program, boundaries)
+
+
+def partition_auto(program: TraceProgram, epoch_size: int) -> EpochPartition:
+    """The LBA substrate's default cutting rule: heartbeats fire in
+    *execution time* when the trace recorded its ground-truth global
+    order (paper footnote 4), and per-thread instruction counts
+    otherwise.  Shared by the CLI, the LBA simulator and the streaming
+    trace writer so every path cuts a given trace identically."""
+    if program.true_order is not None:
+        return partition_by_global_order(program, epoch_size)
+    return partition_fixed(program, epoch_size)
 
 
 def partition_from_boundaries(

@@ -47,6 +47,7 @@ from typing import Any, Callable, Dict, Generic, List, Optional, TypeVar, Union
 
 from repro.core.epoch import Block, BlockId, EpochPartition
 from repro.core.parallel import ExecutionBackend, get_backend
+from repro.core.stream import EpochSource
 from repro.core.window import Butterfly, butterflies_for_epoch
 from repro.errors import AnalysisError
 from repro.obs.recorder import NULL_RECORDER, Recorder
@@ -167,13 +168,63 @@ class ButterflyAnalysis(abc.ABC, Generic[Summary, SideIn]):
     def epoch_update(self, lid: int, summaries: Dict[BlockId, Summary]) -> None:
         """Step 4: summarize epoch ``l`` and publish ``SOS_{l+2}``."""
 
+    def evict_history(self, before: int) -> None:
+        """Drop per-epoch bookkeeping for epochs ``< before``.
+
+        Called by the engine on streamed runs once those epochs can no
+        longer be read: after body ``l`` is folded in, the next second
+        pass reads ``SOS_{l+1}`` and the next :meth:`epoch_update`
+        reads the frontier, so anything older is dead.  Analyses that
+        keep per-epoch state (the SOS history) override this to stay
+        O(window); the default keeps everything, preserving post-run
+        inspection of materialized runs."""
+
+
+class _WindowView:
+    """The partition facade over the engine's resident block window.
+
+    :func:`~repro.core.window.butterflies_for_epoch` only needs three
+    things from a "partition": ``num_threads``, ``num_epochs`` and
+    ``block(lid, tid)``.  The engine satisfies them from the blocks it
+    currently holds -- ``num_epochs`` is the number of epochs *received
+    so far*, which reproduces the materialized tail semantics exactly
+    (a body's tail exists iff its epoch has arrived), so streamed and
+    materialized runs build bit-identical butterflies.
+    """
+
+    __slots__ = ("_blocks", "num_threads", "num_epochs")
+
+    def __init__(
+        self, blocks: Dict[BlockId, Block], num_threads: int, num_epochs: int
+    ) -> None:
+        self._blocks = blocks
+        self.num_threads = num_threads
+        self.num_epochs = num_epochs
+
+    def block(self, lid: int, tid: int) -> Block:
+        return self._blocks[(lid, tid)]
+
 
 class ButterflyEngine(Generic[Summary, SideIn]):
     """Drives a :class:`ButterflyAnalysis` over an epoch partition.
 
-    Supports both one-shot :meth:`run` and the streaming
-    :meth:`feed_epoch` / :meth:`finish` pair used by the LBA substrate
-    (epochs arrive as the application executes).
+    Supports one-shot :meth:`run` over a materialized partition, the
+    incremental :meth:`feed_epoch` / :meth:`finish` pair used by the
+    LBA substrate (epochs arrive as the application executes), and the
+    bounded-memory streaming entry point :meth:`run_source` /
+    :meth:`feed_blocks`, which consumes any
+    :class:`~repro.core.stream.EpochSource` -- a stream trace file, a
+    generated workload, a socket -- without a partition in memory.
+
+    Memory model (the sliding-window invariant): the engine retains
+    block summaries and window blocks only for the butterfly window.
+    After epoch ``l``'s bodies commit and ``epoch_update(l)`` publishes
+    their effects into the SOS, summaries for epochs ``< l-1`` and
+    blocks for epochs ``< l`` are evicted, so at any instant at most
+    **3 epochs x num_threads** summaries are resident regardless of
+    trace length.  The bound is enforced (a violation raises
+    :class:`AnalysisError`), tracked in :attr:`window_high_water`, and
+    exported as the ``engine.window_resident_blocks`` gauge.
 
     Parameters
     ----------
@@ -207,11 +258,20 @@ class ButterflyEngine(Generic[Summary, SideIn]):
             self.backend.recorder = recorder
         self.stats = EngineStats()
         self._partition: Optional[EpochPartition] = None
+        self._source: Optional[EpochSource] = None
+        self._attached = False
+        self._num_threads = 0
+        self._expected_epochs: Optional[int] = None
         self._summaries: Dict[BlockId, Any] = {}
+        self._window: Dict[BlockId, Block] = {}
         self._first_pass_errors: Dict[int, int] = {}
         self._next_to_receive = 0
         self._next_to_process = 0
         self._finished = False
+        self._failed = False
+        #: Peak resident block summaries over the run -- the quantity
+        #: the sliding-window invariant bounds at 3 x num_threads.
+        self.window_high_water = 0
         self._checkpointer: Optional[Any] = None
 
     # -- lifecycle ------------------------------------------------------
@@ -238,11 +298,18 @@ class ButterflyEngine(Generic[Summary, SideIn]):
         """
         self.stats = EngineStats()
         self._partition = None
+        self._source = None
+        self._attached = False
+        self._num_threads = 0
+        self._expected_epochs = None
         self._summaries = {}
+        self._window = {}
         self._first_pass_errors = {}
         self._next_to_receive = 0
         self._next_to_process = 0
         self._finished = False
+        self._failed = False
+        self.window_high_water = 0
 
     def close(self) -> None:
         """Shut down an engine-owned backend's worker pool."""
@@ -265,6 +332,21 @@ class ButterflyEngine(Generic[Summary, SideIn]):
         self.finish()
         return self.stats
 
+    def run_source(self, source: EpochSource) -> EngineStats:
+        """Stream an :class:`~repro.core.stream.EpochSource` end to end.
+
+        The bounded-memory counterpart of :meth:`run`: epochs are
+        consumed one at a time and never rematerialized, so peak
+        resident state is the three-epoch window no matter how long the
+        stream runs.  Results are bit-identical to :meth:`run` over the
+        equivalently partitioned trace.
+        """
+        self.attach_source(source)
+        for lid, blocks in enumerate(source.epochs()):
+            self.feed_blocks(lid, blocks)
+        self.finish()
+        return self.stats
+
     # -- streaming ------------------------------------------------------
 
     def attach(self, partition: EpochPartition, resumed: bool = False) -> None:
@@ -275,35 +357,112 @@ class ButterflyEngine(Generic[Summary, SideIn]):
         resume must not emit a second one (the resumed log is the exact
         suffix of the uninterrupted log past the checkpoint boundary).
         """
-        if self._partition is not None:
+        self._pre_attach()
+        self._partition = partition
+        self._num_threads = partition.num_threads
+        self._expected_epochs = partition.num_epochs
+        self._announce(resumed)
+
+    def attach_source(
+        self, source: EpochSource, resumed: bool = False
+    ) -> None:
+        """Bind the engine to a streaming epoch source.
+
+        The caller then drives :meth:`feed_blocks` with the source's
+        epoch rows (or uses :meth:`run_source`, which does exactly
+        that).  ``resumed`` has the same meaning as for :meth:`attach`.
+        """
+        self._pre_attach()
+        self._source = source
+        self._num_threads = source.num_threads
+        self._expected_epochs = source.num_epochs
+        self._announce(resumed)
+
+    def _pre_attach(self) -> None:
+        if self._attached:
             raise AnalysisError(
                 "engine already attached to a partition; call reset() "
                 "to reuse it"
             )
         self.reset()  # guard: never start a run with stale counters
-        self._partition = partition
+        self._attached = True
+
+    def _announce(self, resumed: bool) -> None:
         if self.recorder.enabled:
             self.analysis.recorder = self.recorder
             # The backend name stays out of analysis-level events so
-            # logs compare equal across backends.
+            # logs compare equal across backends; the streamed and
+            # materialized paths emit the identical event.
             if not resumed:
                 self.recorder.event(
                     "run.attach",
-                    epochs=partition.num_epochs,
-                    threads=partition.num_threads,
+                    epochs=self._expected_epochs,
+                    threads=self._num_threads,
                 )
 
     def feed_epoch(self, lid: int) -> None:
-        """Receive epoch ``l``: first-pass its blocks, then process the
-        bodies of epoch ``l - 1`` whose wings are now complete."""
+        """Receive epoch ``l`` from the attached partition: first-pass
+        its blocks, then process the bodies of epoch ``l - 1`` whose
+        wings are now complete."""
         partition = self._require_partition()
+        self.feed_blocks(lid, partition.epoch_blocks(lid))
+
+    def feed_blocks(self, lid: int, blocks: List[Block]) -> None:
+        """Receive epoch ``l`` as an explicit block row (the streaming
+        primitive behind :meth:`feed_epoch` and :meth:`run_source`).
+
+        Failed feeds are atomic at the engine level: a feed that raises
+        rolls the engine's receipt bookkeeping (window blocks, block
+        summaries, progress counters) back to the previous epoch
+        boundary.  Validation failures -- out-of-order epochs, a
+        malformed row -- leave the engine fully usable; an exception
+        escaping the analysis or a checkpointer mid-feed marks the
+        engine *failed* (the analysis may have partially absorbed the
+        epoch), after which further feeds raise until :meth:`reset`.
+        """
+        self._require_attached()
+        if self._failed:
+            raise AnalysisError(
+                "engine is in a failed state after an earlier feed "
+                "error; call reset() and re-attach to reuse it"
+            )
+        if self._finished:
+            raise AnalysisError("cannot feed epochs after finish()")
         if lid != self._next_to_receive:
             raise AnalysisError(
                 f"epochs must arrive in order: expected {self._next_to_receive}, "
                 f"got {lid}"
             )
+        if len(blocks) != self._num_threads:
+            raise AnalysisError(
+                f"epoch {lid}: expected one block per thread "
+                f"({self._num_threads}), got {len(blocks)}"
+            )
+        for tid, block in enumerate(blocks):
+            if block.block_id != (lid, tid):
+                raise AnalysisError(
+                    f"epoch {lid}: block {tid} carries id "
+                    f"{block.block_id}, expected {(lid, tid)}"
+                )
+        try:
+            self._receive(lid, blocks)
+        except Exception:
+            # Roll receipt bookkeeping back to the epoch boundary so
+            # the failure surface is clean; the analysis itself may be
+            # mid-epoch, so require reset() before further feeding.
+            for block in blocks:
+                self._window.pop(block.block_id, None)
+                self._summaries.pop(block.block_id, None)
+            self._first_pass_errors.pop(lid, None)
+            if self._next_to_receive > lid:
+                self._next_to_receive = lid
+            self._failed = True
+            raise
+
+    def _receive(self, lid: int, blocks: List[Block]) -> None:
         analysis = self.analysis
-        blocks = partition.epoch_blocks(lid)
+        for block in blocks:
+            self._window[block.block_id] = block
         scanner = (
             analysis._scanner()
             if self.backend.concurrent
@@ -322,6 +481,9 @@ class ButterflyEngine(Generic[Summary, SideIn]):
         else:
             self._first_pass(analysis, blocks, scanner, None)
         self._next_to_receive += 1
+        if self._source is not None and recorder is not None:
+            recorder.count("stream.epochs_received")
+        self._note_residency()
         if lid >= 1:
             self._process_epoch(lid - 1)
 
@@ -373,19 +535,37 @@ class ButterflyEngine(Generic[Summary, SideIn]):
                 self.stats.first_pass_instructions += len(block)
 
     def finish(self) -> None:
-        """End of trace: process the final epoch's bodies."""
-        partition = self._require_partition()
+        """End of trace: process the final epoch's bodies.
+
+        With a partition (or a source whose length is known up front)
+        an early finish is an error; an unbounded source's stream ends
+        wherever the feeder stops.
+        """
+        self._require_attached()
         if self._finished:
             return
-        if self._next_to_receive != partition.num_epochs:
+        if self._failed:
+            raise AnalysisError(
+                "engine is in a failed state after an earlier feed "
+                "error; call reset() and re-attach to reuse it"
+            )
+        if (
+            self._expected_epochs is not None
+            and self._next_to_receive != self._expected_epochs
+        ):
             raise AnalysisError(
                 "finish() called before all epochs were fed "
-                f"({self._next_to_receive}/{partition.num_epochs})"
+                f"({self._next_to_receive}/{self._expected_epochs})"
             )
-        if partition.num_epochs:
-            last = partition.num_epochs - 1
-            if self._next_to_process == last:
+        last = self._next_to_receive - 1
+        if last >= 0 and self._next_to_process == last:
+            try:
                 self._process_epoch(last)
+            except Exception:
+                # The final commit died mid-epoch; a retry would replay
+                # partial analysis effects, so require a reset instead.
+                self._failed = True
+                raise
         self._finished = True
         if self.recorder.enabled:
             self.analysis.emit_metrics(self.recorder)
@@ -405,8 +585,35 @@ class ButterflyEngine(Generic[Summary, SideIn]):
             raise AnalysisError("engine not attached to a partition")
         return self._partition
 
+    def _require_attached(self) -> None:
+        if not self._attached:
+            raise AnalysisError("engine not attached to a partition")
+
+    def _window_view(self) -> _WindowView:
+        return _WindowView(
+            self._window, self._num_threads, self._next_to_receive
+        )
+
+    def _note_residency(self) -> None:
+        """Track the high-water mark and enforce the window invariant.
+
+        After any receive or commit, resident summaries must cover at
+        most the three epochs of the butterfly window.
+        """
+        resident = len(self._summaries)
+        if resident > self.window_high_water:
+            self.window_high_water = resident
+        limit = 3 * self._num_threads
+        if resident > limit:
+            raise AnalysisError(
+                f"sliding-window invariant violated: {resident} resident "
+                f"block summaries exceed 3 epochs x {self._num_threads} "
+                f"threads = {limit}"
+            )
+        if self.recorder.enabled:
+            self.recorder.gauge("engine.window_resident_blocks", resident)
+
     def _process_epoch(self, lid: int) -> None:
-        partition = self._require_partition()
         if lid != self._next_to_process:
             raise AnalysisError(
                 f"bodies must be processed in epoch order: expected "
@@ -415,11 +622,12 @@ class ButterflyEngine(Generic[Summary, SideIn]):
         analysis = self.analysis
         stats = self.stats
         summaries = self._summaries
+        num_threads = self._num_threads
         recorder = self.recorder if self.recorder.enabled else None
         errors_before = (
             self._error_count(analysis) if recorder is not None else 0
         )
-        butterflies = butterflies_for_epoch(partition, lid)
+        butterflies = butterflies_for_epoch(self._window_view(), lid)
         wings = [
             [summaries[b.block_id] for b in bf.wings] for bf in butterflies
         ]
@@ -432,8 +640,9 @@ class ButterflyEngine(Generic[Summary, SideIn]):
             self._second_pass(analysis, butterflies, wings, None)
         epoch_summaries = {
             (lid, tid): summaries[(lid, tid)]
-            for tid in range(partition.num_threads)
+            for tid in range(num_threads)
         }
+        first_errors = self._first_pass_errors.pop(lid, 0)
         if recorder is not None:
             with recorder.span("epoch.update", epoch=lid):
                 analysis.epoch_update(lid, epoch_summaries)
@@ -442,7 +651,7 @@ class ButterflyEngine(Generic[Summary, SideIn]):
                 epoch=lid,
                 instructions=sum(len(bf.body) for bf in butterflies),
                 meets=len(butterflies),
-                first_pass_errors=self._first_pass_errors.pop(lid, 0),
+                first_pass_errors=first_errors,
                 second_pass_errors=(
                     self._error_count(analysis) - errors_before
                 ),
@@ -452,11 +661,27 @@ class ButterflyEngine(Generic[Summary, SideIn]):
             analysis.epoch_update(lid, epoch_summaries)
         stats.epochs_processed += 1
         self._next_to_process += 1
-        # Summaries older than the sliding window are dead; reclaim them.
-        stale = lid - 2
+        # Epoch ``lid`` is folded into the SOS now.  The next body is
+        # ``lid+1``, whose butterflies reach back only to its head
+        # ``lid`` -- so summaries and blocks for ``lid-1`` are dead,
+        # and the resident window peaks at exactly the three epochs
+        # ``lid..lid+2`` when the next epoch is received.
+        stale = lid - 1
         if stale >= 0:
-            for tid in range(partition.num_threads):
+            for tid in range(num_threads):
                 summaries.pop((stale, tid), None)
+        for tid in range(num_threads):
+            self._window.pop((lid - 1, tid), None)
+        if self._partition is not None:
+            # The partition's block cache duplicates the window; keep
+            # its bookkeeping O(window) too.
+            self._partition.evict_blocks(lid)
+        if self._source is not None:
+            # Streamed runs promise O(window) residency overall, so the
+            # analysis sheds its own per-epoch history as well.  Only
+            # SOS_{lid+1} (next body) and the frontier stay readable.
+            analysis.evict_history(lid + 1)
+        self._note_residency()
         if self._checkpointer is not None:
             self._checkpointer.after_epoch(self, lid)
 

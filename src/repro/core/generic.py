@@ -159,3 +159,6 @@ class GenericLifeguard(ButterflyAnalysis):
 
     def epoch_update(self, lid, summaries):
         return self._inner.epoch_update(lid, summaries)
+
+    def evict_history(self, before):
+        self._inner.evict_history(before)

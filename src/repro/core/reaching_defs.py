@@ -216,6 +216,9 @@ class ReachingDefinitions(
         if not self.keep_history:
             self._evict(lid - 2)
 
+    def evict_history(self, before: int) -> None:
+        self.sos.evict(before)
+
     # -- derived views ---------------------------------------------------------
 
     def _compute_lsos(self, lid: int, tid: int) -> Set[Definition]:

@@ -170,6 +170,9 @@ class ReachingExpressions(ButterflyAnalysis[BlockFacts, Set[int]]):
         if not self.keep_history:
             self._evict(lid - 2)
 
+    def evict_history(self, before: int) -> None:
+        self.sos.evict(before)
+
     def _epoch_gen_holds(
         self, e: Expression, lid: int, gen_thread: int, num_threads: int
     ) -> bool:

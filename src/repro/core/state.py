@@ -38,6 +38,7 @@ class SOSHistory:
             1: frozenset(),
         }
         self._frontier = 1  # largest epoch whose SOS is published
+        self._evicted_before = 0  # smallest epoch still readable
 
     @property
     def frontier(self) -> int:
@@ -51,6 +52,11 @@ class SOSHistory:
         try:
             return self._states[lid]
         except KeyError:
+            if lid < self._evicted_before:
+                raise AnalysisError(
+                    f"SOS_{lid} was evicted (bounded history retains "
+                    f"epochs >= {self._evicted_before})"
+                ) from None
             raise AnalysisError(
                 f"SOS_{lid} requested before epoch {lid - 2} was summarized"
             ) from None
@@ -77,6 +83,21 @@ class SOSHistory:
         self._frontier = target
         return state
 
+    def evict(self, before: int) -> None:
+        """Drop published states for epochs ``< before``.
+
+        The caller asserts those states will never be read again (on a
+        streamed run, second passes have moved past them).  The
+        frontier itself is always retained: :meth:`advance` reads it to
+        build the next state.
+        """
+        before = min(before, self._frontier)
+        if before <= self._evicted_before:
+            return
+        for lid in [k for k in self._states if k < before]:
+            del self._states[lid]
+        self._evicted_before = before
+
     def published(self) -> Dict[int, FrozenSet[Element]]:
-        """All published states (for inspection/tests)."""
+        """All published states still retained (for inspection/tests)."""
         return dict(self._states)

@@ -1,0 +1,116 @@
+"""Epoch sources: bounded-memory input for the butterfly engine.
+
+Butterfly analysis is a *sliding-window* algorithm (paper Sections 4.2
+and 5.1.2): once epoch ``l+1`` has been received, everything older than
+the head epoch ``l-1`` has been absorbed into the SOS and is dead
+state.  Nothing about the algorithm needs the whole trace in memory --
+only the engine's historical ``run(partition)`` entry point did.
+
+An :class:`EpochSource` is the streaming alternative: anything that can
+hand the engine one epoch of :class:`~repro.core.epoch.Block` rows at a
+time, in order -- a materialized partition, a JSONL stream file
+(:func:`repro.trace.serialize.iter_load`), a generator producing the
+workload on the fly, or a socket.  The engine's
+:meth:`~repro.core.framework.ButterflyEngine.run_source` /
+``feed_blocks`` loop consumes it while holding at most the three-epoch
+butterfly window resident, so traces far larger than RAM stream through
+in bounded space.
+
+The protocol is deliberately tiny:
+
+``num_threads``
+    Application thread count (every epoch row has one block per
+    thread).
+``num_epochs``
+    Total epoch count when known up front (a file with a header, a
+    partition), else ``None`` (an unbounded feed); only used for
+    progress reporting and the ``run.attach`` event.
+``preallocated``
+    Locations allocated before the monitored window began -- lifeguards
+    seed their metadata with these, so the source must surface them
+    before the first epoch.
+``epochs(start)``
+    The epoch rows themselves, in order, beginning at epoch ``start``.
+    ``start > 0`` is the resume seek: a file-backed source skips
+    records without decoding them, a partition-backed source indexes
+    directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, List, Optional
+
+from repro.core.epoch import Block, EpochPartition
+
+__all__ = ["EpochSource", "PartitionSource"]
+
+
+class EpochSource(abc.ABC):
+    """One epoch of blocks at a time, in epoch order (see module doc)."""
+
+    @property
+    @abc.abstractmethod
+    def num_threads(self) -> int:
+        """Application thread count (blocks per epoch row)."""
+
+    @property
+    def num_epochs(self) -> Optional[int]:
+        """Total epochs when known up front, else ``None``."""
+        return None
+
+    @property
+    def preallocated(self) -> frozenset:
+        """Locations allocated before the monitored window began."""
+        return frozenset()
+
+    @abc.abstractmethod
+    def epochs(self, start: int = 0) -> Iterator[List[Block]]:
+        """Yield epoch rows (one :class:`Block` per thread) from epoch
+        ``start`` onward.  ``start > 0`` is the checkpoint-resume seek."""
+
+    def __iter__(self) -> Iterator[List[Block]]:
+        return self.epochs()
+
+
+class PartitionSource(EpochSource):
+    """Adapt a materialized :class:`EpochPartition` to the protocol.
+
+    This is how generated workloads and legacy (version-1) trace files
+    run through the streaming pipeline: the *trace* is in memory, but
+    the engine's resident state still obeys the three-epoch window
+    bound, and every downstream consumer (backends, checkpointing,
+    observability) exercises the exact code path a file- or
+    socket-backed source uses.
+
+    The partition's block cache is evicted as epochs are yielded -- the
+    engine keeps its own window of ``Block`` references, so the cache
+    would only duplicate the window.
+    """
+
+    def __init__(self, partition: EpochPartition) -> None:
+        self._partition = partition
+
+    @property
+    def partition(self) -> EpochPartition:
+        return self._partition
+
+    @property
+    def num_threads(self) -> int:
+        return self._partition.num_threads
+
+    @property
+    def num_epochs(self) -> Optional[int]:
+        return self._partition.num_epochs
+
+    @property
+    def preallocated(self) -> frozenset:
+        return frozenset(self._partition.program.preallocated)
+
+    def epochs(self, start: int = 0) -> Iterator[List[Block]]:
+        partition = self._partition
+        for lid in range(start, partition.num_epochs):
+            yield partition.epoch_blocks(lid)
+            # The consumer holds its own references to the live window;
+            # the cache behind us is dead weight.
+            partition.evict_blocks(lid + 1)

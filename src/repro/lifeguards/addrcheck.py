@@ -696,6 +696,9 @@ class ButterflyAddrCheck(ButterflyAnalysis[AddrSummary, Any]):
         self.sos.advance(lid, gen_l, lambda loc: loc in kill_union)
         self._evict(lid - 1)
 
+    def evict_history(self, before: int) -> None:
+        self.sos.evict(before)
+
     # -- helpers ----------------------------------------------------------------
 
     def _facts(self, lid: int, tid: int) -> Optional[BlockFacts]:

@@ -338,6 +338,9 @@ class ButterflyTaintCheck(ButterflyAnalysis[TaintSummary, List[TaintSummary]]):
         self.sos.advance(lid, gen_l, lambda loc: loc in kill_l)
         self._evict(lid - 1)
 
+    def evict_history(self, before: int) -> None:
+        self.sos.evict(before)
+
     def emit_metrics(self, recorder: Any) -> None:
         """End-of-run gauges: flagged jumps and window residency."""
         recorder.gauge("taintcheck.tainted_jumps", len(self.errors))

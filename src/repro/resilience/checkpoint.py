@@ -44,6 +44,13 @@ def _engine_state(engine: "ButterflyEngine") -> Dict[str, Any]:
     return {
         "stats": engine.stats,
         "summaries": engine._summaries,
+        # The resident block window (<= 2 epochs at a checkpoint
+        # boundary).  Materialized resumes could rebuild it from the
+        # partition, but a streamed resume has no partition -- the
+        # window is what lets resume seek the reader forward instead of
+        # re-reading the whole prefix.
+        "window": engine._window,
+        "window_high_water": engine.window_high_water,
         "first_pass_errors": engine._first_pass_errors,
         "next_to_receive": engine._next_to_receive,
         "next_to_process": engine._next_to_process,
@@ -149,8 +156,34 @@ class Checkpoint:
         engine._first_pass_errors = state["first_pass_errors"]
         engine._next_to_receive = state["next_to_receive"]
         engine._next_to_process = state["next_to_process"]
+        window = state.get("window")
+        if window is None:
+            # Checkpoint written before the engine kept an explicit
+            # block window: rebuild it from the attached partition
+            # (streamed resumes always have the field).
+            window = self._rebuild_window(engine)
+        engine._window = window
+        engine.window_high_water = state.get(
+            "window_high_water", len(engine._summaries)
+        )
         if engine.recorder.enabled:
             engine.recorder.resume_from(self.events_emitted)
+
+    @staticmethod
+    def _rebuild_window(engine: "ButterflyEngine") -> Dict[Any, Any]:
+        partition = engine._partition
+        if partition is None:
+            raise CheckpointError(
+                "checkpoint predates block-window snapshots and the "
+                "engine is attached to a stream; resume it with a "
+                "materialized partition instead"
+            )
+        window: Dict[Any, Any] = {}
+        start = max(0, engine._next_to_process - 1)
+        for lid in range(start, engine._next_to_receive):
+            for tid in range(partition.num_threads):
+                window[(lid, tid)] = partition.block(lid, tid)
+        return window
 
 
 def load_checkpoint(path: str) -> Checkpoint:

@@ -24,12 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.core.epoch import (
-    EpochPartition,
-    partition_by_global_order,
-    partition_fixed,
-)
+from repro.core.epoch import EpochPartition, partition_auto
 from repro.core.framework import ButterflyEngine, EngineStats
+from repro.core.stream import PartitionSource
 from repro.lifeguards.addrcheck import ButterflyAddrCheck
 from repro.lifeguards.sequential import SequentialAddrCheck
 from repro.obs.recorder import NULL_RECORDER, Recorder
@@ -184,6 +181,7 @@ class LBASystem:
         guard: Optional[ButterflyAddrCheck] = None,
         backend: str = "serial",
         recorder: Optional["Recorder"] = None,
+        stream: bool = False,
     ) -> ButterflyRun:
         """Parallel, Monitoring: butterfly AddrCheck on 2k cores.
 
@@ -191,16 +189,17 @@ class LBASystem:
         execution backend; results are backend-independent), then prices
         its measured work with the cost model.  ``recorder`` threads an
         observability recorder through to the engine (default: off).
+        ``stream`` feeds the engine through the bounded-memory
+        :class:`~repro.core.stream.PartitionSource` path instead of
+        ``run(partition)``; results are identical, only the engine's
+        resident state differs.
         """
         config = MachineConfig.for_app_threads(program.num_threads)
         costs = self.costs
         if partition is None:
             # Heartbeats fire in execution time (paper footnote 4), so
             # cut by the recorded global order when one exists.
-            if program.true_order is not None:
-                partition = partition_by_global_order(program, epoch_size)
-            else:
-                partition = partition_fixed(program, epoch_size)
+            partition = partition_auto(program, epoch_size)
         if guard is None:
             guard = ButterflyAddrCheck(
                 initially_allocated=program.preallocated
@@ -210,7 +209,10 @@ class LBASystem:
             backend=backend,
             recorder=NULL_RECORDER if recorder is None else recorder,
         ) as engine:
-            stats = engine.run(partition)
+            if stream:
+                stats = engine.run_source(PartitionSource(partition))
+            else:
+                stats = engine.run(partition)
 
         app = run_parallel(program, config)
         mtlb_cycles = self._mtlb_cycles_by_thread(program, epoch_size)

@@ -1,22 +1,44 @@
-"""Trace persistence: save/load :class:`TraceProgram` as JSON lines.
+"""Trace persistence: save/load traces as JSON lines.
 
 Traces are the interchange unit of this library (the LBA log, in
-effect), so they deserve a stable on-disk form: one JSON object per
-line -- a header, then one line per thread's events, then the optional
-orders and pre-allocated set.  Compact, diff-able, and stream-parsable.
+effect), so they deserve a stable on-disk form.  Two layouts share the
+``repro-trace`` envelope:
+
+Version 1 (thread-major, :func:`dump` / :func:`load`)
+    A header, then one line per thread's whole event list, then the
+    optional orders and pre-allocated set.  Compact and diff-able, but
+    a reader must materialize every thread before the first epoch can
+    be cut -- O(trace) memory.
+
+Version 2 (epoch-major stream, :func:`dump_stream` / :func:`iter_load`)
+    A header carrying the shape (threads, epochs, preallocated), then
+    one line *per epoch* holding that epoch's blocks for every thread,
+    then an ``epochs_written`` footer that distinguishes a complete
+    stream from a truncated one.  A reader holds one epoch at a time,
+    so the butterfly engine can analyze traces far larger than RAM
+    (see ``docs/streaming.md``).  Epoch records carry each block's
+    start offset, so checkpoint resume can skip already-processed
+    records without decoding them.
+
+Every structural defect in either format -- invalid JSON, truncation,
+trailing garbage, out-of-order epochs -- raises :class:`TraceError`
+with ``file:line`` context, never a raw ``JSONDecodeError``.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import IO, List, Union
+from typing import IO, Iterator, List, Optional, Union
 
+from repro.core.epoch import Block, EpochPartition
+from repro.core.stream import EpochSource
 from repro.errors import TraceError
 from repro.trace.events import Instr, Op
 from repro.trace.program import ThreadTrace, TraceProgram
 
 FORMAT_VERSION = 1
+STREAM_VERSION = 2
 
 
 def _encode_instr(instr: Instr) -> list:
@@ -113,6 +135,16 @@ def load(fp: IO[str], name: str = "<trace>") -> TraceProgram:
     true_order = tail_field("true_order")
     ts_order = tail_field("timesliced_order")
     preallocated = tail_field("preallocated")
+    # The preallocated record is the last one; anything but trailing
+    # whitespace after it means a concatenated/corrupted file, and
+    # silently ignoring it would hide real data loss.
+    for extra in fp:
+        lineno += 1
+        if extra.strip():
+            raise TraceError(
+                f"{name}:{lineno}: trailing garbage after the final "
+                f"record: {extra.strip()[:60]!r}"
+            )
     try:
         program = TraceProgram(
             threads,
@@ -142,3 +174,278 @@ def load_file(path: Union[str, Path]) -> TraceProgram:
     """Read a program from ``path`` (diagnostics carry the path)."""
     with open(path) as fp:
         return load(fp, name=str(path))
+
+
+def file_version(path: Union[str, Path]) -> int:
+    """Peek a trace file's format version (1 or 2) from its header.
+
+    The CLI uses this to route ``--trace`` inputs: version 1 files are
+    materialized with :func:`load_file`, version 2 files stream through
+    :func:`iter_load`.
+    """
+    name = str(path)
+    with open(path) as fp:
+        line = fp.readline()
+    try:
+        header = json.loads(line)
+    except ValueError as exc:
+        raise TraceError(f"{name}:1: invalid JSON (header): {exc}") from None
+    if not isinstance(header, dict) or header.get("format") != "repro-trace":
+        raise TraceError(f"{name}:1: not a repro trace file")
+    version = header.get("version")
+    if version not in (FORMAT_VERSION, STREAM_VERSION):
+        raise TraceError(
+            f"{name}:1: unsupported trace version {version!r}"
+        )
+    return version
+
+
+# ---------------------------------------------------------------------------
+# Version 2: epoch-major stream format
+# ---------------------------------------------------------------------------
+
+
+def dump_stream(partition: EpochPartition, fp: IO[str]) -> None:
+    """Write ``partition`` as an epoch-major (version 2) stream.
+
+    One line per epoch, each carrying every thread's block for that
+    epoch plus the blocks' start offsets, closed by an
+    ``epochs_written`` footer.  The writer holds one epoch at a time
+    (the partition's block cache is evicted in step), so dumping is
+    O(epoch) resident like reading back is.
+
+    Streams are cut once, at write time: the epoch geometry is baked
+    into the file, so every reader -- and every resumed run -- sees
+    identical blocks.  The recorded global orders are deliberately not
+    written; a stream trades the sequential-oracle replay for bounded
+    memory.
+    """
+    header = {
+        "format": "repro-trace",
+        "version": STREAM_VERSION,
+        "threads": partition.num_threads,
+        "epochs": partition.num_epochs,
+        "preallocated": sorted(partition.program.preallocated),
+    }
+    fp.write(json.dumps(header) + "\n")
+    for lid in range(partition.num_epochs):
+        row = partition.epoch_blocks(lid)
+        record = {
+            "epoch": lid,
+            "starts": [block.start for block in row],
+            "blocks": [
+                [_encode_instr(i) for i in block.instrs] for block in row
+            ],
+        }
+        fp.write(json.dumps(record) + "\n")
+        partition.evict_blocks(lid + 1)
+    fp.write(json.dumps({"epochs_written": partition.num_epochs}) + "\n")
+
+
+def save_stream_file(
+    partition: EpochPartition, path: Union[str, Path]
+) -> None:
+    """Write ``partition`` as a version 2 stream to ``path``."""
+    with open(path, "w") as fp:
+        dump_stream(partition, fp)
+
+
+def _stream_header(fp: IO[str], name: str) -> dict:
+    """Read and validate a version 2 header (line 1 of ``fp``)."""
+    line = fp.readline()
+    if not line.strip():
+        raise TraceError(f"{name}:1: unexpected end of file (expected header)")
+    try:
+        header = json.loads(line)
+    except ValueError as exc:
+        raise TraceError(f"{name}:1: invalid JSON (header): {exc}") from None
+    if not isinstance(header, dict) or header.get("format") != "repro-trace":
+        raise TraceError(f"{name}:1: not a repro trace file")
+    if header.get("version") != STREAM_VERSION:
+        raise TraceError(
+            f"{name}:1: not a stream trace (version "
+            f"{header.get('version')!r}, expected {STREAM_VERSION})"
+        )
+    threads = header.get("threads")
+    if not isinstance(threads, int) or threads < 0:
+        raise TraceError(f"{name}:1: bad thread count {threads!r}")
+    epochs = header.get("epochs")
+    if not isinstance(epochs, int) or epochs < 0:
+        raise TraceError(f"{name}:1: bad epoch count {epochs!r}")
+    prealloc = header.get("preallocated")
+    if not isinstance(prealloc, list):
+        raise TraceError(
+            f"{name}:1: bad preallocated set {prealloc!r}"
+        )
+    return header
+
+
+def _decode_epoch_row(
+    record: object, lid: int, num_threads: int, name: str, lineno: int
+) -> List[Block]:
+    """Turn one epoch record into a row of :class:`Block` objects."""
+    if not isinstance(record, dict):
+        raise TraceError(
+            f"{name}:{lineno}: expected an epoch record, got {record!r}"
+        )
+    if "epochs_written" in record:
+        raise TraceError(
+            f"{name}:{lineno}: truncated stream: footer arrived at "
+            f"epoch {lid} (expected more epoch records)"
+        )
+    if record.get("epoch") != lid:
+        raise TraceError(
+            f"{name}:{lineno}: epochs must be recorded in order: "
+            f"expected epoch {lid}, got {record.get('epoch')!r}"
+        )
+    starts = record.get("starts")
+    blocks = record.get("blocks")
+    if (
+        not isinstance(starts, list)
+        or not isinstance(blocks, list)
+        or len(starts) != num_threads
+        or len(blocks) != num_threads
+    ):
+        raise TraceError(
+            f"{name}:{lineno}: epoch {lid} must carry 'starts' and "
+            f"'blocks' lists with one entry per thread ({num_threads})"
+        )
+    row = []
+    for tid, (start, raw) in enumerate(zip(starts, blocks)):
+        if not isinstance(start, int) or not isinstance(raw, list):
+            raise TraceError(
+                f"{name}:{lineno}: epoch {lid} thread {tid}: malformed "
+                f"block record"
+            )
+        try:
+            instrs = tuple(_decode_instr(r) for r in raw)
+        except TraceError as exc:
+            raise TraceError(f"{name}:{lineno}: {exc}") from None
+        row.append(Block(lid, tid, start, instrs))
+    return row
+
+
+def stream_epochs(
+    fp: IO[str], name: str = "<trace>", start: int = 0
+) -> Iterator[List[Block]]:
+    """Yield one epoch's row of blocks at a time from a version 2 stream.
+
+    ``fp`` must be positioned at the start of the file; the header is
+    consumed first.  ``start > 0`` is the checkpoint-resume seek:
+    already-processed epoch records are skipped *without* JSON-decoding
+    them (each epoch is exactly one line).  Truncation -- EOF before
+    the header's epoch count, or a missing/mismatched footer -- raises
+    :class:`TraceError` with ``file:line`` context, as does trailing
+    garbage after the footer.
+    """
+    header = _stream_header(fp, name)
+    yield from _stream_rows(fp, header, name, start)
+
+
+def _stream_rows(
+    fp: IO[str], header: dict, name: str, start: int
+) -> Iterator[List[Block]]:
+    num_threads = header["threads"]
+    num_epochs = header["epochs"]
+    if not 0 <= start <= num_epochs:
+        raise TraceError(
+            f"{name}: cannot seek to epoch {start} of a "
+            f"{num_epochs}-epoch stream"
+        )
+    lineno = 1
+    for skipped in range(start):
+        lineno += 1
+        if not fp.readline():
+            raise TraceError(
+                f"{name}:{lineno}: unexpected end of file while seeking "
+                f"(expected epoch {skipped})"
+            )
+    for lid in range(start, num_epochs):
+        lineno += 1
+        line = fp.readline()
+        if not line.strip():
+            raise TraceError(
+                f"{name}:{lineno}: unexpected end of file "
+                f"(expected epoch {lid})"
+            )
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise TraceError(
+                f"{name}:{lineno}: invalid JSON (epoch {lid}): {exc}"
+            ) from None
+        yield _decode_epoch_row(record, lid, num_threads, name, lineno)
+    lineno += 1
+    line = fp.readline()
+    if not line.strip():
+        raise TraceError(
+            f"{name}:{lineno}: unexpected end of file (expected the "
+            f"epochs_written footer; the stream was truncated)"
+        )
+    try:
+        footer = json.loads(line)
+    except ValueError as exc:
+        raise TraceError(
+            f"{name}:{lineno}: invalid JSON (footer): {exc}"
+        ) from None
+    if (
+        not isinstance(footer, dict)
+        or footer.get("epochs_written") != num_epochs
+    ):
+        raise TraceError(
+            f"{name}:{lineno}: bad footer {footer!r} (expected "
+            f"{{'epochs_written': {num_epochs}}})"
+        )
+    for extra in fp:
+        lineno += 1
+        if extra.strip():
+            raise TraceError(
+                f"{name}:{lineno}: trailing garbage after the footer: "
+                f"{extra.strip()[:60]!r}"
+            )
+
+
+class StreamTraceSource(EpochSource):
+    """An :class:`EpochSource` over a version 2 stream file.
+
+    Construction reads only the header (shape and preallocated set);
+    each :meth:`epochs` call opens a fresh handle, so the source can be
+    iterated more than once and a resumed run can seek past processed
+    epochs.  At any instant one epoch record is decoded -- the trace
+    never materializes.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = str(path)
+        with open(self._path) as fp:
+            self._header = _stream_header(fp, self._path)
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def num_threads(self) -> int:
+        return self._header["threads"]
+
+    @property
+    def num_epochs(self) -> Optional[int]:
+        return self._header["epochs"]
+
+    @property
+    def preallocated(self) -> frozenset:
+        return frozenset(self._header["preallocated"])
+
+    def epochs(self, start: int = 0) -> Iterator[List[Block]]:
+        with open(self._path) as fp:
+            fp.readline()  # the header, validated at construction
+            yield from _stream_rows(fp, self._header, self._path, start)
+
+
+def iter_load(path: Union[str, Path]) -> StreamTraceSource:
+    """Open a version 2 stream as an :class:`EpochSource`.
+
+    The counterpart of :func:`load_file` for traces larger than RAM:
+    nothing beyond the header is read until the engine pulls epochs.
+    """
+    return StreamTraceSource(path)

@@ -1,6 +1,6 @@
 """The differential harness: every execution mode must agree.
 
-Five mode pairs, each an independent equivalence the paper (or this
+Six mode pairs, each an independent equivalence the paper (or this
 codebase's own contracts) promises:
 
 ``orderings``
@@ -26,6 +26,12 @@ codebase's own contracts) promises:
     uninterrupted run: identical errors, stats, and the truncated
     interrupted log + resumed log must equal the uninterrupted log
     after normalization.
+``stream``
+    The bounded-memory streaming pipeline vs. the materialized run:
+    the case is round-tripped through an epoch-major (version 2)
+    stream file and fed to the engine one epoch at a time; errors,
+    stats, and normalized event logs must be bit-identical, and the
+    engine's resident window must respect the three-epoch bound.
 
 Each check returns ``None`` on agreement (or when inapplicable) and a
 human-readable diagnosis string on disagreement; the diagnosis string
@@ -53,10 +59,11 @@ from repro.obs.recorder import NULL_RECORDER, Recorder, normalize_events
 from repro.resilience.checkpoint import Checkpointer, load_checkpoint
 from repro.resilience.faults import FaultPlan
 from repro.resilience.supervisor import RetryPolicy, SupervisedBackend
+from repro.trace.serialize import iter_load, save_stream_file
 from repro.verify.generator import TraceCase
 
 #: The full mode-pair matrix, in the order ``repro fuzz`` reports it.
-MODE_NAMES = ("orderings", "optref", "backends", "faults", "resume")
+MODE_NAMES = ("orderings", "optref", "backends", "faults", "resume", "stream")
 
 
 class Disagreement:
@@ -390,6 +397,49 @@ class DifferentialHarness:
                 f"log: stitched has {len(stitched)} events, uninterrupted "
                 f"has {len(reference)}; first diff: "
                 f"{_first_diff(stitched, reference)}"
+            )
+        return None
+
+    def check_stream(self, case: TraceCase) -> Optional[str]:
+        """Stream-vs-materialized: the bounded-memory pipeline must be
+        invisible in every output."""
+        mat_guard = _guards_for(case)
+        mat_rec = Recorder()
+        mat_engine, _ = _run(case, mat_guard, recorder=mat_rec)
+
+        stream_guard = _guards_for(case)
+        stream_rec = Recorder()
+        engine = ButterflyEngine(stream_guard, recorder=stream_rec)
+        with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+            path = os.path.join(tmp, "case.stream.jsonl")
+            save_stream_file(case.partition(), path)
+            try:
+                engine.run_source(iter_load(path))
+            finally:
+                engine.close()
+
+        if _identities(mat_guard) != _identities(stream_guard):
+            return (
+                "streamed run diverged in errors: "
+                f"{_first_diff(_identities(mat_guard), _identities(stream_guard))}"
+            )
+        if mat_engine.stats != engine.stats:
+            return (
+                f"streamed run diverged in stats: "
+                f"materialized={mat_engine.stats} streamed={engine.stats}"
+            )
+        mat_events = normalize_events(mat_rec.events)
+        stream_events = normalize_events(stream_rec.events)
+        if mat_events != stream_events:
+            return (
+                "streamed run diverged in normalized event logs: "
+                f"{_first_diff(mat_events, stream_events)}"
+            )
+        bound = 3 * case.num_threads
+        if engine.window_high_water > bound:
+            return (
+                f"streamed run violated the window bound: peak "
+                f"{engine.window_high_water} resident summaries > {bound}"
             )
         return None
 

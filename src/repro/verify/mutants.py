@@ -40,7 +40,8 @@ def resume_event_replay() -> Iterator[None]:
         return orig_attach(self, partition, resumed=False)
 
     def restore_into(self, engine):
-        # The pre-fix implementation, verbatim: no recorder handoff.
+        # The pre-fix implementation: engine state comes back, but the
+        # recorder handoff (resume_from) is missing.
         state = self._state
         if engine.analysis is not state["analysis"]:
             raise CheckpointError(
@@ -52,6 +53,8 @@ def resume_event_replay() -> Iterator[None]:
         engine._first_pass_errors = state["first_pass_errors"]
         engine._next_to_receive = state["next_to_receive"]
         engine._next_to_process = state["next_to_process"]
+        engine._window = state["window"]
+        engine.window_high_water = state["window_high_water"]
 
     ButterflyEngine.attach = attach
     Checkpoint.restore_into = restore_into

@@ -1,0 +1,155 @@
+"""CLI streaming surfaces: ``--stream``, version-2 traces, and
+bounded-window resume.
+
+Streaming must be invisible in results: every streamed command prints
+exactly what its materialized twin prints, plus one ``stream:`` line
+reporting the resident-summary peak against the 3-epoch bound.
+"""
+
+from repro.cli import main
+from repro.obs import read_events
+from repro.obs.recorder import normalize_events
+from repro.trace.serialize import file_version
+
+CHECK_ARGS = [
+    "check", "--benchmark", "OCEAN", "--threads", "2",
+    "--events", "3000", "--epoch-size", "256",
+]
+
+GENERATE_ARGS = [
+    "generate", "--benchmark", "OCEAN", "--threads", "2",
+    "--events", "4000", "--epoch-size", "128", "--stream",
+]
+
+
+def _one_line_error(capsys, command):
+    err = capsys.readouterr().err
+    lines = err.strip().splitlines()
+    assert len(lines) == 1, err
+    assert lines[0].startswith(f"repro {command}: error:")
+    return lines[0]
+
+
+class TestGenerateStream:
+    def test_writes_a_version_2_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.stream.jsonl"
+        assert main(GENERATE_ARGS + ["--output", str(path)]) == 0
+        assert "streamed" in capsys.readouterr().out
+        assert file_version(path) == 2
+
+
+class TestCheckStream:
+    def test_stream_flag_adds_only_the_peak_line(self, capsys):
+        assert main(CHECK_ARGS) == 0
+        materialized = capsys.readouterr().out
+        assert main(CHECK_ARGS + ["--stream"]) == 0
+        streamed = capsys.readouterr().out
+        assert streamed.startswith(materialized)
+        extra = streamed[len(materialized):].splitlines()
+        assert len(extra) == 1
+        assert extra[0] == "stream: peak resident summaries 6 (bound 6)"
+
+    def test_version_2_trace_streams_automatically(self, tmp_path, capsys):
+        path = tmp_path / "t.stream.jsonl"
+        assert main(GENERATE_ARGS + ["--output", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["check", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "(streamed)" in out
+        assert "stream: peak resident summaries 6 (bound 6)" in out
+
+    def test_truncated_stream_trace_fails_with_context(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "t.stream.jsonl"
+        assert main(GENERATE_ARGS + ["--output", str(path)]) == 0
+        capsys.readouterr()
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:3]))
+        assert main(["check", "--trace", str(path)]) == 2
+        assert f"{path}:" in _one_line_error(capsys, "check")
+
+
+class TestStreamResume:
+    def _generate(self, tmp_path, capsys):
+        path = tmp_path / "t.stream.jsonl"
+        assert main(GENERATE_ARGS + ["--output", str(path)]) == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_resumed_output_identical_to_uninterrupted(
+        self, tmp_path, capsys
+    ):
+        trace = self._generate(tmp_path, capsys)
+        ck = str(tmp_path / "t.ckpt")
+        assert main(["check", "--trace", trace]) == 0
+        full = capsys.readouterr().out
+        assert main([
+            "check", "--trace", trace,
+            "--checkpoint", ck, "--stop-after-epoch", "4",
+        ]) == 0
+        assert "stopped after receiving epoch 4" in capsys.readouterr().out
+        assert main(["resume", "--checkpoint", ck]) == 0
+        assert capsys.readouterr().out == full
+
+    def test_stitched_event_log_equals_uninterrupted(
+        self, tmp_path, capsys
+    ):
+        trace = self._generate(tmp_path, capsys)
+        ck = str(tmp_path / "t.ckpt")
+        full_log = tmp_path / "full.jsonl"
+        stopped_log = tmp_path / "stopped.jsonl"
+        resumed_log = tmp_path / "resumed.jsonl"
+        assert main([
+            "check", "--trace", trace, "--emit-events", str(full_log),
+        ]) == 0
+        assert main([
+            "check", "--trace", trace, "--emit-events", str(stopped_log),
+            "--checkpoint", ck, "--stop-after-epoch", "4",
+        ]) == 0
+        assert main([
+            "resume", "--checkpoint", ck,
+            "--emit-events", str(resumed_log),
+        ]) == 0
+        resumed = read_events(str(resumed_log))
+        boundary = resumed[0]["seq"]
+        prefix = [
+            e for e in read_events(str(stopped_log)) if e["seq"] < boundary
+        ]
+        assert normalize_events(prefix + resumed) == normalize_events(
+            read_events(str(full_log))
+        )
+
+    def test_tampered_stream_trace_refused(self, tmp_path, capsys):
+        trace = self._generate(tmp_path, capsys)
+        ck = str(tmp_path / "t.ckpt")
+        assert main([
+            "check", "--trace", trace,
+            "--checkpoint", ck, "--stop-after-epoch", "4",
+        ]) == 0
+        capsys.readouterr()
+        with open(trace, "a") as fh:
+            fh.write("\n")
+        assert main(["resume", "--checkpoint", ck]) == 2
+        assert "sha256 mismatch" in _one_line_error(capsys, "resume")
+
+
+class TestSweepAndStatsStream:
+    def test_sweep_stream_matches_materialized_table(self, capsys):
+        args = [
+            "sweep", "--benchmark", "LU", "--threads", "2",
+            "--events", "3000", "--sizes", "256", "1024",
+        ]
+        assert main(args) == 0
+        materialized = capsys.readouterr().out
+        assert main(args + ["--stream"]) == 0
+        assert capsys.readouterr().out == materialized
+
+    def test_stats_stream_reports_window_metrics(self, capsys):
+        assert main([
+            "stats", "--benchmark", "LU", "--threads", "2",
+            "--events", "2000", "--epoch-size", "256", "--stream",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stream.epochs_received" in out
+        assert "engine.window_resident_blocks" in out

@@ -12,13 +12,14 @@ class TestRunPerf:
         out = tmp_path / "BENCH_test.json"
         report = run_perf(repeats=1, output_path=str(out))
 
-        assert report["schema"] == 3
+        assert report["schema"] == 4
         assert set(report["workloads"]) == {
             "microbench_core",
             "reaching_defs",
             "shadow_store_range",
             "observability_overhead",
             "resilience_overhead",
+            "streaming_overhead",
         }
 
         core = report["workloads"]["microbench_core"]
@@ -86,6 +87,19 @@ class TestRunPerf:
         res = report["workloads"]["resilience_overhead"]
         assert set(res["runs"]) == {"bare_serial", "supervised_serial"}
         assert res["overhead_ratio"] > 0
+
+    def test_streaming_overhead_entry(self):
+        report = run_perf(repeats=1)
+        st = report["workloads"]["streaming_overhead"]
+        assert set(st["runs"]) == {"materialized", "streamed"}
+        assert st["overhead_ratio"] > 0
+        assert 0 < st["window_high_water"] <= st["window_bound"]
+
+    def test_streaming_overhead_file_run(self):
+        report = run_perf(repeats=1, stream_file=True)
+        st = report["workloads"]["streaming_overhead"]
+        assert "stream_file" in st["runs"]
+        assert st["runs"]["stream_file"]["best_s"] > 0
 
     def test_resilience_overhead_faulted_run(self):
         report = run_perf(repeats=1, inject_faults="crash=0.05,seed=7")

@@ -55,3 +55,46 @@ class TestSOSHistory:
         sos.advance(0, {"x"}, lambda e: False)
         snap = sos.published()
         assert snap[2] == {"x"}
+
+
+class TestEviction:
+    def _advanced(self, n):
+        sos = SOSHistory()
+        for lid in range(n):
+            sos.advance(lid, {lid}, lambda e: False)
+        return sos
+
+    def test_evict_drops_only_older_states(self):
+        sos = self._advanced(4)  # states 0..5 published
+        sos.evict(4)
+        assert sorted(sos.published()) == [4, 5]
+        assert sos.get(5) == sos.get(sos.frontier)
+
+    def test_evicted_state_raises_with_diagnosis(self):
+        sos = self._advanced(4)
+        sos.evict(4)
+        with pytest.raises(AnalysisError, match="evicted"):
+            sos.get(2)
+        # Truly-unpublished epochs keep the original diagnosis.
+        with pytest.raises(AnalysisError, match="before"):
+            sos.get(9)
+
+    def test_frontier_never_evicted(self):
+        sos = self._advanced(3)
+        sos.evict(99)
+        assert sos.get(sos.frontier) is not None
+        sos.advance(3, {"new"}, lambda e: False)
+        assert "new" in sos.get(sos.frontier)
+
+    def test_evict_is_monotonic(self):
+        sos = self._advanced(5)
+        sos.evict(4)
+        sos.evict(2)  # going backwards is a no-op
+        assert sorted(sos.published()) == [4, 5, 6]
+
+    def test_advance_continues_after_eviction(self):
+        sos = self._advanced(3)
+        sos.evict(sos.frontier)
+        before = sos.get(sos.frontier)
+        sos.advance(3, {"x"}, lambda e: False)
+        assert sos.get(sos.frontier) == before | {"x"}

@@ -125,6 +125,159 @@ class TestSaveLoadRoundtrip:
         )
 
 
+class TestStreamedResume:
+    """Checkpoint/resume over a streamed feed: the checkpoint carries
+    the block window, so a resume never needs the materialized trace.
+
+    References are themselves streamed runs: streamed mode bounds the
+    SOS history, so its retained-state fingerprint differs (by design)
+    from a materialized run's full history even though every error,
+    stat, and frontier state is identical.
+    """
+
+    def _run_uninterrupted_streamed(self, part):
+        from repro.core.stream import PartitionSource
+
+        guard = ButterflyAddrCheck()
+        stats = ButterflyEngine(guard).run_source(PartitionSource(part))
+        return _fingerprint(guard, stats)
+
+    def _feed_stream(self, engine, source, start, stop_after=None):
+        rows = source.epochs(start=start)
+        try:
+            for lid, row in enumerate(rows, start=start):
+                if stop_after is not None and lid >= stop_after:
+                    return
+                engine.feed_blocks(lid, row)
+        finally:
+            close = getattr(rows, "close", None)
+            if close is not None:
+                close()
+        engine.finish()
+
+    def test_streamed_resume_matches_uninterrupted(self, tmp_path):
+        from repro.core.stream import PartitionSource
+
+        part = partition_by_global_order(_program(), 8)
+        reference = self._run_uninterrupted_streamed(part)
+        path = str(tmp_path / "stream.ckpt")
+
+        engine = ButterflyEngine(ButterflyAddrCheck())
+        engine.enable_checkpoints(Checkpointer(path, META))
+        engine.attach_source(PartitionSource(part))
+        self._feed_stream(engine, PartitionSource(part), 0, stop_after=3)
+
+        ck = load_checkpoint(path)
+        assert ck.next_epoch == 3
+        resumed = ButterflyEngine(ck.analysis)
+        resumed.attach_source(PartitionSource(part), resumed=True)
+        ck.restore_into(resumed)
+        self._feed_stream(resumed, PartitionSource(part), ck.next_epoch)
+        assert _fingerprint(ck.analysis, resumed.stats) == reference
+
+    def test_streamed_resume_from_a_version_2_file(self, tmp_path):
+        from repro.trace.serialize import iter_load, save_stream_file
+
+        part = partition_by_global_order(_program(), 8)
+        reference = self._run_uninterrupted_streamed(part)
+        trace = str(tmp_path / "trace.stream.jsonl")
+        save_stream_file(partition_by_global_order(_program(), 8), trace)
+        path = str(tmp_path / "file.ckpt")
+
+        engine = ButterflyEngine(ButterflyAddrCheck())
+        engine.enable_checkpoints(Checkpointer(path, META))
+        engine.attach_source(iter_load(trace))
+        self._feed_stream(engine, iter_load(trace), 0, stop_after=3)
+
+        ck = load_checkpoint(path)
+        resumed = ButterflyEngine(ck.analysis)
+        source = iter_load(trace)
+        resumed.attach_source(source, resumed=True)
+        ck.restore_into(resumed)
+        # The resume seeks the reader: epochs before the checkpoint are
+        # skipped at the file layer, never decoded.
+        self._feed_stream(resumed, source, ck.next_epoch)
+        assert _fingerprint(ck.analysis, resumed.stats) == reference
+
+    def test_legacy_checkpoint_rebuilds_window_from_partition(
+        self, tmp_path
+    ):
+        # Checkpoints written before the engine kept an explicit block
+        # window resume fine against a materialized partition.
+        part = partition_by_global_order(_program(), 8)
+        reference = _run_uninterrupted(part)
+        path = str(tmp_path / "legacy.ckpt")
+        engine = ButterflyEngine(ButterflyAddrCheck())
+        engine.enable_checkpoints(Checkpointer(path, META))
+        engine.attach(part)
+        for lid in range(3):
+            engine.feed_epoch(lid)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        del payload["engine"]["window"]
+        del payload["engine"]["window_high_water"]
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+
+        ck = load_checkpoint(path)
+        resumed = ButterflyEngine(ck.analysis)
+        resumed.attach(part)
+        ck.restore_into(resumed)
+        for lid in range(ck.next_epoch, part.num_epochs):
+            resumed.feed_epoch(lid)
+        resumed.finish()
+        assert _fingerprint(ck.analysis, resumed.stats) == reference
+
+    def test_legacy_checkpoint_refuses_stream_resume(self, tmp_path):
+        from repro.core.stream import PartitionSource
+
+        part = partition_by_global_order(_program(), 8)
+        path = str(tmp_path / "legacy2.ckpt")
+        engine = ButterflyEngine(ButterflyAddrCheck())
+        engine.enable_checkpoints(Checkpointer(path, META))
+        engine.attach(part)
+        for lid in range(3):
+            engine.feed_epoch(lid)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        del payload["engine"]["window"]
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+
+        ck = load_checkpoint(path)
+        resumed = ButterflyEngine(ck.analysis)
+        resumed.attach_source(PartitionSource(part), resumed=True)
+        with pytest.raises(CheckpointError, match="materialized"):
+            ck.restore_into(resumed)
+
+    def test_streamed_stitched_log_equals_uninterrupted(self, tmp_path):
+        from repro.core.stream import PartitionSource
+
+        part = partition_by_global_order(_program(events=80), 8)
+        ref_rec = Recorder()
+        engine = ButterflyEngine(ButterflyAddrCheck(), recorder=ref_rec)
+        engine.run_source(PartitionSource(part))
+        reference = normalize_events(ref_rec.events)
+
+        path = str(tmp_path / "slog.ckpt")
+        stopped_rec = Recorder()
+        engine = ButterflyEngine(ButterflyAddrCheck(), recorder=stopped_rec)
+        engine.enable_checkpoints(Checkpointer(path, META))
+        engine.attach_source(PartitionSource(part))
+        self._feed_stream(engine, PartitionSource(part), 0, stop_after=3)
+
+        ck = load_checkpoint(path)
+        prefix = [
+            e for e in stopped_rec.events if e["seq"] <= ck.events_emitted
+        ]
+        resumed_rec = Recorder()
+        resumed = ButterflyEngine(ck.analysis, recorder=resumed_rec)
+        resumed.attach_source(PartitionSource(part), resumed=True)
+        ck.restore_into(resumed)
+        self._feed_stream(resumed, PartitionSource(part), ck.next_epoch)
+        assert normalize_events(prefix + resumed_rec.events) == reference
+
+
 class TestResumeEventLog:
     """A resumed run's event log must be the exact suffix of the
     uninterrupted log: no duplicate ``run.attach``, no re-counted

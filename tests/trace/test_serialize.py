@@ -5,11 +5,22 @@ import random
 
 import pytest
 
+from repro.core.epoch import partition_auto
 from repro.errors import TraceError
 from repro.trace.events import Instr
 from repro.trace.generator import simulated_alloc_program
 from repro.trace.program import TraceProgram
-from repro.trace.serialize import dump, load, load_file, save_file
+from repro.trace.serialize import (
+    dump,
+    dump_stream,
+    file_version,
+    iter_load,
+    load,
+    load_file,
+    save_file,
+    save_stream_file,
+    stream_epochs,
+)
 from repro.workloads.registry import get_benchmark
 
 
@@ -74,3 +85,142 @@ class TestValidation:
         )
         with pytest.raises(TraceError):
             load(buf)
+
+    def test_truncated_final_record_has_file_line_context(self):
+        prog = TraceProgram.from_lists([Instr.nop(), Instr.read(7)])
+        buf = io.StringIO()
+        dump(prog, buf)
+        # Chop the file mid-way through its final JSON record.
+        truncated = io.StringIO(buf.getvalue()[:-10])
+        with pytest.raises(TraceError, match=r"mytrace:\d+"):
+            load(truncated, name="mytrace")
+
+    def test_trailing_garbage_rejected_with_context(self):
+        prog = TraceProgram.from_lists([Instr.nop(), Instr.read(7)])
+        buf = io.StringIO()
+        dump(prog, buf)
+        polluted = io.StringIO(buf.getvalue() + '{"oops": 1}\n')
+        with pytest.raises(
+            TraceError, match=r"mytrace:\d+: trailing garbage"
+        ):
+            load(polluted, name="mytrace")
+
+    def test_trailing_blank_lines_tolerated(self):
+        prog = TraceProgram.from_lists([Instr.nop()])
+        buf = io.StringIO()
+        dump(prog, buf)
+        padded = io.StringIO(buf.getvalue() + "\n  \n")
+        assert load(padded).num_threads == 1
+
+
+def stream_partition(threads=2, events=200, h=8, seed=0):
+    prog = simulated_alloc_program(
+        random.Random(seed), num_threads=threads, total_events=events
+    )
+    return prog, partition_auto(prog, h)
+
+
+def stream_text(partition):
+    buf = io.StringIO()
+    dump_stream(partition, buf)
+    return buf.getvalue()
+
+
+class TestStreamRoundTrip:
+    def test_blocks_round_trip_exactly(self):
+        _, partition = stream_partition()
+        text = stream_text(partition)
+        rows = list(stream_epochs(io.StringIO(text)))
+        assert len(rows) == partition.num_epochs
+        for lid, row in enumerate(rows):
+            for tid, block in enumerate(row):
+                original = partition.block(lid, tid)
+                assert block.block_id == (lid, tid)
+                assert block.start == original.start
+                assert block.instrs == original.instrs
+
+    def test_file_source_shape_and_preallocated(self, tmp_path):
+        prog, partition = stream_partition()
+        path = tmp_path / "trace.stream.jsonl"
+        save_stream_file(partition, path)
+        source = iter_load(path)
+        assert source.num_threads == partition.num_threads
+        assert source.num_epochs == partition.num_epochs
+        assert source.preallocated == frozenset(prog.preallocated)
+        # The source is re-iterable (fresh handle per epochs() call).
+        assert len(list(source.epochs())) == partition.num_epochs
+        assert len(list(source.epochs())) == partition.num_epochs
+
+    def test_seek_skips_processed_epochs(self, tmp_path):
+        _, partition = stream_partition(events=400)
+        path = tmp_path / "trace.stream.jsonl"
+        save_stream_file(partition, path)
+        rows = list(iter_load(path).epochs(start=3))
+        assert rows[0][0].lid == 3
+        assert rows[0][0].instrs == partition.block(3, 0).instrs
+        assert len(rows) == partition.num_epochs - 3
+
+    def test_file_version_distinguishes_layouts(self, tmp_path):
+        prog, partition = stream_partition()
+        v1 = tmp_path / "v1.jsonl"
+        v2 = tmp_path / "v2.jsonl"
+        save_file(prog, v1)
+        save_stream_file(partition, v2)
+        assert file_version(v1) == 1
+        assert file_version(v2) == 2
+        with pytest.raises(TraceError):
+            file_version(__file__)
+
+
+class TestStreamValidation:
+    def test_missing_footer_is_a_truncated_stream(self):
+        _, partition = stream_partition()
+        text = stream_text(partition)
+        no_footer = "".join(text.splitlines(keepends=True)[:-1])
+        with pytest.raises(TraceError, match=r"t:\d+.*footer"):
+            list(stream_epochs(io.StringIO(no_footer), name="t"))
+
+    def test_truncated_epoch_record(self):
+        _, partition = stream_partition()
+        lines = stream_text(partition).splitlines(keepends=True)
+        chopped = "".join(lines[:2]) + lines[2][:-20]
+        with pytest.raises(TraceError, match=r"t:\d+: invalid JSON"):
+            list(stream_epochs(io.StringIO(chopped), name="t"))
+
+    def test_out_of_order_epoch_records(self):
+        _, partition = stream_partition()
+        lines = stream_text(partition).splitlines(keepends=True)
+        swapped = lines[0] + lines[2] + lines[1] + "".join(lines[3:])
+        with pytest.raises(TraceError, match="in order"):
+            list(stream_epochs(io.StringIO(swapped), name="t"))
+
+    def test_trailing_garbage_after_footer(self):
+        _, partition = stream_partition()
+        polluted = stream_text(partition) + '{"oops": 1}\n'
+        with pytest.raises(TraceError, match="trailing garbage"):
+            list(stream_epochs(io.StringIO(polluted), name="t"))
+
+    def test_v1_reader_refuses_v2_and_vice_versa(self):
+        prog, partition = stream_partition()
+        with pytest.raises(TraceError, match="unsupported trace version"):
+            load(io.StringIO(stream_text(partition)))
+        v1 = io.StringIO()
+        dump(prog, v1)
+        v1.seek(0)
+        with pytest.raises(TraceError, match="not a stream trace"):
+            list(stream_epochs(v1))
+
+    def test_seek_past_the_end_rejected(self, tmp_path):
+        _, partition = stream_partition()
+        path = tmp_path / "trace.stream.jsonl"
+        save_stream_file(partition, path)
+        with pytest.raises(TraceError, match="cannot seek"):
+            list(iter_load(path).epochs(start=partition.num_epochs + 1))
+
+    def test_wrong_footer_count(self):
+        _, partition = stream_partition()
+        lines = stream_text(partition).splitlines(keepends=True)
+        bad = "".join(lines[:-1]) + '{"epochs_written": 1}\n'
+        with pytest.raises(TraceError, match="bad footer"):
+            list(stream_epochs(io.StringIO(bad), name="t"))
+

@@ -42,6 +42,29 @@ class TestCleanAgreement:
         assert harness.run_case(case) == []
 
 
+class TestStreamMode:
+    def test_stream_checks_every_case(self):
+        # stream-vs-materialized applies to every case (no skip
+        # condition): the round-trip through a version 2 file plus the
+        # bounded-window feed must be invisible in all outputs.
+        harness = DifferentialHarness(modes=("stream",))
+        gen = AdversarialCaseGenerator(5)
+        for i in range(10):
+            assert harness.run_case(gen.case(i)) == []
+        assert harness.checks_run["stream"] == 10
+        assert harness.skipped["stream"] == 0
+
+    def test_stream_covers_both_lifeguards(self):
+        harness = DifferentialHarness(modes=("stream",))
+        for lifeguard in ("addrcheck", "taintcheck"):
+            case = _case(
+                [[Instr.write(0), Instr.read(0)], [Instr.read(0)]],
+                [[1, 2], [1, 1]],
+                lifeguard=lifeguard,
+            )
+            assert harness.run_case(case) == []
+
+
 class TestApplicability:
     def test_orderings_skips_over_budget_cases(self):
         harness = DifferentialHarness(oracle_budget=2)
