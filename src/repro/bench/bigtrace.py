@@ -1,0 +1,122 @@
+"""Isolated runner for the 10M-event columnar BENCH workload.
+
+Peak RSS (``ru_maxrss``) is process-monotonic: once any config touches
+N MB, every later measurement in the same process reads >= N MB.  To
+report an honest per-configuration peak, each config runs in a fresh
+``python -m repro.bench.bigtrace`` subprocess that prints a one-line
+JSON result; :func:`run_isolated` is the parent-side wrapper
+``repro.bench.perf`` fans configs out with.
+
+Configurations (all over the same :class:`ColumnarAllocSource` trace):
+
+``object_reference``
+    Object-backed blocks, ``optimized=False`` -- the original
+    per-instruction implementation, the denominator of the >=10x claim.
+``object_optimized``
+    Object-backed blocks, optimized scanner with the per-``Instr``
+    kernel forced -- the best pre-columnar configuration.
+``columnar_serial``
+    Columnar blocks, vectorized kernels, serial backend.
+``columnar_processes``
+    Columnar blocks, vectorized kernels, process-pool first pass --
+    pool tasks carry packed column bytes, never ``Instr`` objects or
+    interner state.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import subprocess
+import sys
+import time
+from typing import Any, Dict
+
+CONFIG_NAMES = (
+    "object_reference",
+    "object_optimized",
+    "columnar_serial",
+    "columnar_processes",
+)
+
+
+def run_config(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one configuration in-process and return its measurements."""
+    from repro.core.framework import ButterflyEngine
+    from repro.lifeguards.addrcheck import ButterflyAddrCheck
+    from repro.trace.generator import ColumnarAllocSource
+
+    config = params["config"]
+    if config not in CONFIG_NAMES:
+        raise ValueError(f"unknown config {config!r}")
+    source = ColumnarAllocSource(
+        seed=params.get("seed", 7),
+        num_threads=params.get("num_threads", 4),
+        num_epochs=params.get("num_epochs", 25),
+        events_per_block=params.get("events_per_block", 100_000),
+        num_locations=params.get("num_locations", 1024),
+        change_period=params.get("change_period", 512),
+        error_rate=params.get("error_rate", 0.0),
+    )
+    guard_kw: Dict[str, Any] = {"initially_allocated": source.preallocated}
+    backend = "serial"
+    if config == "object_reference":
+        view = source.as_objects()
+        guard_kw["optimized"] = False
+    elif config == "object_optimized":
+        view = source.as_objects()
+        guard_kw["use_columnar_kernel"] = False
+    else:
+        view = source
+        if config == "columnar_processes":
+            backend = "processes"
+
+    guard = ButterflyAddrCheck(**guard_kw)
+    t0 = time.perf_counter()
+    with ButterflyEngine(guard, backend=backend) as engine:
+        stats = engine.run_source(view)
+    elapsed = time.perf_counter() - t0
+    return {
+        "config": config,
+        "backend": backend,
+        "elapsed_s": elapsed,
+        "events": source.total_events,
+        "events_per_s": source.total_events / elapsed if elapsed else 0.0,
+        "errors": len(guard.errors),
+        "engine_stats": {
+            "epochs_processed": stats.epochs_processed,
+            "first_pass_instructions": stats.first_pass_instructions,
+            "second_pass_instructions": stats.second_pass_instructions,
+            "meets": stats.meets,
+            "wing_summaries_combined": stats.wing_summaries_combined,
+        },
+        # Linux reports ru_maxrss in KiB.
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def run_isolated(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one configuration in a fresh subprocess (honest peak RSS)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench.bigtrace", json.dumps(params)],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"bigtrace config {params.get('config')!r} failed "
+            f"(rc={proc.returncode}): {proc.stderr.strip()[-500:]}"
+        )
+    return json.loads(proc.stdout)
+
+
+def main(argv=None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    params = json.loads(args[0]) if args else json.load(sys.stdin)
+    json.dump(run_config(params), sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,13 @@ Workloads:
   run times reading a version 2 stream back from disk -- reported for
   context (it includes JSON decode), not budgeted.
 
+- ``columnar_10m`` -- a large :class:`ColumnarAllocSource` trace (10M
+  events by default, tunable via ``--big-events``) run under the four
+  ``repro.bench.bigtrace`` configurations, each in its own subprocess
+  so peak RSS is honest per config.  Records the columnar-vs-object
+  speedups the PR-6 acceptance criteria gate on.  Skipped (with a
+  reason) when numpy is unavailable.
+
 Read a ``BENCH_*.json`` as: ``runs.<name>.best_s`` is the best-of-N
 wall time in seconds (N = ``repeats``), ``engine_stats`` the exact work
 counters of that run (identical across backends by design), and
@@ -40,7 +47,7 @@ optimized-serial best.  Since schema 2 the ``microbench_core`` entry
 also carries ``per_epoch``: deterministic per-epoch rows (instructions,
 meets, error attribution) from one instrumented replay.  Schema 3 adds
 the ``resilience_overhead`` workload; schema 4 adds
-``streaming_overhead``.
+``streaming_overhead``; schema 5 adds ``columnar_10m``.
 """
 
 from __future__ import annotations
@@ -334,6 +341,60 @@ def _bench_streaming_overhead(
     }
 
 
+def _bench_columnar_10m(big_events: int) -> Dict[str, Any]:
+    """Columnar vs. object kernels on a large trace, per-config RSS.
+
+    Each configuration runs exactly once in a fresh subprocess (see
+    :mod:`repro.bench.bigtrace`); at tens of seconds per run, best-of-N
+    timing buys nothing and would multiply a minutes-long workload.
+    """
+    from repro.core.columnar import HAVE_NUMPY
+    from repro.bench.bigtrace import CONFIG_NAMES, run_isolated
+
+    num_threads = 4
+    num_epochs = 25
+    events_per_block = max(1, big_events // (num_threads * num_epochs))
+    params = {
+        "seed": 7,
+        "num_threads": num_threads,
+        "num_epochs": num_epochs,
+        "events_per_block": events_per_block,
+        "num_locations": 1024,
+        "change_period": 512,
+        "error_rate": 0.0,
+    }
+    result: Dict[str, Any] = {
+        "description": (
+            "columnar vs object kernels on a large generated trace "
+            "(one subprocess per config; peak RSS is per-config)"
+        ),
+        "params": dict(params, total_events=(
+            num_threads * num_epochs * events_per_block
+        )),
+    }
+    if not HAVE_NUMPY:
+        result["skipped"] = (
+            "numpy unavailable; the columnar configs would fall back to "
+            "the scalar kernels and measure nothing"
+        )
+        return result
+    runs: Dict[str, Any] = {}
+    for config in CONFIG_NAMES:
+        runs[config] = run_isolated(dict(params, config=config))
+    result["runs"] = runs
+    reference = runs["object_reference"]["elapsed_s"]
+    optimized = runs["object_optimized"]["elapsed_s"]
+    columnar = runs["columnar_serial"]["elapsed_s"]
+    processes = runs["columnar_processes"]["elapsed_s"]
+    result["speedups"] = {
+        "columnar_serial_vs_reference": reference / columnar,
+        "columnar_serial_vs_object_optimized": optimized / columnar,
+        "columnar_processes_vs_reference": reference / processes,
+        "columnar_processes_vs_object_optimized": optimized / processes,
+    }
+    return result
+
+
 def _bench_reaching_defs(repeats: int) -> Dict[str, Any]:
     partition = _core_partition()
     runs: Dict[str, Any] = {}
@@ -396,32 +457,38 @@ def run_perf(
     events_path: Optional[str] = None,
     inject_faults: Optional[str] = None,
     stream_file: bool = False,
+    big_events: int = 10_000_000,
 ) -> Dict[str, Any]:
     """Run every perf workload; optionally write the JSON report.
 
     ``events_path`` additionally captures the instrumented replay's
     JSONL event log (the run feeding the ``per_epoch`` section);
     ``inject_faults`` adds a faulted run to ``resilience_overhead``;
-    ``stream_file`` adds an on-disk run to ``streaming_overhead``.
+    ``stream_file`` adds an on-disk run to ``streaming_overhead``;
+    ``big_events`` sizes the ``columnar_10m`` workload (0 skips it --
+    the full 10M-event default takes minutes on the object paths).
     """
+    workloads = {
+        "microbench_core": _bench_microbench_core(repeats, events_path),
+        "reaching_defs": _bench_reaching_defs(repeats),
+        "shadow_store_range": _bench_shadow_store_range(repeats),
+        "observability_overhead": _bench_observability_overhead(repeats),
+        "resilience_overhead": _bench_resilience_overhead(
+            repeats, inject_faults
+        ),
+        "streaming_overhead": _bench_streaming_overhead(
+            repeats, stream_file
+        ),
+    }
+    if big_events > 0:
+        workloads["columnar_10m"] = _bench_columnar_10m(big_events)
     report: Dict[str, Any] = {
-        "schema": 4,
+        "schema": 5,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "cpu_count": os.cpu_count(),
         "repeats": repeats,
-        "workloads": {
-            "microbench_core": _bench_microbench_core(repeats, events_path),
-            "reaching_defs": _bench_reaching_defs(repeats),
-            "shadow_store_range": _bench_shadow_store_range(repeats),
-            "observability_overhead": _bench_observability_overhead(repeats),
-            "resilience_overhead": _bench_resilience_overhead(
-                repeats, inject_faults
-            ),
-            "streaming_overhead": _bench_streaming_overhead(
-                repeats, stream_file
-            ),
-        },
+        "workloads": workloads,
     }
     if output_path is not None:
         with open(output_path, "w") as fh:
@@ -436,8 +503,13 @@ def main(argv: Optional[list] = None) -> int:  # pragma: no cover - thin CLI
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_1.json")
     parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--big-events", type=int, default=10_000_000)
     args = parser.parse_args(argv)
-    report = run_perf(repeats=args.repeats, output_path=args.output)
+    report = run_perf(
+        repeats=args.repeats,
+        output_path=args.output,
+        big_events=args.big_events,
+    )
     core = report["workloads"]["microbench_core"]
     print(
         f"wrote {args.output}: microbench core "

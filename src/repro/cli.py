@@ -688,6 +688,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.repeats < 1:
         return _fail("bench", f"--repeats must be >= 1, got {args.repeats}")
+    if args.big_events < 0:
+        return _fail(
+            "bench", f"--big-events must be >= 0, got {args.big_events}"
+        )
     if args.inject_faults:
         try:
             FaultPlan.parse(args.inject_faults)
@@ -708,6 +712,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         events_path=args.emit_events,
         inject_faults=args.inject_faults,
         stream_file=args.stream,
+        big_events=args.big_events,
     )
     core = report["workloads"]["microbench_core"]
     print(f"wrote {args.output}")
@@ -725,6 +730,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"streaming overhead: {stream['overhead_ratio']:.3f}x vs "
           f"materialized (window peak {stream['window_high_water']}, "
           f"bound {stream['window_bound']})")
+    big = report["workloads"].get("columnar_10m")
+    if big is not None:
+        if big.get("skipped"):
+            print(f"columnar_10m: skipped ({big['skipped']})")
+        else:
+            ups = big["speedups"]
+            print(f"columnar_10m ({big['params']['total_events']} events): "
+                  f"columnar serial "
+                  f"{ups['columnar_serial_vs_reference']:.1f}x vs reference, "
+                  f"{ups['columnar_serial_vs_object_optimized']:.1f}x vs "
+                  f"optimized objects; processes "
+                  f"{ups['columnar_processes_vs_object_optimized']:.2f}x vs "
+                  f"optimized serial")
     return 0
 
 
@@ -1021,6 +1039,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report path (default: BENCH_1.json)")
     p.add_argument("--repeats", type=int, default=5,
                    help="timing repetitions per configuration (best-of)")
+    p.add_argument(
+        "--big-events", type=int, default=10_000_000, metavar="N",
+        help="event count for the columnar_10m workload; 0 skips it "
+             "(default: 10000000)",
+    )
     p.add_argument(
         "--inject-faults", default=None, metavar="SPEC",
         help="additionally time the core workload under supervised "

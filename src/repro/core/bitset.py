@@ -12,11 +12,21 @@ Determinism: bit positions are assigned in *commit order* -- summaries
 are only interned on the engine's serial commit path, and new elements
 within one summary are interned in sorted order -- so two runs over the
 same trace assign identical positions regardless of execution backend.
+
+Masks are plain Python ``int`` values at the API surface (arbitrary
+width, hashable, picklable); when numpy is available the expensive
+spots -- composing a mask from many bit positions and decoding a wide
+mask back to elements -- run as word-wise kernels over the mask's
+little-endian byte form instead of repeated big-int shifts.  The
+:func:`mask_to_words` / :func:`mask_from_words` helpers expose the same
+packed ``uint64`` form the process pool ships across task boundaries.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.core.columnar import HAVE_NUMPY, np
 
 try:  # Python >= 3.10
     _popcount = int.bit_count
@@ -30,6 +40,47 @@ except AttributeError:  # pragma: no cover - Python 3.9 fallback
     def popcount(mask: int) -> int:
         """Number of set bits (``len`` of the encoded set)."""
         return bin(mask).count("1")
+
+
+#: Below this many set bits the classic shift loop beats buffer setup.
+_VECTOR_MIN_BITS = 64
+
+
+def _compose_mask(bits: List[int]) -> int:
+    """OR together ``1 << b`` for every position in ``bits``.
+
+    The naive loop is quadratic in mask width: each ``out |= 1 << b``
+    copies the whole big int.  The vector path scatters the positions
+    into a byte buffer (one pass, duplicates folded by ``bitwise_or``)
+    and converts once.
+    """
+    if HAVE_NUMPY and len(bits) >= _VECTOR_MIN_BITS:
+        pos = np.array(bits, dtype=np.int64)
+        buf = np.zeros((int(pos.max()) >> 3) + 1, dtype=np.uint8)
+        np.bitwise_or.at(buf, pos >> 3, np.left_shift(1, pos & 7).astype(np.uint8))
+        return int.from_bytes(buf.tobytes(), "little")
+    out = 0
+    for b in bits:
+        out |= 1 << b
+    return out
+
+
+def mask_to_words(mask: int) -> bytes:
+    """The mask's packed little-endian 64-bit-word form (wire format)."""
+    n = (mask.bit_length() + 63) // 64 * 8
+    return mask.to_bytes(n, "little")
+
+
+def mask_from_words(words: bytes) -> int:
+    """Inverse of :func:`mask_to_words`."""
+    return int.from_bytes(words, "little")
+
+
+def popcount_words(words: bytes) -> int:
+    """Set-bit count of a packed-word mask without big-int conversion."""
+    if HAVE_NUMPY and len(words) >= 32:
+        return int(np.bitwise_count(np.frombuffer(words, dtype=np.uint8)).sum())
+    return popcount(int.from_bytes(words, "little"))
 
 
 class BitInterner:
@@ -78,7 +129,7 @@ class BitInterner:
         of the input set.
         """
         bit_of = self._bit_of
-        out = 0
+        bits: List[int] = []
         fresh: List[Any] = []
         hits = 0
         for e in elements:
@@ -86,18 +137,25 @@ class BitInterner:
             if b is None:
                 fresh.append(e)
             else:
-                out |= 1 << b
+                bits.append(b)
                 hits += 1
         self.hits += hits
         if fresh:
             fresh.sort(key=sort_key)
             for e in fresh:
-                out |= 1 << self.bit(e)
-        return out
+                bits.append(self.bit(e))
+        return _compose_mask(bits)
 
     def decode(self, mask: int) -> List[Any]:
         """The elements of ``mask``, in ascending bit order."""
         elements = self._elements
+        if HAVE_NUMPY and mask.bit_length() >= _VECTOR_MIN_BITS:
+            raw = mask.to_bytes((mask.bit_length() + 7) // 8, "little")
+            buf = np.frombuffer(raw, dtype=np.uint8)
+            positions = np.flatnonzero(
+                np.unpackbits(buf, bitorder="little")
+            ).tolist()
+            return [elements[b] for b in positions]
         out: List[Any] = []
         while mask:
             low = mask & -mask

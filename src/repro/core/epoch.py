@@ -13,9 +13,9 @@ with ``i`` an offset from the block start, exactly the paper's notation.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.columnar import ColumnarBlock
 from repro.errors import PartitionError
 from repro.trace.events import Instr
 from repro.trace.program import GlobalRef, TraceProgram
@@ -26,21 +26,71 @@ BlockId = Tuple[int, int]
 InstrId = Tuple[int, int, int]
 
 
-@dataclass(frozen=True)
 class Block:
-    """A contiguous run of one thread's instructions within one epoch."""
+    """A contiguous run of one thread's instructions within one epoch.
 
-    lid: int
-    tid: int
-    start: int  #: offset of the first instruction within the thread trace
-    instrs: Tuple[Instr, ...]
+    A block holds its events in one (or both) of two representations:
+    a tuple of :class:`Instr` objects (the *object* path every
+    reference implementation iterates) and a
+    :class:`~repro.core.columnar.ColumnarBlock` of parallel arrays (the
+    *fast* path vector kernels scan).  Either may be supplied at
+    construction; the other is derived lazily on first use and cached,
+    so code that never touches ``.instrs`` on a columnar-backed block
+    never pays for materializing objects.
+
+    Blocks are immutable value objects: equality and hashing use the
+    block address plus event content, matching the previous frozen
+    dataclass.  Pickling prefers the columnar form -- a few flat byte
+    strings instead of a tree of per-event objects -- which is what
+    makes process-pool task payloads cheap.
+    """
+
+    __slots__ = ("lid", "tid", "start", "_instrs", "_columns")
+
+    def __init__(
+        self,
+        lid: int,
+        tid: int,
+        start: int,
+        instrs: Optional[Tuple[Instr, ...]] = None,
+        columns: Optional[ColumnarBlock] = None,
+    ) -> None:
+        if instrs is None and columns is None:
+            raise TypeError("Block needs instrs or columns (or both)")
+        self.lid = lid
+        self.tid = tid
+        #: offset of the first instruction within the thread trace
+        self.start = start
+        self._instrs = None if instrs is None else tuple(instrs)
+        self._columns = columns
+
+    @property
+    def instrs(self) -> Tuple[Instr, ...]:
+        """The events as ``Instr`` objects (materialized on demand)."""
+        if self._instrs is None:
+            self._instrs = self._columns.to_instrs()
+        return self._instrs
+
+    @property
+    def columns(self) -> ColumnarBlock:
+        """The events as parallel columns (converted on demand)."""
+        if self._columns is None:
+            self._columns = ColumnarBlock.from_instrs(self._instrs)
+        return self._columns
+
+    @property
+    def has_columns(self) -> bool:
+        """Whether the columnar form already exists (conversion-free)."""
+        return self._columns is not None
 
     @property
     def block_id(self) -> BlockId:
         return (self.lid, self.tid)
 
     def __len__(self) -> int:
-        return len(self.instrs)
+        if self._instrs is not None:
+            return len(self._instrs)
+        return len(self._columns)
 
     def __iter__(self) -> Iterator[Instr]:
         return iter(self.instrs)
@@ -53,6 +103,34 @@ class Block:
     def global_ref(self, i: int) -> GlobalRef:
         """Map offset ``i`` back to a ``(thread, trace index)`` ref."""
         return (self.tid, self.start + i)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Block):
+            return NotImplemented
+        if (self.lid, self.tid, self.start) != (other.lid, other.tid, other.start):
+            return False
+        # Compare in whichever representation avoids materialization.
+        if self._instrs is None and other._instrs is None:
+            return self._columns == other._columns
+        return self.instrs == other.instrs
+
+    def __hash__(self) -> int:
+        return hash((self.lid, self.tid, self.start, len(self)))
+
+    def __repr__(self) -> str:
+        return (
+            f"Block(lid={self.lid}, tid={self.tid}, start={self.start}, "
+            f"len={len(self)})"
+        )
+
+    def __getstate__(self):
+        # Ship columns, never Instr objects: the columnar wire form is
+        # flat bytes, so pool tasks carry no per-event object graph.
+        return (self.lid, self.tid, self.start, self.columns)
+
+    def __setstate__(self, state) -> None:
+        self.lid, self.tid, self.start, self._columns = state
+        self._instrs = None
 
 
 class EpochPartition:

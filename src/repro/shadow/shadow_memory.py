@@ -3,11 +3,25 @@
 Mirrors the classic Valgrind/LBA layout: a first-level table indexes
 fixed-size second-level pages allocated on demand; untouched regions
 cost nothing.  Values default to ``default`` until written.
+
+Page backend: when numpy is available and the store only ever holds
+plain ``int`` metadata (the common case -- allocation bits, taint
+lattice codes), second-level pages are ``int64`` arrays, so burst
+``store_range``/``load_range`` spans move as single C-level slice
+operations.  The first store of a value an ``int64`` page cannot hold
+(an arbitrary object, a huge int) transparently degrades the whole
+store to plain-list pages; behavior is identical either way, and the
+``page_backend`` stat reports which engaged.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.columnar import HAVE_NUMPY, np
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
 
 
 class ShadowMemory:
@@ -26,7 +40,8 @@ class ShadowMemory:
             raise ValueError("page_size must be >= 1")
         self.page_size = page_size
         self.default = default
-        self._pages: Dict[int, List[Any]] = {}
+        self._pages: Dict[int, Any] = {}
+        self._vector = HAVE_NUMPY and self._fits(default)
         self.reads = 0
         self.writes = 0
         #: Observability counters: burst (range) accesses vs the
@@ -39,6 +54,20 @@ class ShadowMemory:
         self.burst_write_words = 0
         self.pages_allocated = 0
 
+    @staticmethod
+    def _fits(value: Any) -> bool:
+        """Whether ``value`` survives an int64 round trip unchanged.
+
+        ``bool`` is excluded: it would come back as ``0``/``1``.
+        """
+        return type(value) is int and _INT64_MIN <= value <= _INT64_MAX
+
+    def _degrade(self) -> None:
+        """Switch to list pages (a value int64 can't represent)."""
+        for pid, page in self._pages.items():
+            self._pages[pid] = page.tolist()
+        self._vector = False
+
     def _page_of(self, addr: int) -> Tuple[int, int]:
         return addr // self.page_size, addr % self.page_size
 
@@ -49,18 +78,27 @@ class ShadowMemory:
         page = self._pages.get(pid)
         if page is None:
             return self.default
+        if self._vector:
+            return int(page[off])
         return page[off]
 
     def store(self, addr: int, value: Any) -> None:
         """Write the metadata for ``addr`` (allocates its page)."""
         self.writes += 1
+        if self._vector and not self._fits(value):
+            self._degrade()
         pid, off = self._page_of(addr)
         page = self._pages.get(pid)
         if page is None:
-            page = [self.default] * self.page_size
+            page = self._new_page()
             self._pages[pid] = page
             self.pages_allocated += 1
         page[off] = value
+
+    def _new_page(self) -> Any:
+        if self._vector:
+            return np.full(self.page_size, self.default, dtype=np.int64)
+        return [self.default] * self.page_size
 
     def store_range(self, start: int, size: int, value: Any) -> None:
         """Write ``value`` over ``[start, start + size)``.
@@ -76,6 +114,9 @@ class ShadowMemory:
         self.writes += 1
         self.burst_writes += 1
         self.burst_write_words += size
+        if self._vector and not self._fits(value):
+            self._degrade()
+        vector = self._vector
         page_size = self.page_size
         pages = self._pages
         end = start + size
@@ -88,11 +129,19 @@ class ShadowMemory:
                 self.pages_allocated += 1
                 if span == page_size:
                     # Whole-page fast path: no fill-then-overwrite.
-                    pages[pid] = [value] * page_size
+                    if vector:
+                        pages[pid] = np.full(page_size, value, dtype=np.int64)
+                    else:
+                        pages[pid] = [value] * page_size
                 else:
-                    page = [self.default] * page_size
-                    page[off:off + span] = [value] * span
+                    page = self._new_page()
+                    if vector:
+                        page[off:off + span] = value
+                    else:
+                        page[off:off + span] = [value] * span
                     pages[pid] = page
+            elif vector:
+                page[off:off + span] = value
             else:
                 page[off:off + span] = [value] * span
             start += span
@@ -109,6 +158,7 @@ class ShadowMemory:
         self.reads += 1
         self.burst_reads += 1
         self.burst_read_words += size
+        vector = self._vector
         page_size = self.page_size
         pages = self._pages
         default = self.default
@@ -121,6 +171,8 @@ class ShadowMemory:
             page = pages.get(pid)
             if page is None:
                 out.extend([default] * span)
+            elif vector:
+                out.extend(page[off:off + span].tolist())
             else:
                 out.extend(page[off:off + span])
             start += span
@@ -149,11 +201,14 @@ class ShadowMemory:
             "pages_allocated": self.pages_allocated,
             "resident_pages": len(self._pages),
             "page_size": self.page_size,
+            "page_backend": "numpy" if self._vector else "list",
         }
 
     def emit_metrics(self, recorder: Any, prefix: str = "shadow") -> None:
         """Publish :meth:`stats` as gauges named ``<prefix>.<key>``."""
         for key, value in self.stats().items():
+            if isinstance(value, str):
+                continue
             recorder.gauge(f"{prefix}.{key}", value)
 
     def nonzero_items(self) -> Iterator[Tuple[int, Any]]:
@@ -161,6 +216,10 @@ class ShadowMemory:
         default (test/debug helper)."""
         for pid, page in sorted(self._pages.items()):
             base = pid * self.page_size
-            for off, value in enumerate(page):
-                if value != self.default:
-                    yield base + off, value
+            if self._vector:
+                for off in (page != self.default).nonzero()[0].tolist():
+                    yield base + off, int(page[off])
+            else:
+                for off, value in enumerate(page):
+                    if value != self.default:
+                        yield base + off, value

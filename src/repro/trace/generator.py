@@ -15,8 +15,21 @@ Two flavours:
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
+from repro.core.columnar import (
+    HAVE_NUMPY,
+    NO_DST,
+    OP_FREE,
+    OP_MALLOC,
+    OP_READ,
+    OP_WRITE,
+    ColumnarBlock,
+    ColumnBuilder,
+    np,
+)
+from repro.core.epoch import Block
+from repro.core.stream import EpochSource
 from repro.trace.events import Instr, Op
 from repro.trace.program import GlobalRef, ThreadTrace, TraceProgram
 
@@ -205,6 +218,162 @@ def _next_alloc_event(
     if alloc_locs:
         return Instr.free(rng.choice(alloc_locs))
     return Instr.nop()
+
+
+class ColumnarAllocSource(EpochSource):
+    """Columnar-native allocation workload for large-trace benchmarks.
+
+    Synthesizes an AddrCheck-style workload *directly as column
+    arrays*: no :class:`Instr` is ever created on this path, which is
+    what lets the bench measure the vector kernels against traces of
+    tens of millions of events without generator overhead dominating.
+
+    Shape: every thread's block holds ``events_per_block`` events --
+    mostly READ/WRITE over a preallocated pool of ``num_locations``
+    addresses (always legal), with a MALLOC/FREE pair of the thread's
+    private scratch location every ``change_period`` events (legal, and
+    isolation-silent because no other thread touches it).  With
+    ``error_rate`` > 0 a fraction of accesses target a never-allocated
+    location instead, each a guaranteed first-pass error.
+
+    Block ``(l, t)`` is a pure function of ``(seed, l, t)``, so
+    ``epochs(start)`` regenerates identical blocks on checkpoint
+    resume.  The numpy and pure-Python backends draw from different
+    RNGs (so their workloads differ event-for-event across
+    environments), but within one environment every consumer -- both
+    kernels, ``as_objects``, a stream dump -- sees the same trace.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        num_threads: int = 4,
+        num_epochs: int = 16,
+        events_per_block: int = 4096,
+        num_locations: int = 256,
+        change_period: int = 128,
+        error_rate: float = 0.0,
+    ) -> None:
+        if events_per_block < 1 or num_epochs < 0 or num_threads < 1:
+            raise ValueError("bad workload shape")
+        if change_period < 2:
+            raise ValueError("change_period must be >= 2")
+        self.seed = seed
+        self._num_threads = num_threads
+        self._num_epochs = num_epochs
+        self.events_per_block = events_per_block
+        self.num_locations = num_locations
+        self.change_period = change_period
+        self.error_rate = error_rate
+        #: One never-touched-by-others scratch location per thread.
+        self._scratch_base = num_locations
+        #: Accesses with injected errors hit this never-allocated slot.
+        self._bad_loc = num_locations + num_threads
+
+    @property
+    def num_threads(self) -> int:
+        return self._num_threads
+
+    @property
+    def num_epochs(self) -> Optional[int]:
+        return self._num_epochs
+
+    @property
+    def total_events(self) -> int:
+        return self._num_threads * self._num_epochs * self.events_per_block
+
+    @property
+    def preallocated(self) -> frozenset:
+        return frozenset(range(self.num_locations))
+
+    def _block_columns(self, lid: int, tid: int) -> ColumnarBlock:
+        h = self.events_per_block
+        scratch = self._scratch_base + tid
+        # Change slots: one every change_period events, alternating
+        # MALLOC/FREE.  Parity continues across blocks so the scratch
+        # location's allocation state stays consistent for any h.
+        per_block = h // self.change_period
+        start_parity = (lid * per_block) % 2
+        if HAVE_NUMPY:
+            rng = np.random.default_rng((self.seed, lid, tid))
+            is_write = rng.integers(0, 2, size=h, dtype=np.int64)
+            loc = rng.integers(0, self.num_locations, size=h, dtype=np.int64)
+            if self.error_rate > 0.0:
+                loc[rng.random(h) < self.error_rate] = self._bad_loc
+            ops = np.where(is_write, OP_WRITE, OP_READ).astype(np.uint8)
+            dst = np.where(is_write, loc, NO_DST)
+            change_pos = np.arange(
+                self.change_period - 1, h, self.change_period, dtype=np.int64
+            )
+            parities = (np.arange(change_pos.shape[0]) + start_parity) % 2
+            ops[change_pos] = np.where(parities == 0, OP_MALLOC, OP_FREE)
+            dst[change_pos] = scratch
+            is_read = ops == OP_READ
+            src_off = np.zeros(h + 1, dtype=np.int64)
+            np.cumsum(is_read.astype(np.int64), out=src_off[1:])
+            src_val = loc[is_read]
+            size = np.ones(h, dtype=np.int64)
+            return ColumnarBlock(h, ops, dst, size, src_off, src_val)
+        rng_py = random.Random((self.seed + 1) * 1_000_003 + lid * 8191 + tid)
+        builder = ColumnBuilder()
+        parity = start_parity
+        for i in range(h):
+            if (i + 1) % self.change_period == 0:
+                code = OP_MALLOC if parity == 0 else OP_FREE
+                builder.emit(code, dst=scratch)
+                parity ^= 1
+                continue
+            if self.error_rate > 0.0 and rng_py.random() < self.error_rate:
+                x = self._bad_loc
+            else:
+                x = rng_py.randrange(self.num_locations)
+            if rng_py.random() < 0.5:
+                builder.emit(OP_WRITE, dst=x)
+            else:
+                builder.emit(OP_READ, srcs=(x,))
+        return builder.freeze()
+
+    def epochs(self, start: int = 0) -> Iterator[List[Block]]:
+        h = self.events_per_block
+        for lid in range(start, self._num_epochs):
+            yield [
+                Block(lid, tid, lid * h, columns=self._block_columns(lid, tid))
+                for tid in range(self._num_threads)
+            ]
+
+    def as_objects(self) -> "_ObjectView":
+        """The same workload with object-backed blocks (reference path).
+
+        Materialization cost is charged to the consumer, exactly as the
+        pre-columnar pipeline paid it at generation time.
+        """
+        return _ObjectView(self)
+
+
+class _ObjectView(EpochSource):
+    """Object-backed view of a :class:`ColumnarAllocSource`."""
+
+    def __init__(self, source: ColumnarAllocSource) -> None:
+        self._source = source
+
+    @property
+    def num_threads(self) -> int:
+        return self._source.num_threads
+
+    @property
+    def num_epochs(self) -> Optional[int]:
+        return self._source.num_epochs
+
+    @property
+    def preallocated(self) -> frozenset:
+        return self._source.preallocated
+
+    def epochs(self, start: int = 0) -> Iterator[List[Block]]:
+        for row in self._source.epochs(start):
+            yield [
+                Block(b.lid, b.tid, b.start, b.columns.to_instrs())
+                for b in row
+            ]
 
 
 def simulated_taint_program(

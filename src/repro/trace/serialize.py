@@ -31,6 +31,7 @@ import json
 from pathlib import Path
 from typing import IO, Iterator, List, Optional, Union
 
+from repro.core.columnar import ColumnarBlock, RowDecodeError
 from repro.core.epoch import Block, EpochPartition
 from repro.core.stream import EpochSource
 from repro.errors import TraceError
@@ -234,7 +235,12 @@ def dump_stream(partition: EpochPartition, fp: IO[str]) -> None:
             "epoch": lid,
             "starts": [block.start for block in row],
             "blocks": [
-                [_encode_instr(i) for i in block.instrs] for block in row
+                # Columnar-backed blocks encode straight from their
+                # columns; only object-backed blocks walk Instr objects.
+                block.columns.to_rows()
+                if block.has_columns
+                else [_encode_instr(i) for i in block.instrs]
+                for block in row
             ],
         }
         fp.write(json.dumps(record) + "\n")
@@ -317,11 +323,17 @@ def _decode_epoch_row(
                 f"{name}:{lineno}: epoch {lid} thread {tid}: malformed "
                 f"block record"
             )
+        # Fast path: decode raw rows straight into columns, so streamed
+        # epochs reach the engine without materializing one Instr.  The
+        # validation (and the error text) matches _decode_instr.
         try:
-            instrs = tuple(_decode_instr(r) for r in raw)
-        except TraceError as exc:
-            raise TraceError(f"{name}:{lineno}: {exc}") from None
-        row.append(Block(lid, tid, start, instrs))
+            cols = ColumnarBlock.from_rows(raw)
+        except RowDecodeError as exc:
+            raise TraceError(
+                f"{name}:{lineno}: malformed instruction record: "
+                f"{exc.row!r}"
+            ) from None
+        row.append(Block(lid, tid, start, columns=cols))
     return row
 
 

@@ -32,6 +32,13 @@ codebase's own contracts) promises:
     stream file and fed to the engine one epoch at a time; errors,
     stats, and normalized event logs must be bit-identical, and the
     engine's resident window must respect the three-epoch bound.
+``columnar``
+    Columnar-backed blocks (and, for AddrCheck, the vectorized scan
+    kernel they select) vs. object-backed blocks with the per-``Instr``
+    kernel forced, on serial and concurrent backends: errors, stats and
+    normalized event logs must be bit-identical.  For TaintCheck this
+    doubles as a losslessness proof of the columnar round trip, since
+    its scanner materializes ``block.instrs`` from the columns.
 
 Each check returns ``None`` on agreement (or when inapplicable) and a
 human-readable diagnosis string on disagreement; the diagnosis string
@@ -46,8 +53,11 @@ import tempfile
 import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.columnar import ColumnarBlock
+from repro.core.epoch import Block, EpochPartition
 from repro.core.framework import ButterflyEngine
 from repro.core.ordering import all_valid_orderings
+from repro.core.stream import EpochSource
 from repro.errors import ResilienceError
 from repro.lifeguards.addrcheck import ButterflyAddrCheck
 from repro.lifeguards.sequential import (
@@ -63,7 +73,44 @@ from repro.trace.serialize import iter_load, save_stream_file
 from repro.verify.generator import TraceCase
 
 #: The full mode-pair matrix, in the order ``repro fuzz`` reports it.
-MODE_NAMES = ("orderings", "optref", "backends", "faults", "resume", "stream")
+MODE_NAMES = (
+    "orderings",
+    "optref",
+    "backends",
+    "faults",
+    "resume",
+    "stream",
+    "columnar",
+)
+
+
+class _ColumnarCaseSource(EpochSource):
+    """A case's partition re-backed by columnar blocks, as a source."""
+
+    def __init__(self, partition: EpochPartition) -> None:
+        self._partition = partition
+
+    @property
+    def num_threads(self) -> int:
+        return self._partition.num_threads
+
+    @property
+    def num_epochs(self) -> int:
+        return self._partition.num_epochs
+
+    @property
+    def preallocated(self) -> frozenset:
+        return frozenset(self._partition.program.preallocated)
+
+    def epochs(self, start: int = 0):
+        for lid in range(start, self._partition.num_epochs):
+            yield [
+                Block(
+                    b.lid, b.tid, b.start,
+                    columns=ColumnarBlock.from_instrs(b.instrs),
+                )
+                for b in self._partition.epoch_blocks(lid)
+            ]
 
 
 class Disagreement:
@@ -441,6 +488,48 @@ class DifferentialHarness:
                 f"streamed run violated the window bound: peak "
                 f"{engine.window_high_water} resident summaries > {bound}"
             )
+        return None
+
+    def check_columnar(self, case: TraceCase) -> Optional[str]:
+        """Columnar-backed blocks (vector kernel) vs. object-backed
+        blocks (per-``Instr`` kernel), serial and concurrent."""
+        obj_kw = (
+            {"use_columnar_kernel": False}
+            if case.lifeguard == "addrcheck"
+            else {}
+        )
+        obj_guard = _guards_for(case, **obj_kw)
+        obj_rec = Recorder()
+        obj_engine, _ = _run(case, obj_guard, recorder=obj_rec)
+        ref_ids = _identities(obj_guard)
+        ref_events = normalize_events(obj_rec.events)
+
+        for backend in ("serial", self.backend):
+            col_guard = _guards_for(case)
+            col_rec = Recorder()
+            engine = ButterflyEngine(
+                col_guard, backend=backend, recorder=col_rec
+            )
+            try:
+                engine.run_source(_ColumnarCaseSource(case.partition()))
+            finally:
+                engine.close()
+            if _identities(col_guard) != ref_ids:
+                return (
+                    f"columnar run ({backend}) diverged in errors: "
+                    f"{_first_diff(ref_ids, _identities(col_guard))}"
+                )
+            if engine.stats != obj_engine.stats:
+                return (
+                    f"columnar run ({backend}) diverged in stats: "
+                    f"object={obj_engine.stats} columnar={engine.stats}"
+                )
+            col_events = normalize_events(col_rec.events)
+            if col_events != ref_events:
+                return (
+                    f"columnar run ({backend}) diverged in normalized "
+                    f"event logs: {_first_diff(ref_events, col_events)}"
+                )
         return None
 
 

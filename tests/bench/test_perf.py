@@ -4,15 +4,20 @@ import json
 
 from repro.bench.perf import run_perf
 from repro.cli import main
+from repro.core.columnar import HAVE_NUMPY
 from repro.obs import read_events
+
+# The columnar_10m workload at its 10M-event default takes minutes;
+# every shape test disables it (0 skips the workload entirely) and
+# TestColumnar10m exercises it at a small event count instead.
 
 
 class TestRunPerf:
     def test_report_shape_and_json_output(self, tmp_path):
         out = tmp_path / "BENCH_test.json"
-        report = run_perf(repeats=1, output_path=str(out))
+        report = run_perf(repeats=1, output_path=str(out), big_events=0)
 
-        assert report["schema"] == 4
+        assert report["schema"] == 5
         assert set(report["workloads"]) == {
             "microbench_core",
             "reaching_defs",
@@ -40,7 +45,7 @@ class TestRunPerf:
 
     def test_engine_stats_identical_across_configs(self, tmp_path):
         """Reference, optimized, and every backend do the same work."""
-        report = run_perf(repeats=1)
+        report = run_perf(repeats=1, big_events=0)
         runs = report["workloads"]["microbench_core"]["runs"]
         ref = runs["reference_serial"]
         for name, entry in runs.items():
@@ -51,7 +56,7 @@ class TestRunPerf:
         """The schema-2 ``per_epoch`` section must agree with the timed
         runs: same epoch count, instruction totals, and final cumulative
         error count."""
-        report = run_perf(repeats=1)
+        report = run_perf(repeats=1, big_events=0)
         core = report["workloads"]["microbench_core"]
         per_epoch = core["per_epoch"]
         stats = core["runs"]["optimized_serial"]["engine_stats"]
@@ -70,49 +75,92 @@ class TestRunPerf:
 
     def test_events_path_captures_instrumented_replay(self, tmp_path):
         events_file = tmp_path / "bench_events.jsonl"
-        run_perf(repeats=1, events_path=str(events_file))
+        run_perf(repeats=1, events_path=str(events_file), big_events=0)
         events = read_events(str(events_file))
         names = {ev["ev"] for ev in events}
         assert {"run.attach", "pass.first", "pass.second",
                 "epoch.summary", "run.finish"} <= names
 
     def test_observability_overhead_entry(self):
-        report = run_perf(repeats=1)
+        report = run_perf(repeats=1, big_events=0)
         obs = report["workloads"]["observability_overhead"]
         assert set(obs["runs"]) == {"disabled", "enabled"}
         assert obs["overhead_ratio"] > 0
 
     def test_resilience_overhead_entry(self):
-        report = run_perf(repeats=1)
+        report = run_perf(repeats=1, big_events=0)
         res = report["workloads"]["resilience_overhead"]
         assert set(res["runs"]) == {"bare_serial", "supervised_serial"}
         assert res["overhead_ratio"] > 0
 
     def test_streaming_overhead_entry(self):
-        report = run_perf(repeats=1)
+        report = run_perf(repeats=1, big_events=0)
         st = report["workloads"]["streaming_overhead"]
         assert set(st["runs"]) == {"materialized", "streamed"}
         assert st["overhead_ratio"] > 0
         assert 0 < st["window_high_water"] <= st["window_bound"]
 
     def test_streaming_overhead_file_run(self):
-        report = run_perf(repeats=1, stream_file=True)
+        report = run_perf(repeats=1, stream_file=True, big_events=0)
         st = report["workloads"]["streaming_overhead"]
         assert "stream_file" in st["runs"]
         assert st["runs"]["stream_file"]["best_s"] > 0
 
     def test_resilience_overhead_faulted_run(self):
-        report = run_perf(repeats=1, inject_faults="crash=0.05,seed=7")
+        report = run_perf(
+            repeats=1, inject_faults="crash=0.05,seed=7", big_events=0
+        )
         res = report["workloads"]["resilience_overhead"]
         assert "faulted_serial" in res["runs"]
         assert res["params"]["inject_faults"] == "crash=0.05,seed=7"
 
 
+class TestColumnar10m:
+    def test_small_scale_runs_and_speedups(self):
+        """The columnar workload (scaled down to stay fast) measures all
+        four configurations in isolated subprocesses and reports the
+        speedup ratios the acceptance criteria read."""
+        from repro.bench.perf import _bench_columnar_10m
+
+        entry = _bench_columnar_10m(40_000)
+        if not HAVE_NUMPY:
+            assert "skipped" in entry
+            return
+        assert set(entry["runs"]) == {
+            "object_reference",
+            "object_optimized",
+            "columnar_serial",
+            "columnar_processes",
+        }
+        ref = entry["runs"]["object_reference"]
+        for name, run in entry["runs"].items():
+            assert run["elapsed_s"] > 0, name
+            assert run["peak_rss_kb"] > 0, name
+            assert run["events"] == entry["params"]["total_events"], name
+            # Every config does identical analysis work.
+            assert run["engine_stats"] == ref["engine_stats"], name
+            assert run["errors"] == ref["errors"], name
+        assert set(entry["speedups"]) == {
+            "columnar_serial_vs_reference",
+            "columnar_serial_vs_object_optimized",
+            "columnar_processes_vs_reference",
+            "columnar_processes_vs_object_optimized",
+        }
+        assert all(v > 0 for v in entry["speedups"].values())
+
+
 class TestBenchCLI:
     def test_bench_subcommand_writes_report(self, tmp_path, capsys):
         out = tmp_path / "BENCH_cli.json"
-        rc = main(["bench", "--output", str(out), "--repeats", "1"])
+        rc = main(["bench", "--output", str(out), "--repeats", "1",
+                   "--big-events", "0"])
         assert rc == 0
         report = json.loads(out.read_text())
         assert "microbench_core" in report["workloads"]
         assert "vs reference serial" in capsys.readouterr().out
+
+    def test_bench_rejects_negative_big_events(self, tmp_path, capsys):
+        rc = main(["bench", "--output", str(tmp_path / "x.json"),
+                   "--big-events", "-1"])
+        assert rc != 0
+        assert "--big-events" in capsys.readouterr().err

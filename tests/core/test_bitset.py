@@ -2,7 +2,14 @@
 
 import random
 
-from repro.core.bitset import BitInterner, popcount
+from repro.core.bitset import (
+    BitInterner,
+    _compose_mask,
+    mask_from_words,
+    mask_to_words,
+    popcount,
+    popcount_words,
+)
 
 
 class TestPopcount:
@@ -80,3 +87,46 @@ class TestBitInterner:
             assert set(bits.decode(m1 | m2)) == s1 | s2
             assert set(bits.decode(m1 & m2)) == s1 & s2
             assert popcount(m1) == len(s1)
+
+    def test_wide_masks_cross_vector_threshold(self):
+        """Masks past the vector threshold (>= 64 bits) must behave
+        exactly like narrow ones: ``mask``/``decode`` take the numpy
+        fast path there when available."""
+        bits = BitInterner()
+        elements = set(range(0, 2000, 7))
+        mask = bits.mask(elements)
+        assert popcount(mask) == len(elements)
+        decoded = bits.decode(mask)
+        assert set(decoded) == elements
+        # Ascending bit order == interning order (sorted fresh intern).
+        assert decoded == sorted(elements)
+
+
+class TestComposeMask:
+    def test_matches_shift_or(self):
+        rng = random.Random(5)
+        for size in (0, 1, 63, 64, 65, 300):
+            positions = list({rng.randrange(2048) for _ in range(size)})
+            expected = 0
+            for p in positions:
+                expected |= 1 << p
+            assert _compose_mask(positions) == expected
+
+    def test_duplicate_positions(self):
+        assert _compose_mask([3, 3, 3]) == 0b1000
+
+
+class TestWireWords:
+    def test_round_trip(self):
+        rng = random.Random(9)
+        masks = [0, 1, (1 << 63), (1 << 64) - 1, (1 << 1000) | 5]
+        masks += [rng.getrandbits(500) for _ in range(20)]
+        for mask in masks:
+            words = mask_to_words(mask)
+            assert len(words) % 8 == 0
+            assert mask_from_words(words) == mask
+            assert popcount_words(words) == popcount(mask)
+
+    def test_empty(self):
+        assert mask_from_words(b"") == 0
+        assert popcount_words(b"") == 0

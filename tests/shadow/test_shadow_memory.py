@@ -195,3 +195,96 @@ class TestRangeDifferential:
         shadow.store_range(4, 4, "a")  # exactly page 1
         shadow.store(5, "b")
         assert shadow.load_range(4, 4) == ["a", "b", "a", "a"]
+
+
+class TestPageBackend:
+    """Numpy int64 pages with transparent degradation to list pages."""
+
+    def test_backend_stat_reflects_environment(self):
+        from repro.core.columnar import HAVE_NUMPY
+
+        shadow = ShadowMemory(default=0)
+        expected = "numpy" if HAVE_NUMPY else "list"
+        assert shadow.stats()["page_backend"] == expected
+
+    def test_non_int_default_uses_list_pages(self):
+        shadow = ShadowMemory(default=None)
+        assert shadow.stats()["page_backend"] == "list"
+        shadow.store(3, "x")
+        assert shadow.load(3) == "x"
+        assert shadow.load(4) is None
+
+    def test_bool_default_uses_list_pages(self):
+        # bool would come back 0/1 from an int64 page.
+        shadow = ShadowMemory(default=False)
+        assert shadow.stats()["page_backend"] == "list"
+        shadow.store(0, True)
+        assert shadow.load(0) is True
+
+    def test_loads_return_plain_ints(self):
+        shadow = ShadowMemory(page_size=8, default=0)
+        shadow.store(5, 7)
+        shadow.store_range(6, 4, 9)
+        assert type(shadow.load(5)) is int
+        for v in shadow.load_range(0, 16):
+            assert type(v) is int
+        for _, v in shadow.nonzero_items():
+            assert type(v) is int
+
+    def test_degrades_on_unrepresentable_store(self):
+        from repro.core.columnar import HAVE_NUMPY
+
+        shadow = ShadowMemory(page_size=8, default=0)
+        shadow.store_range(0, 12, 3)
+        before = shadow.stats()["page_backend"]
+        assert before == ("numpy" if HAVE_NUMPY else "list")
+        shadow.store(2, "tag")  # not int64-representable
+        assert shadow.stats()["page_backend"] == "list"
+        # Pre-degradation contents survive the conversion.
+        assert shadow.load(2) == "tag"
+        assert shadow.load(0) == 3 and shadow.load(11) == 3
+        assert shadow.load_range(0, 12) == [3, 3, "tag"] + [3] * 9
+
+    def test_degrades_on_huge_int(self):
+        shadow = ShadowMemory(page_size=4, default=0)
+        shadow.store(0, 1)
+        big = 2**80
+        shadow.store(1, big)
+        assert shadow.stats()["page_backend"] == "list"
+        assert shadow.load(1) == big
+        assert shadow.load(0) == 1
+
+    def test_degrades_on_range_store(self):
+        shadow = ShadowMemory(page_size=4, default=0)
+        shadow.store_range(0, 6, 2**70)
+        assert shadow.stats()["page_backend"] == "list"
+        assert shadow.load_range(0, 6) == [2**70] * 6
+
+    def test_behavior_identical_across_backends(self):
+        """Differential: the same operation sequence against an
+        int-defaulted store (vector-eligible) and a list-forced store
+        must read back identically."""
+        rng = random.Random(23)
+        vec = ShadowMemory(page_size=16, default=0)
+        ref = ShadowMemory(page_size=16, default=0)
+        ref._degrade()  # force list pages from the start
+        for _ in range(300):
+            op = rng.randrange(3)
+            addr = rng.randrange(200)
+            if op == 0:
+                value = rng.randrange(-5, 6)
+                vec.store(addr, value)
+                ref.store(addr, value)
+            elif op == 1:
+                size = rng.randrange(1, 40)
+                value = rng.randrange(-5, 6)
+                vec.store_range(addr, size, value)
+                ref.store_range(addr, size, value)
+            else:
+                size = rng.randrange(1, 40)
+                assert vec.load_range(addr, size) == ref.load_range(
+                    addr, size
+                )
+        assert list(vec.nonzero_items()) == list(ref.nonzero_items())
+        for addr in range(250):
+            assert vec.load(addr) == ref.load(addr)

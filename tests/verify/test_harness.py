@@ -85,3 +85,32 @@ class TestApplicability:
     def test_unknown_mode_rejected(self):
         with pytest.raises(ValueError, match="unknown mode"):
             DifferentialHarness(modes=("orderings", "nonsense"))
+
+
+class TestColumnarMode:
+    def test_columnar_checks_every_case(self):
+        # columnar-vs-object applies unconditionally: running the same
+        # case from columnar-backed blocks (vector kernels engaged where
+        # available) must be invisible in every output.
+        harness = DifferentialHarness(modes=("columnar",))
+        gen = AdversarialCaseGenerator(29)
+        for i in range(10):
+            assert harness.run_case(gen.case(i)) == []
+        assert harness.checks_run["columnar"] == 10
+        assert harness.skipped["columnar"] == 0
+
+    def test_columnar_covers_all_lifeguards(self):
+        harness = DifferentialHarness(modes=("columnar",))
+        for lifeguard in ("addrcheck", "taintcheck", "racecheck"):
+            case = _case(
+                [[Instr.write(0), Instr.read(0)], [Instr.read(0)]],
+                [[1, 2], [1, 1]],
+                lifeguard=lifeguard,
+            )
+            assert harness.run_case(case) == []
+
+    def test_columnar_threads_backend(self):
+        harness = DifferentialHarness(modes=("columnar",), backend="threads")
+        gen = AdversarialCaseGenerator(31)
+        for i in range(5):
+            assert harness.run_case(gen.case(i)) == []
