@@ -1,4 +1,4 @@
-"""Isolated runner for the 10M-event columnar BENCH workload.
+"""Isolated runner for the 10M-event columnar BENCH workloads.
 
 Peak RSS (``ru_maxrss``) is process-monotonic: once any config touches
 N MB, every later measurement in the same process reads >= N MB.  To
@@ -7,7 +7,8 @@ report an honest per-configuration peak, each config runs in a fresh
 JSON result; :func:`run_isolated` is the parent-side wrapper
 ``repro.bench.perf`` fans configs out with.
 
-Configurations (all over the same :class:`ColumnarAllocSource` trace):
+AddrCheck configurations (all over the same
+:class:`ColumnarAllocSource` trace):
 
 ``object_reference``
     Object-backed blocks, ``optimized=False`` -- the original
@@ -21,6 +22,17 @@ Configurations (all over the same :class:`ColumnarAllocSource` trace):
     Columnar blocks, vectorized kernels, process-pool first pass --
     pool tasks carry packed column bytes, never ``Instr`` objects or
     interner state.
+
+TaintCheck configurations (over the same :class:`ColumnarTaintSource`
+trace):
+
+``taint_object``
+    Object-backed blocks with the per-``Instr`` scanner forced -- the
+    pre-vectorization TaintCheck path, the denominator of the >=3x
+    claim.
+``taint_columnar_serial`` / ``taint_columnar_processes``
+    Columnar blocks, the vectorized TaintCheck scanner, serial vs.
+    process-pool first pass.
 """
 
 from __future__ import annotations
@@ -39,39 +51,66 @@ CONFIG_NAMES = (
     "columnar_processes",
 )
 
+TAINT_CONFIG_NAMES = (
+    "taint_object",
+    "taint_columnar_serial",
+    "taint_columnar_processes",
+)
+
 
 def run_config(params: Dict[str, Any]) -> Dict[str, Any]:
     """Run one configuration in-process and return its measurements."""
     from repro.core.framework import ButterflyEngine
     from repro.lifeguards.addrcheck import ButterflyAddrCheck
-    from repro.trace.generator import ColumnarAllocSource
+    from repro.lifeguards.taintcheck import ButterflyTaintCheck
+    from repro.trace.generator import ColumnarAllocSource, ColumnarTaintSource
 
     config = params["config"]
-    if config not in CONFIG_NAMES:
-        raise ValueError(f"unknown config {config!r}")
-    source = ColumnarAllocSource(
-        seed=params.get("seed", 7),
-        num_threads=params.get("num_threads", 4),
-        num_epochs=params.get("num_epochs", 25),
-        events_per_block=params.get("events_per_block", 100_000),
-        num_locations=params.get("num_locations", 1024),
-        change_period=params.get("change_period", 512),
-        error_rate=params.get("error_rate", 0.0),
-    )
-    guard_kw: Dict[str, Any] = {"initially_allocated": source.preallocated}
-    backend = "serial"
-    if config == "object_reference":
-        view = source.as_objects()
-        guard_kw["optimized"] = False
-    elif config == "object_optimized":
-        view = source.as_objects()
-        guard_kw["use_columnar_kernel"] = False
+    if config in TAINT_CONFIG_NAMES:
+        source = ColumnarTaintSource(
+            seed=params.get("seed", 7),
+            num_threads=params.get("num_threads", 4),
+            num_epochs=params.get("num_epochs", 25),
+            events_per_block=params.get("events_per_block", 100_000),
+            num_locations=params.get("num_locations", 1024),
+            taint_period=params.get("taint_period", 512),
+            error_rate=params.get("error_rate", 0.0),
+        )
+        guard_kw: Dict[str, Any] = {}
+        backend = "serial"
+        if config == "taint_object":
+            view = source.as_objects()
+            guard_kw["use_columnar_kernel"] = False
+        else:
+            view = source
+            if config == "taint_columnar_processes":
+                backend = "processes"
+        guard = ButterflyTaintCheck(**guard_kw)
+    elif config in CONFIG_NAMES:
+        source = ColumnarAllocSource(
+            seed=params.get("seed", 7),
+            num_threads=params.get("num_threads", 4),
+            num_epochs=params.get("num_epochs", 25),
+            events_per_block=params.get("events_per_block", 100_000),
+            num_locations=params.get("num_locations", 1024),
+            change_period=params.get("change_period", 512),
+            error_rate=params.get("error_rate", 0.0),
+        )
+        guard_kw = {"initially_allocated": source.preallocated}
+        backend = "serial"
+        if config == "object_reference":
+            view = source.as_objects()
+            guard_kw["optimized"] = False
+        elif config == "object_optimized":
+            view = source.as_objects()
+            guard_kw["use_columnar_kernel"] = False
+        else:
+            view = source
+            if config == "columnar_processes":
+                backend = "processes"
+        guard = ButterflyAddrCheck(**guard_kw)
     else:
-        view = source
-        if config == "columnar_processes":
-            backend = "processes"
-
-    guard = ButterflyAddrCheck(**guard_kw)
+        raise ValueError(f"unknown config {config!r}")
     t0 = time.perf_counter()
     with ButterflyEngine(guard, backend=backend) as engine:
         stats = engine.run_source(view)

@@ -39,6 +39,13 @@ Workloads:
   speedups the PR-6 acceptance criteria gate on.  Skipped (with a
   reason) when numpy is unavailable.
 
+- ``taint_columnar_10m`` -- the TaintCheck analog: a READ-heavy
+  :class:`ColumnarTaintSource` trace of the same size run under the
+  ``taint_*`` bigtrace configurations (object scanner forced vs. the
+  vectorized columnar scanner, serial and process-pool), again one
+  subprocess per config.  Records the >=3x first-pass speedup the PR-7
+  acceptance criteria gate on.  Skipped when numpy is unavailable.
+
 Read a ``BENCH_*.json`` as: ``runs.<name>.best_s`` is the best-of-N
 wall time in seconds (N = ``repeats``), ``engine_stats`` the exact work
 counters of that run (identical across backends by design), and
@@ -47,7 +54,8 @@ optimized-serial best.  Since schema 2 the ``microbench_core`` entry
 also carries ``per_epoch``: deterministic per-epoch rows (instructions,
 meets, error attribution) from one instrumented replay.  Schema 3 adds
 the ``resilience_overhead`` workload; schema 4 adds
-``streaming_overhead``; schema 5 adds ``columnar_10m``.
+``streaming_overhead``; schema 5 adds ``columnar_10m``; schema 6 adds
+``taint_columnar_10m``.
 """
 
 from __future__ import annotations
@@ -395,6 +403,58 @@ def _bench_columnar_10m(big_events: int) -> Dict[str, Any]:
     return result
 
 
+def _bench_taint_columnar_10m(big_events: int) -> Dict[str, Any]:
+    """TaintCheck columnar vs. object scanners on a large READ-heavy
+    trace, per-config subprocess RSS (see :mod:`repro.bench.bigtrace`)."""
+    from repro.core.columnar import HAVE_NUMPY
+    from repro.bench.bigtrace import TAINT_CONFIG_NAMES, run_isolated
+
+    num_threads = 4
+    num_epochs = 25
+    events_per_block = max(1, big_events // (num_threads * num_epochs))
+    params = {
+        "seed": 7,
+        "num_threads": num_threads,
+        "num_epochs": num_epochs,
+        "events_per_block": events_per_block,
+        "num_locations": 1024,
+        "taint_period": 512,
+        "error_rate": 0.0,
+    }
+    result: Dict[str, Any] = {
+        "description": (
+            "vectorized vs object TaintCheck scanners on a READ-heavy "
+            "generated trace (one subprocess per config; peak RSS is "
+            "per-config)"
+        ),
+        "params": dict(params, total_events=(
+            num_threads * num_epochs * events_per_block
+        )),
+    }
+    if not HAVE_NUMPY:
+        result["skipped"] = (
+            "numpy unavailable; the columnar configs would fall back to "
+            "the scalar kernels and measure nothing"
+        )
+        return result
+    runs: Dict[str, Any] = {}
+    for config in TAINT_CONFIG_NAMES:
+        runs[config] = run_isolated(dict(params, config=config))
+    result["runs"] = runs
+    reference = runs["taint_object"]["elapsed_s"]
+    serial = runs["taint_columnar_serial"]["elapsed_s"]
+    processes = runs["taint_columnar_processes"]["elapsed_s"]
+    result["speedups"] = {
+        "taint_columnar_serial_vs_object": reference / serial,
+        "taint_columnar_processes_vs_object": reference / processes,
+    }
+    result["rss_ratio_columnar_vs_object"] = (
+        runs["taint_columnar_serial"]["peak_rss_kb"]
+        / runs["taint_object"]["peak_rss_kb"]
+    )
+    return result
+
+
 def _bench_reaching_defs(repeats: int) -> Dict[str, Any]:
     partition = _core_partition()
     runs: Dict[str, Any] = {}
@@ -465,8 +525,9 @@ def run_perf(
     JSONL event log (the run feeding the ``per_epoch`` section);
     ``inject_faults`` adds a faulted run to ``resilience_overhead``;
     ``stream_file`` adds an on-disk run to ``streaming_overhead``;
-    ``big_events`` sizes the ``columnar_10m`` workload (0 skips it --
-    the full 10M-event default takes minutes on the object paths).
+    ``big_events`` sizes the ``columnar_10m`` and ``taint_columnar_10m``
+    workloads (0 skips them -- the full 10M-event default takes minutes
+    on the object paths).
     """
     workloads = {
         "microbench_core": _bench_microbench_core(repeats, events_path),
@@ -482,8 +543,11 @@ def run_perf(
     }
     if big_events > 0:
         workloads["columnar_10m"] = _bench_columnar_10m(big_events)
+        workloads["taint_columnar_10m"] = _bench_taint_columnar_10m(
+            big_events
+        )
     report: Dict[str, Any] = {
-        "schema": 5,
+        "schema": 6,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "cpu_count": os.cpu_count(),

@@ -46,7 +46,7 @@ except AttributeError:  # pragma: no cover - Python 3.9 fallback
 _VECTOR_MIN_BITS = 64
 
 
-def _compose_mask(bits: List[int]) -> int:
+def compose_mask(bits: List[int]) -> int:
     """OR together ``1 << b`` for every position in ``bits``.
 
     The naive loop is quadratic in mask width: each ``out |= 1 << b``
@@ -144,7 +144,7 @@ class BitInterner:
             fresh.sort(key=sort_key)
             for e in fresh:
                 bits.append(self.bit(e))
-        return _compose_mask(bits)
+        return compose_mask(bits)
 
     def decode(self, mask: int) -> List[Any]:
         """The elements of ``mask``, in ascending bit order."""
@@ -177,3 +177,7 @@ class BitInterner:
             "misses": self.misses,
             "hit_rate": self.hits / lookups if lookups else 0.0,
         }
+
+
+#: Backwards-compatible alias (pre-public name).
+_compose_mask = compose_mask

@@ -77,7 +77,10 @@ OP_WRITE = OP_CODES[Op.WRITE]
 OP_MALLOC = OP_CODES[Op.MALLOC]
 OP_FREE = OP_CODES[Op.FREE]
 OP_ASSIGN = OP_CODES[Op.ASSIGN]
+OP_TAINT = OP_CODES[Op.TAINT]
+OP_UNTAINT = OP_CODES[Op.UNTAINT]
 OP_JUMP = OP_CODES[Op.JUMP]
+OP_NOP = OP_CODES[Op.NOP]
 
 #: Sentinel encoding ``dst=None`` (int64 minimum; never a real location).
 NO_DST = -(2**63)
@@ -250,6 +253,38 @@ class ColumnarBlock:
                 size=sizes[i],
             )
             for i in range(self.length)
+        )
+
+    def gather(self, idx) -> Tuple[List[int], List[int], List[int], List[int]]:
+        """CSR-gather the rows at ``idx`` (a sorted numpy index array).
+
+        Returns ``(codes, dsts, bounds, flat_srcs)`` as plain Python
+        lists, where row ``k``'s sources are
+        ``flat_srcs[bounds[k]:bounds[k + 1]]``.  This is the shared
+        selection step of every vector kernel (AddrCheck, TaintCheck,
+        the dataflow summarizer): one LUT pass picks the relevant rows,
+        one gather materializes just those rows' fields, and only the
+        (typically sparse) selection is ever touched from Python.
+        Numpy path only -- pure-Python callers iterate the columns
+        directly.
+        """
+        src_off = np.asarray(self.src_off)
+        lo = src_off[idx]
+        counts = src_off[idx + 1] - lo
+        out_off = np.zeros(idx.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=out_off[1:])
+        total = int(out_off[-1])
+        if total:
+            flat = np.repeat(lo - out_off[:-1], counts)
+            flat += np.arange(total, dtype=np.int64)
+            flat_srcs = np.asarray(self.src_val)[flat].tolist()
+        else:
+            flat_srcs = []
+        return (
+            np.asarray(self.op)[idx].tolist(),
+            np.asarray(self.dst)[idx].tolist(),
+            out_off.tolist(),
+            flat_srcs,
         )
 
     def to_rows(self) -> List[list]:

@@ -78,10 +78,28 @@ class SOSHistory:
         prev = self._states[self._frontier]
         survivors = {e for e in prev if not killed(e)}
         survivors |= gen
-        state = frozenset(survivors)
-        self._states[target] = state
+        return self.publish(summarized_epoch, survivors)
+
+    def publish(
+        self, summarized_epoch: int, state: Set[Element]
+    ) -> FrozenSet[Element]:
+        """Publish a precomputed ``SOS_{summarized_epoch + 2}``.
+
+        The escape hatch for analyses that evaluate the update rule in
+        closed form (e.g. as interned-bitset word operations) instead of
+        enumerating the previous state against a KILL predicate; the
+        same in-order invariant applies.
+        """
+        target = summarized_epoch + 2
+        if target != self._frontier + 1:
+            raise AnalysisError(
+                f"SOS must advance in order: next is SOS_{self._frontier + 1}, "
+                f"got SOS_{target}"
+            )
+        frozen = frozenset(state)
+        self._states[target] = frozen
         self._frontier = target
-        return state
+        return frozen
 
     def evict(self, before: int) -> None:
         """Drop published states for epochs ``< before``.

@@ -33,12 +33,34 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
+from repro.core.columnar import (
+    HAVE_NUMPY,
+    NO_DST,
+    OP_ASSIGN,
+    OP_JUMP,
+    OP_TAINT,
+    OP_UNTAINT,
+    OP_WRITE,
+    np,
+)
 from repro.core.epoch import Block, BlockId, InstrId
 from repro.core.framework import ButterflyAnalysis
 from repro.core.state import SOSHistory
 from repro.core.window import Butterfly
 from repro.lifeguards.reports import ErrorKind, ErrorLog, ErrorReport
 from repro.trace.events import Instr, Op
+
+if HAVE_NUMPY:
+    #: Events that produce taint metadata (transfer-function rules) or
+    #: critical uses; everything else -- READ/MALLOC/FREE/NOP, the bulk
+    #: of realistic traces -- is invisible to the taint first pass and
+    #: the vector kernel skips it wholesale.
+    _TAINT_EVENT_LUT = np.zeros(256, dtype=bool)
+    _TAINT_EVENT_LUT[[OP_TAINT, OP_UNTAINT, OP_WRITE, OP_ASSIGN, OP_JUMP]] = (
+        True
+    )
+else:  # pragma: no cover - REPRO_NO_NUMPY / no-numpy environments
+    _TAINT_EVENT_LUT = None
 
 
 class _Bottom:
@@ -132,9 +154,32 @@ def _value_of(instr: Instr) -> Optional[Tuple[int, Value]]:
 @dataclass(frozen=True)
 class TaintScanner:
     """Picklable first-pass work unit: collect one block's transfer
-    functions and critical uses."""
+    functions and critical uses.
+
+    Two interchangeable kernels produce bit-identical
+    :class:`TaintSummary` results:
+
+    - the *object* kernel, one :class:`Instr` at a time (the reference
+      semantics);
+    - the *columnar* kernel, which selects the taint-relevant events
+      (TAINT/UNTAINT/WRITE/ASSIGN/JUMP) with one LUT pass over the op
+      column and CSR-gathers only their sources, never touching the
+      READ-dominated remainder of the block.
+
+    ``columnar=None`` picks automatically: the vector kernel runs when
+    numpy is available and the block is already columnar-backed, so the
+    auto path never pays an object->columnar conversion.
+    """
+
+    columnar: Optional[bool] = None
 
     def __call__(self, block: Block, context: object) -> TaintSummary:
+        if HAVE_NUMPY and self.columnar is not False:
+            if self.columnar or block.has_columns:
+                return self._scan_columns(block)
+        return self._scan_objects(block)
+
+    def _scan_objects(self, block: Block) -> TaintSummary:
         summary = TaintSummary(block_id=block.block_id)
         for i, instr in enumerate(block.instrs):
             written = _value_of(instr)
@@ -143,6 +188,42 @@ class TaintScanner:
                 summary.rules.setdefault(dst, []).append((i, value))
             elif instr.op is Op.JUMP:
                 summary.jumps.append((i, instr.srcs[0]))
+        return summary
+
+    def _scan_columns(self, block: Block) -> TaintSummary:
+        """Vectorized scan: one boolean LUT pass finds the relevant
+        events, a CSR gather pulls just their sources, and a Python
+        loop over only those events rebuilds ``rules``/``jumps`` in
+        exact stream order (dict insertion order included), so the
+        result is bit-identical to :meth:`_scan_objects`."""
+        cols = block.columns
+        summary = TaintSummary(block_id=block.block_id)
+        if cols.length == 0:
+            return summary
+        ops = np.asarray(cols.op)
+        relevant = _TAINT_EVENT_LUT[ops]
+        if not bool(relevant.any()):
+            return summary
+        idx = np.flatnonzero(relevant)
+        # Gather only the selected events' fields; READ sources
+        # dominate src_val on real traces and are never touched.
+        sel_ops, sel_dst, bounds, sel_src = cols.gather(idx)
+        rules = summary.rules
+        jumps = summary.jumps
+        for k, i in enumerate(idx.tolist()):
+            op = sel_ops[k]
+            if op == OP_JUMP:
+                jumps.append((i, sel_src[bounds[k]]))
+            elif op == OP_TAINT:
+                rules.setdefault(sel_dst[k], []).append((i, BOT))
+            elif op == OP_ASSIGN:
+                s, e = bounds[k], bounds[k + 1]
+                value = tuple(sel_src[s:e]) if e > s else TOP
+                rules.setdefault(sel_dst[k], []).append((i, value))
+            else:  # UNTAINT or WRITE stores trusted data
+                dst = sel_dst[k]
+                if dst != NO_DST:
+                    rules.setdefault(dst, []).append((i, TOP))
         return summary
 
 
@@ -163,6 +244,11 @@ class ButterflyTaintCheck(ButterflyAnalysis[TaintSummary, List[TaintSummary]]):
         at once -- still sound, but it admits impossible epoch-spanning
         paths (the ablation of the 'Reducing False Positives'
         optimization).
+    use_columnar_kernel:
+        First-pass kernel selection: ``None`` (default) auto-selects
+        the vectorized scan when numpy is available and the block is
+        columnar-backed, ``True``/``False`` force a kernel (see
+        :class:`TaintScanner`).
     """
 
     def __init__(
@@ -170,12 +256,14 @@ class ButterflyTaintCheck(ButterflyAnalysis[TaintSummary, List[TaintSummary]]):
         mode: str = "relaxed",
         max_steps: int = 4096,
         two_phase: bool = True,
+        use_columnar_kernel: Optional[bool] = None,
     ) -> None:
         if mode not in ("relaxed", "sc"):
             raise ValueError(f"unknown mode {mode!r}")
         self.mode = mode
         self.max_steps = max_steps
         self.two_phase = two_phase
+        self.use_columnar_kernel = use_columnar_kernel
         self.sos = SOSHistory()
         self.errors = ErrorLog()
         self._summaries: Dict[BlockId, TaintSummary] = {}
@@ -186,7 +274,7 @@ class ButterflyTaintCheck(ButterflyAnalysis[TaintSummary, List[TaintSummary]]):
     # -- step 1: collect transfer functions -------------------------------
 
     def make_scanner(self) -> TaintScanner:
-        return TaintScanner()
+        return TaintScanner(self.use_columnar_kernel)
 
     def commit_scan(self, block: Block, scan: TaintSummary) -> TaintSummary:
         self._summaries[block.block_id] = scan

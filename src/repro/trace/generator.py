@@ -20,9 +20,13 @@ from typing import Iterator, List, Optional, Sequence
 from repro.core.columnar import (
     HAVE_NUMPY,
     NO_DST,
+    OP_ASSIGN,
     OP_FREE,
+    OP_JUMP,
     OP_MALLOC,
     OP_READ,
+    OP_TAINT,
+    OP_UNTAINT,
     OP_WRITE,
     ColumnarBlock,
     ColumnBuilder,
@@ -351,9 +355,9 @@ class ColumnarAllocSource(EpochSource):
 
 
 class _ObjectView(EpochSource):
-    """Object-backed view of a :class:`ColumnarAllocSource`."""
+    """Object-backed view of a columnar source (alloc or taint)."""
 
-    def __init__(self, source: ColumnarAllocSource) -> None:
+    def __init__(self, source: EpochSource) -> None:
         self._source = source
 
     @property
@@ -374,6 +378,147 @@ class _ObjectView(EpochSource):
                 Block(b.lid, b.tid, b.start, b.columns.to_instrs())
                 for b in row
             ]
+
+
+class ColumnarTaintSource(EpochSource):
+    """Columnar-native TaintCheck workload for large-trace benchmarks.
+
+    The taint analog of :class:`ColumnarAllocSource`: blocks are
+    synthesized directly as column arrays, READ-heavy (READs never move
+    taint, so they are exactly the rows the vector kernels skip) with a
+    sparse taint chain every ``taint_period`` events.  The chain cycles
+    through the four taint-relevant shapes on two thread-private
+    scratch locations ``s``/``p``:
+
+    ``TAINT s`` -> ``ASSIGN p := s`` -> ``JUMP`` -> ``UNTAINT s``
+
+    The JUMP step targets a plain data location (never tainted, so the
+    trace is error-free) unless ``error_rate`` rolls an injected error,
+    in which case it targets ``p`` -- tainted in program order by the
+    preceding ASSIGN and untouched by every other thread, hence a true
+    TAINTED_JUMP under *every* valid ordering.
+
+    Block ``(l, t)`` is a pure function of ``(seed, l, t)``; the numpy
+    and pure-Python backends draw from different RNGs but are each
+    internally consistent across kernels, ``as_objects`` and resume
+    (see :class:`ColumnarAllocSource`).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        num_threads: int = 4,
+        num_epochs: int = 16,
+        events_per_block: int = 4096,
+        num_locations: int = 256,
+        taint_period: int = 128,
+        error_rate: float = 0.0,
+    ) -> None:
+        if events_per_block < 1 or num_epochs < 0 or num_threads < 1:
+            raise ValueError("bad workload shape")
+        if taint_period < 2:
+            raise ValueError("taint_period must be >= 2")
+        self.seed = seed
+        self._num_threads = num_threads
+        self._num_epochs = num_epochs
+        self.events_per_block = events_per_block
+        self.num_locations = num_locations
+        self.taint_period = taint_period
+        self.error_rate = error_rate
+
+    @property
+    def num_threads(self) -> int:
+        return self._num_threads
+
+    @property
+    def num_epochs(self) -> Optional[int]:
+        return self._num_epochs
+
+    @property
+    def total_events(self) -> int:
+        return self._num_threads * self._num_epochs * self.events_per_block
+
+    @property
+    def preallocated(self) -> frozenset:
+        return frozenset()
+
+    def _scratch(self, tid: int) -> tuple:
+        base = self.num_locations + 2 * tid
+        return base, base + 1
+
+    def _block_columns(self, lid: int, tid: int) -> ColumnarBlock:
+        h = self.events_per_block
+        s, p = self._scratch(tid)
+        # The 4-step chain continues across blocks so each JUMP-at-p
+        # slot is preceded (in program order) by its TAINT/ASSIGN pair.
+        per_block = h // self.taint_period
+        start_step = (lid * per_block) % 4
+        if HAVE_NUMPY:
+            rng = np.random.default_rng((self.seed, lid, tid))
+            loc = rng.integers(0, self.num_locations, size=h, dtype=np.int64)
+            ops = np.full(h, OP_READ, dtype=np.uint8)
+            dst = np.full(h, NO_DST, dtype=np.int64)
+            srcv = loc.copy()
+            counts = np.ones(h, dtype=np.int64)
+            slots = np.arange(
+                self.taint_period - 1, h, self.taint_period, dtype=np.int64
+            )
+            steps = (np.arange(slots.shape[0]) + start_step) % 4
+            ops[slots] = np.array(
+                [OP_TAINT, OP_ASSIGN, OP_JUMP, OP_UNTAINT], dtype=np.uint8
+            )[steps]
+            dst[slots] = np.array([s, p, NO_DST, s], dtype=np.int64)[steps]
+            counts[slots[(steps == 0) | (steps == 3)]] = 0
+            srcv[slots[steps == 1]] = s
+            jump_slots = slots[steps == 2]
+            if self.error_rate > 0.0 and jump_slots.shape[0]:
+                bad = rng.random(jump_slots.shape[0]) < self.error_rate
+                targets = loc[jump_slots].copy()
+                targets[bad] = p
+                srcv[jump_slots] = targets
+            src_off = np.zeros(h + 1, dtype=np.int64)
+            np.cumsum(counts, out=src_off[1:])
+            src_val = srcv[counts == 1]
+            size = np.ones(h, dtype=np.int64)
+            return ColumnarBlock(h, ops, dst, size, src_off, src_val)
+        rng_py = random.Random((self.seed + 1) * 1_000_003 + lid * 8191 + tid)
+        builder = ColumnBuilder()
+        step = start_step
+        for i in range(h):
+            if (i + 1) % self.taint_period == 0:
+                if step == 0:
+                    builder.emit(OP_TAINT, dst=s)
+                elif step == 1:
+                    builder.emit(OP_ASSIGN, dst=p, srcs=(s,))
+                elif step == 2:
+                    if (
+                        self.error_rate > 0.0
+                        and rng_py.random() < self.error_rate
+                    ):
+                        target = p
+                    else:
+                        target = rng_py.randrange(self.num_locations)
+                    builder.emit(OP_JUMP, srcs=(target,))
+                else:
+                    builder.emit(OP_UNTAINT, dst=s)
+                step = (step + 1) % 4
+                continue
+            builder.emit(
+                OP_READ, srcs=(rng_py.randrange(self.num_locations),)
+            )
+        return builder.freeze()
+
+    def epochs(self, start: int = 0) -> Iterator[List[Block]]:
+        h = self.events_per_block
+        for lid in range(start, self._num_epochs):
+            yield [
+                Block(lid, tid, lid * h, columns=self._block_columns(lid, tid))
+                for tid in range(self._num_threads)
+            ]
+
+    def as_objects(self) -> "_ObjectView":
+        """The same workload with object-backed blocks (reference path)."""
+        return _ObjectView(self)
 
 
 def simulated_taint_program(

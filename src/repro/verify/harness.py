@@ -33,12 +33,13 @@ codebase's own contracts) promises:
     stats, and normalized event logs must be bit-identical, and the
     engine's resident window must respect the three-epoch bound.
 ``columnar``
-    Columnar-backed blocks (and, for AddrCheck, the vectorized scan
-    kernel they select) vs. object-backed blocks with the per-``Instr``
-    kernel forced, on serial and concurrent backends: errors, stats and
-    normalized event logs must be bit-identical.  For TaintCheck this
-    doubles as a losslessness proof of the columnar round trip, since
-    its scanner materializes ``block.instrs`` from the columns.
+    Columnar-backed blocks -- and the vectorized scan kernels both
+    AddrCheck and TaintCheck select on them -- vs. object-backed
+    blocks with the per-``Instr`` kernel forced, on serial and
+    concurrent backends: errors, stats and normalized event logs must
+    be bit-identical.  This doubles as a losslessness proof of the
+    columnar round trip, since the object side materializes
+    ``block.instrs`` from the columns.
 
 Each check returns ``None`` on agreement (or when inapplicable) and a
 human-readable diagnosis string on disagreement; the diagnosis string
@@ -60,10 +61,7 @@ from repro.core.ordering import all_valid_orderings
 from repro.core.stream import EpochSource
 from repro.errors import ResilienceError
 from repro.lifeguards.addrcheck import ButterflyAddrCheck
-from repro.lifeguards.sequential import (
-    SequentialAddrCheck,
-    SequentialTaintCheck,
-)
+from repro.lifeguards.sequential import true_errors_under_any_ordering
 from repro.lifeguards.taintcheck import ButterflyTaintCheck
 from repro.obs.recorder import NULL_RECORDER, Recorder, normalize_events
 from repro.resilience.checkpoint import Checkpointer, load_checkpoint
@@ -131,12 +129,6 @@ def _guards_for(case: TraceCase, **kwargs):
             initially_allocated=case.preallocated, **kwargs
         )
     return ButterflyTaintCheck(**kwargs)
-
-
-def _sequential_for(case: TraceCase):
-    if case.lifeguard == "addrcheck":
-        return SequentialAddrCheck(case.preallocated)
-    return SequentialTaintCheck()
 
 
 def _run(
@@ -215,19 +207,26 @@ class DifferentialHarness:
     # -- mode pairs -----------------------------------------------------
 
     def check_orderings(self, case: TraceCase) -> Optional[str]:
-        """Zero false negatives over every enumerated valid ordering."""
+        """Zero false negatives over every enumerated valid ordering.
+
+        The oracle side runs through the prefix-memoized enumerator
+        (consecutive orderings replay only their divergent suffix), so
+        the exponential sweep stays off the fuzz campaign's critical
+        path.
+        """
         if case.total_instructions > self.oracle_budget:
             return _SKIPPED
         partition = case.partition()
-        oracle = set()
-        for order in all_valid_orderings(partition):
-            seq = _sequential_for(case)
-            for iid in order:
-                seq.process(iid, partition.instr(iid))
-            for report in seq.errors:
-                oracle.add((report.ref, report.location))
+        truth = true_errors_under_any_ordering(
+            None,
+            all_valid_orderings(partition),
+            lifeguard=case.lifeguard,
+            preallocated=case.preallocated,
+            instr_of=partition.instr,
+        )
         oracle = {
-            (partition.global_ref_of(iid), loc) for iid, loc in oracle
+            (partition.global_ref_of(r.ref), r.location)
+            for r in truth.values()
         }
         # Exact per-event coverage needs the idempotent filter off; the
         # filtered variant still must cover every erroneous location.
@@ -493,12 +492,7 @@ class DifferentialHarness:
     def check_columnar(self, case: TraceCase) -> Optional[str]:
         """Columnar-backed blocks (vector kernel) vs. object-backed
         blocks (per-``Instr`` kernel), serial and concurrent."""
-        obj_kw = (
-            {"use_columnar_kernel": False}
-            if case.lifeguard == "addrcheck"
-            else {}
-        )
-        obj_guard = _guards_for(case, **obj_kw)
+        obj_guard = _guards_for(case, use_columnar_kernel=False)
         obj_rec = Recorder()
         obj_engine, _ = _run(case, obj_guard, recorder=obj_rec)
         ref_ids = _identities(obj_guard)

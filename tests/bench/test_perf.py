@@ -17,7 +17,7 @@ class TestRunPerf:
         out = tmp_path / "BENCH_test.json"
         report = run_perf(repeats=1, output_path=str(out), big_events=0)
 
-        assert report["schema"] == 5
+        assert report["schema"] == 6
         assert set(report["workloads"]) == {
             "microbench_core",
             "reaching_defs",
@@ -147,6 +147,37 @@ class TestColumnar10m:
             "columnar_processes_vs_object_optimized",
         }
         assert all(v > 0 for v in entry["speedups"].values())
+
+
+class TestTaintColumnar10m:
+    def test_small_scale_runs_and_speedups(self):
+        """The schema-6 taint workload (scaled down) measures all three
+        configurations in isolated subprocesses; every config does the
+        same analysis work and flags the same injected errors."""
+        from repro.bench.perf import _bench_taint_columnar_10m
+
+        entry = _bench_taint_columnar_10m(40_000)
+        if not HAVE_NUMPY:
+            assert "skipped" in entry
+            return
+        assert set(entry["runs"]) == {
+            "taint_object",
+            "taint_columnar_serial",
+            "taint_columnar_processes",
+        }
+        ref = entry["runs"]["taint_object"]
+        for name, run in entry["runs"].items():
+            assert run["elapsed_s"] > 0, name
+            assert run["peak_rss_kb"] > 0, name
+            assert run["events"] == entry["params"]["total_events"], name
+            assert run["engine_stats"] == ref["engine_stats"], name
+            assert run["errors"] == ref["errors"], name
+        assert set(entry["speedups"]) == {
+            "taint_columnar_serial_vs_object",
+            "taint_columnar_processes_vs_object",
+        }
+        assert all(v > 0 for v in entry["speedups"].values())
+        assert entry["rss_ratio_columnar_vs_object"] > 0
 
 
 class TestBenchCLI:
