@@ -26,10 +26,13 @@ Examples
 from __future__ import annotations
 
 import argparse
+import asyncio
 import hashlib
 import os
 import shutil
+import signal
 import sys
+import tempfile
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bench.experiments import figure11, figure12, figure13, table1
@@ -39,7 +42,12 @@ from repro.core.epoch import partition_auto
 from repro.core.framework import ButterflyEngine
 from repro.core.parallel import BACKEND_CHOICES, ExecutionBackend
 from repro.core.stream import EpochSource, PartitionSource
-from repro.errors import CheckpointError, ResilienceError, TraceError
+from repro.errors import (
+    CheckpointError,
+    ReproError,
+    ResilienceError,
+    TraceError,
+)
 from repro.lifeguards.addrcheck import ButterflyAddrCheck
 from repro.lifeguards.racecheck import ButterflyRaceCheck
 from repro.lifeguards.reports import compare_reports
@@ -51,6 +59,16 @@ from repro.resilience import (
     RetryPolicy,
     SupervisedBackend,
     load_checkpoint,
+)
+from repro.serve import (
+    ReproServer,
+    ServeConfig,
+    ServerThread,
+    build_report,
+    format_report,
+    make_hello,
+    parse_address,
+    push_trace,
 )
 from repro.sim.lba import LBASystem
 from repro.trace.serialize import (
@@ -321,20 +339,16 @@ def _print_stream_results(
     engine: ButterflyEngine,
 ) -> None:
     """Result block for a pure stream run (no materialized program, so
-    no sequential-oracle precision accounting)."""
-    epochs = "?" if num_epochs is None else num_epochs
-    print(f"trace: {label}, {threads} threads, {epochs} epochs (streamed)")
-    if lifeguard == "addrcheck":
-        print(f"flags: {len(guard.errors)}")
-        for report in guard.errors.reports[:limit]:
-            print(f"  {report.kind.value:18s} loc=0x{report.location:x} "
-                  f"at {report.ref}")
-    else:
-        print(f"potential conflicts: {len(guard.races)}")
-        for race in guard.races[:limit]:
-            print(f"  {race.kind:12s} loc=0x{race.location:x} "
-                  f"at {race.body_ref}")
-    _print_window_peak(engine, threads)
+    no sequential-oracle precision accounting).
+
+    Rendered through the serve layer's report builder so ``repro check
+    --trace`` and ``repro push`` over the same trace print bit-identical
+    blocks -- the serve-smoke job diffs them directly.
+    """
+    hello = make_hello(label, threads, num_epochs, (), lifeguard)
+    report = build_report(label, hello, engine, guard)
+    for line in format_report(report, label, limit):
+        print(line)
 
 
 def _suite(args: argparse.Namespace) -> ExperimentSuite:
@@ -799,6 +813,176 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1
 
 
+def _serve_config(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_streams=args.max_streams,
+        max_pending_epochs=args.max_pending_epochs,
+        idle_timeout=args.idle_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        backend=args.backend,
+    )
+
+
+async def _serve_main(server: ReproServer) -> None:
+    """Run the daemon until a drain completes.
+
+    SIGTERM and SIGINT both trigger the graceful drain: stop accepting,
+    fold queued epochs, checkpoint every in-flight stream, notify
+    producers, flush, exit 0.
+    """
+    await server.start()
+    loop = asyncio.get_running_loop()
+
+    def _request_drain() -> None:
+        loop.create_task(server.drain())
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, _request_drain)
+    # The banner is the readiness signal (supervisors and the smoke
+    # harness wait for it), so it must come *after* the drain handlers
+    # are in place -- a signal racing the startup would otherwise kill
+    # the process ungracefully.
+    kind, where = server.address
+    if kind == "tcp":
+        print(f"serving on {where[0]}:{where[1]}", flush=True)
+    else:
+        print(f"serving on unix {where}", flush=True)
+    await server.wait_done()
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the trace-ingestion daemon (see docs/serving.md)."""
+    recorder, rc = _open_recorder(args, "serve")
+    if recorder is None:
+        return rc
+    if args.summary_json and not recorder.enabled:
+        recorder = Recorder()
+    # The recorder lives on the event loop's thread -- which in the
+    # foreground daemon is this one; counters are only touched there.
+    server = ReproServer(_serve_config(args), recorder)
+    try:
+        asyncio.run(_serve_main(server))
+    except OSError as exc:
+        return _fail("serve", f"cannot listen: {exc}")
+    except ReproError as exc:
+        return _fail("serve", str(exc))
+    snap = recorder.snapshot()
+    served = {
+        k: v for k, v in sorted(snap["counters"].items())
+        if k.startswith("serve.")
+    }
+    summary = ", ".join(f"{k.split('.', 1)[1]}={v}" for k, v in served.items())
+    print(f"drained: {summary}" if summary else "drained")
+    if args.summary_json:
+        try:
+            recorder.dump_snapshot(args.summary_json)
+        except OSError as exc:
+            return _fail("serve", f"cannot write {args.summary_json}: {exc}")
+        print(f"wrote metrics summary to {args.summary_json}")
+    _finish_events(recorder, args)
+    return 0
+
+
+def cmd_push(args: argparse.Namespace) -> int:
+    """Push a version-2 trace to a running daemon and print its report.
+
+    The printed block is bit-identical to ``repro check --trace`` over
+    the same file (both render through the same report builder), so the
+    two commands' outputs diff clean -- the serve differential check.
+    """
+    if (args.connect is None) == (args.unix is None):
+        return _fail("push", "exactly one of --connect or --unix is required")
+    try:
+        address = (
+            ("unix", args.unix) if args.unix else parse_address(args.connect)
+        )
+    except ReproError as exc:
+        return _fail("push", str(exc))
+    plan = None
+    if args.inject_faults:
+        try:
+            plan = FaultPlan.parse(args.inject_faults)
+        except ResilienceError as exc:
+            return _fail("push", str(exc))
+    stream_id = args.stream_id or os.path.basename(args.trace)
+    try:
+        report = push_trace(
+            address,
+            args.trace,
+            stream_id,
+            lifeguard=args.lifeguard,
+            plan=plan,
+            retries=args.retries,
+            timeout=args.timeout,
+        )
+    except OSError as exc:
+        return _fail("push", f"cannot read {args.trace}: {exc}")
+    except (ReproError, TraceError) as exc:
+        return _fail("push", str(exc))
+    for line in format_report(report, args.trace, args.limit):
+        print(line)
+    return 0
+
+
+def _run_stats_serve(
+    args: argparse.Namespace, recorder: Recorder, partition
+) -> Optional[int]:
+    """Route the stats workload through an in-process serve daemon.
+
+    Exercises every ``serve.*`` counter family deterministically: two
+    complete streams (accepted/completed, bytes, epochs), a depth-1
+    queue (backpressure stalls), and one deliberately corrupt frame
+    (streams_failed) -- so ``--summary-json`` captures the daemon's
+    full metric surface.  The recorder is handed to the daemon's loop
+    thread and only read back after the daemon has stopped.
+    """
+    from repro.serve.client import _connect, read_frame_sync
+    from repro.serve.protocol import (
+        FRAME_EPOCH,
+        FRAME_HELLO,
+        encode_frame,
+        encode_json_frame,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-stats-serve-") as tmp:
+        trace = os.path.join(tmp, "stats.jsonl")
+        save_stream_file(partition, trace)
+        config = ServeConfig(
+            workers=2,
+            queue_depth=1,
+            checkpoint_dir=os.path.join(tmp, "checkpoints"),
+            backend=args.backend,
+        )
+        try:
+            with ServerThread(config, recorder) as st:
+                for i in range(2):
+                    push_trace(
+                        st.address, trace, f"stats-{i}",
+                        lifeguard=args.lifeguard,
+                    )
+                # One stream that sends a corrupt epoch frame: the
+                # daemon isolates it and counts a failure.
+                sock = _connect(st.address, 10.0)
+                try:
+                    sock.sendall(encode_json_frame(
+                        FRAME_HELLO, make_hello("stats-bad", 1, 1, (), "race")
+                    ))
+                    read_frame_sync(sock)  # ACK
+                    sock.sendall(encode_frame(FRAME_EPOCH, b"not json"))
+                    read_frame_sync(sock)  # ERROR protocol
+                finally:
+                    sock.close()
+        except (ReproError, OSError) as exc:
+            return _fail("stats", str(exc))
+    return None
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Run one instrumented workload and print the metrics summary."""
     recorder, rc = _open_recorder(args, "stats")
@@ -812,25 +996,34 @@ def cmd_stats(args: argparse.Namespace) -> int:
     program = get_benchmark(args.benchmark).generate(
         args.threads, args.events, seed=args.seed
     )
-    guard = _make_guard(args.lifeguard, program.preallocated)
     partition = partition_auto(program, args.epoch_size)
-    try:
-        with ButterflyEngine(
-            guard, backend=backend, recorder=recorder
-        ) as engine:
-            if args.stream:
-                engine.run_source(PartitionSource(partition))
-            else:
-                engine.run(partition)
-    except ResilienceError as exc:
-        return _fail("stats", str(exc))
-    finally:
+    if args.serve:
+        # The daemon builds its own per-stream engines; the CLI-level
+        # backend object is unused on this path.
         _close_backend(backend)
+        rc = _run_stats_serve(args, recorder, partition)
+        if rc is not None:
+            return rc
+    else:
+        guard = _make_guard(args.lifeguard, program.preallocated)
+        try:
+            with ButterflyEngine(
+                guard, backend=backend, recorder=recorder
+            ) as engine:
+                if args.stream:
+                    engine.run_source(PartitionSource(partition))
+                else:
+                    engine.run(partition)
+        except ResilienceError as exc:
+            return _fail("stats", str(exc))
+        finally:
+            _close_backend(backend)
 
     snap = recorder.snapshot()
+    via = " via serve daemon" if args.serve else ""
     print(f"benchmark: {args.benchmark}, {args.threads} threads, "
           f"h={args.epoch_size} events, backend={args.backend}, "
-          f"lifeguard={args.lifeguard}")
+          f"lifeguard={args.lifeguard}{via}")
     print(f"events recorded: {len(recorder.events)}")
     if snap["spans"]:
         print("\nspans (aggregated):")
@@ -1099,6 +1292,83 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_fuzz, shrink=True)
 
     p = sub.add_parser(
+        "serve",
+        help="run the trace-ingestion daemon: many concurrent streams, "
+             "backpressure, per-stream checkpoints, graceful drain "
+             "(see docs/serving.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP listen address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port; 0 picks a free one and prints it "
+                        "(default: 0)")
+    p.add_argument("--unix", default=None, metavar="PATH",
+                   help="listen on a Unix socket instead of TCP")
+    p.add_argument("--workers", type=int, default=2,
+                   help="engine shards; streams hash onto shards and "
+                        "fold in parallel (default: 2)")
+    p.add_argument("--queue-depth", type=int, default=4,
+                   help="per-stream bounded epoch queue; a full queue "
+                        "pauses that stream's socket reads "
+                        "(default: 4)")
+    p.add_argument("--max-streams", type=int, default=64,
+                   help="active-stream cap; beyond it connects are "
+                        "refused with ERROR busy (default: 64)")
+    p.add_argument("--max-pending-epochs", type=int, default=256,
+                   help="daemon-wide queued-epoch cap; beyond it the "
+                        "newest stream is shed (default: 256)")
+    p.add_argument("--idle-timeout", type=float, default=30.0,
+                   help="seconds of producer silence before a session "
+                        "is checkpointed and timed out (default: 30)")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="per-stream epoch-boundary checkpoints under "
+                        "DIR; a restarted daemon resumes every "
+                        "in-flight stream from here")
+    p.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                   help="checkpoint every N committed epochs "
+                        "(default: 1)")
+    p.add_argument(
+        "--summary-json", default=None, metavar="PATH",
+        help="write the serve.* metrics snapshot to PATH on drain",
+    )
+    _add_backend_arg(p)
+    _add_emit_events_arg(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "push",
+        help="stream a version-2 trace to a running serve daemon and "
+             "print its report (identical to 'repro check --trace')",
+    )
+    p.add_argument("--trace", required=True,
+                   help="version-2 stream trace file to push")
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="daemon TCP address")
+    p.add_argument("--unix", default=None, metavar="PATH",
+                   help="daemon Unix socket path")
+    p.add_argument("--stream-id", default=None,
+                   help="stream identity for resume (default: the "
+                        "trace file's basename)")
+    p.add_argument(
+        "--lifeguard", default="addrcheck",
+        choices=("addrcheck", "race", "taintcheck"),
+    )
+    p.add_argument("--limit", type=int, default=10,
+                   help="max reports to print")
+    p.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="deterministic transport faults, e.g. "
+             "'disconnect=0.1,stall=0.05,stall_s=1.5,seed=11' "
+             "(see docs/robustness.md)",
+    )
+    p.add_argument("--retries", type=int, default=3,
+                   help="reconnect-and-resume attempts after transport "
+                        "failures (default: 3)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="socket timeout in seconds (default: 30)")
+    p.set_defaults(func=cmd_push)
+
+    p = sub.add_parser(
         "stats",
         help="run one instrumented workload and print metrics "
              "(spans, counters, gauges)",
@@ -1120,6 +1390,12 @@ def build_parser() -> argparse.ArgumentParser:
         "run through the streaming pipeline so the "
         "engine.window_resident_blocks gauge and stream counters show "
         "up in the summary",
+    )
+    p.add_argument(
+        "--serve", action="store_true",
+        help="route the workload through an in-process serve daemon so "
+             "the serve.* counters (streams, backpressure stalls, bytes "
+             "ingested, epochs folded) land in the summary",
     )
     _add_backend_arg(p)
     _add_resilience_args(p)

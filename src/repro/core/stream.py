@@ -43,7 +43,7 @@ from typing import Iterator, List, Optional
 
 from repro.core.epoch import Block, EpochPartition
 
-__all__ = ["EpochSource", "PartitionSource"]
+__all__ = ["EpochSource", "PartitionSource", "ShapeSource"]
 
 
 class EpochSource(abc.ABC):
@@ -71,6 +71,48 @@ class EpochSource(abc.ABC):
 
     def __iter__(self) -> Iterator[List[Block]]:
         return self.epochs()
+
+
+class ShapeSource(EpochSource):
+    """Metadata-only source for *push-driven* feeds.
+
+    The serve daemon (``repro serve``) receives epoch rows from a
+    socket and hands them to :meth:`ButterflyEngine.feed_blocks`
+    directly -- there is no pullable iterator.  The engine still needs
+    an attached source (shape for validation, ``num_epochs`` for the
+    ``finish()`` completeness check, ``preallocated`` for lifeguard
+    seeding, and source-attachment to enable streamed history
+    eviction), which is exactly what this carries.  :meth:`epochs`
+    raises: nothing may pull from a push-driven session.
+    """
+
+    def __init__(
+        self,
+        num_threads: int,
+        num_epochs: Optional[int] = None,
+        preallocated: frozenset = frozenset(),
+    ) -> None:
+        self._num_threads = num_threads
+        self._num_epochs = num_epochs
+        self._preallocated = frozenset(preallocated)
+
+    @property
+    def num_threads(self) -> int:
+        return self._num_threads
+
+    @property
+    def num_epochs(self) -> Optional[int]:
+        return self._num_epochs
+
+    @property
+    def preallocated(self) -> frozenset:
+        return self._preallocated
+
+    def epochs(self, start: int = 0) -> Iterator[List[Block]]:
+        raise RuntimeError(
+            "ShapeSource is push-driven: feed the engine with "
+            "feed_blocks(), do not pull epochs from it"
+        )
 
 
 class PartitionSource(EpochSource):

@@ -13,6 +13,7 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.faults import (
     FAULT_KINDS,
+    TRANSPORT_FAULT_KINDS,
     CorruptedResult,
     FaultPlan,
     InjectedFault,
@@ -34,6 +35,7 @@ __all__ = [
     "InjectedFault",
     "RetryPolicy",
     "SupervisedBackend",
+    "TRANSPORT_FAULT_KINDS",
     "load_checkpoint",
     "result_is_valid",
     "save_checkpoint",

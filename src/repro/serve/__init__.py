@@ -1,0 +1,51 @@
+"""Butterfly analysis as a service: the ``repro serve`` daemon, the
+``repro push`` producer client, and the framed wire protocol between
+them.
+
+See ``docs/serving.md`` for the protocol, the backpressure model, the
+overload degradation ladder, and the crash/drain recovery story.
+"""
+
+from repro.serve.client import (
+    RETRYABLE_CODES,
+    ServeErrorFrame,
+    StreamClient,
+    parse_address,
+    push_trace,
+)
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_FRAME,
+    ProtocolError,
+    build_report,
+    format_report,
+    make_hello,
+    resume_token,
+)
+from repro.serve.server import (
+    ReproServer,
+    ServeConfig,
+    ServerThread,
+    StreamSession,
+    make_guard,
+)
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_FRAME",
+    "ProtocolError",
+    "RETRYABLE_CODES",
+    "ReproServer",
+    "ServeConfig",
+    "ServeErrorFrame",
+    "ServerThread",
+    "StreamClient",
+    "StreamSession",
+    "build_report",
+    "format_report",
+    "make_guard",
+    "make_hello",
+    "parse_address",
+    "push_trace",
+    "resume_token",
+]

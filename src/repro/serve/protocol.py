@@ -1,0 +1,311 @@
+"""The serve wire protocol: length-prefixed frames over a byte stream.
+
+``repro serve`` accepts many concurrent version-2 trace streams over
+TCP or Unix sockets.  Each connection carries one stream session:
+
+1. client sends ``HELLO`` (stream identity + shape + optional resume
+   token);
+2. server answers ``ACK`` (the epoch to start/resume from, plus the
+   stream's deterministic resume token);
+3. client sends one ``EPOCH`` frame per epoch, in order, starting at
+   the acknowledged epoch -- each payload is exactly one version-2
+   epoch record (the same JSON line ``dump_stream`` writes), so a
+   stream file can be pushed without re-encoding;
+4. client closes with ``END`` (the version-2 footer);
+5. server answers ``REPORT`` (the stream's error report, work
+   counters, and window peak -- bit-identical to what offline ``repro
+   check`` computes over the same trace) or ``ERROR``.
+
+Framing is deliberately dumb: a 1-byte frame type, a 4-byte big-endian
+payload length, then the payload (UTF-8 JSON).  Dumb framing is what
+makes the transport an explicit *error source*: a frame whose length
+prefix promises bytes that never arrive is a truncation, a payload
+that fails JSON/shape validation is corruption, and both must be
+contained to the one stream that sent them (see
+``docs/serving.md``).  Payloads above :data:`MAX_FRAME` are rejected
+before buffering, so a corrupt length prefix cannot balloon daemon
+memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+# -- frame types ------------------------------------------------------------
+
+FRAME_HELLO = 0x01
+FRAME_EPOCH = 0x02
+FRAME_END = 0x03
+FRAME_ACK = 0x81
+FRAME_REPORT = 0x82
+FRAME_ERROR = 0x83
+
+FRAME_NAMES = {
+    FRAME_HELLO: "HELLO",
+    FRAME_EPOCH: "EPOCH",
+    FRAME_END: "END",
+    FRAME_ACK: "ACK",
+    FRAME_REPORT: "REPORT",
+    FRAME_ERROR: "ERROR",
+}
+
+#: Hard per-frame payload cap: one epoch record for every thread.  A
+#: length prefix above this is treated as corruption, not a request to
+#: allocate.
+MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">BI")
+
+PROTOCOL_FORMAT = "repro-serve"
+PROTOCOL_VERSION = 1
+
+#: Machine-readable ``ERROR`` frame codes (``docs/serving.md``).
+ERROR_CODES = (
+    "busy",       # refuse-connects rung of the overload ladder
+    "shed",       # shed-newest rung: reconnect later and resume
+    "timeout",    # producer stalled past the idle timeout
+    "protocol",   # malformed frame, bad epoch record, bad footer
+    "token",      # resume token does not match the stream identity
+    "drain",      # daemon is draining; reconnect to a new instance
+    "internal",   # analysis failure; the stream cannot continue
+)
+
+
+class ProtocolError(ReproError):
+    """A violation of the framing or session contract."""
+
+
+def encode_frame(ftype: int, payload: bytes) -> bytes:
+    """One frame as bytes (header + payload)."""
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME}-byte cap"
+        )
+    return _HEADER.pack(ftype, len(payload)) + payload
+
+
+def encode_json_frame(ftype: int, record: Dict[str, Any]) -> bytes:
+    return encode_frame(
+        ftype, json.dumps(record, separators=(",", ":")).encode("utf-8")
+    )
+
+
+def decode_header(header: bytes) -> Tuple[int, int]:
+    """``(frame type, payload length)`` from the 5 header bytes."""
+    ftype, length = _HEADER.unpack(header)
+    if ftype not in FRAME_NAMES:
+        raise ProtocolError(f"unknown frame type 0x{ftype:02x}")
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"{FRAME_NAMES[ftype]} frame claims {length} bytes "
+            f"(cap {MAX_FRAME}); treating as corruption"
+        )
+    return ftype, length
+
+
+HEADER_SIZE = _HEADER.size
+
+
+def decode_json_payload(ftype: int, payload: bytes) -> Dict[str, Any]:
+    """Parse a frame payload as a JSON object, or raise ProtocolError."""
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(
+            f"{FRAME_NAMES.get(ftype, hex(ftype))} frame payload is not "
+            f"valid JSON: {exc}"
+        ) from None
+    if not isinstance(record, dict):
+        raise ProtocolError(
+            f"{FRAME_NAMES.get(ftype, hex(ftype))} frame payload must be "
+            f"a JSON object, got {type(record).__name__}"
+        )
+    return record
+
+
+# -- HELLO ------------------------------------------------------------------
+
+LIFEGUARD_CHOICES = ("addrcheck", "race", "taintcheck")
+
+
+def make_hello(
+    stream_id: str,
+    threads: int,
+    epochs: int,
+    preallocated,
+    lifeguard: str = "addrcheck",
+    token: Optional[str] = None,
+) -> Dict[str, Any]:
+    return {
+        "format": PROTOCOL_FORMAT,
+        "version": PROTOCOL_VERSION,
+        "stream": stream_id,
+        "threads": threads,
+        "epochs": epochs,
+        "preallocated": sorted(preallocated),
+        "lifeguard": lifeguard,
+        "token": token,
+    }
+
+
+def validate_hello(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Structural validation of a ``HELLO`` payload (server side)."""
+    if record.get("format") != PROTOCOL_FORMAT:
+        raise ProtocolError(
+            f"HELLO is not a {PROTOCOL_FORMAT} greeting: "
+            f"{record.get('format')!r}"
+        )
+    if record.get("version") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {record.get('version')!r} "
+            f"(this daemon speaks {PROTOCOL_VERSION})"
+        )
+    stream = record.get("stream")
+    if not isinstance(stream, str) or not stream or len(stream) > 256:
+        raise ProtocolError(f"bad stream id {stream!r}")
+    threads = record.get("threads")
+    if not isinstance(threads, int) or threads < 1:
+        raise ProtocolError(f"bad thread count {threads!r}")
+    epochs = record.get("epochs")
+    if not isinstance(epochs, int) or epochs < 0:
+        raise ProtocolError(f"bad epoch count {epochs!r}")
+    prealloc = record.get("preallocated")
+    if not isinstance(prealloc, list) or not all(
+        isinstance(loc, int) for loc in prealloc
+    ):
+        raise ProtocolError(f"bad preallocated set {prealloc!r}")
+    lifeguard = record.get("lifeguard")
+    if lifeguard not in LIFEGUARD_CHOICES:
+        raise ProtocolError(
+            f"unknown lifeguard {lifeguard!r} (choose from "
+            f"{', '.join(LIFEGUARD_CHOICES)})"
+        )
+    token = record.get("token")
+    if token is not None and not isinstance(token, str):
+        raise ProtocolError(f"bad resume token {token!r}")
+    return record
+
+
+def resume_token(hello: Dict[str, Any]) -> str:
+    """The stream's deterministic resume token.
+
+    A pure function of the stream's *identity* (id, shape, lifeguard,
+    preallocated set), so the client and the server -- and a client
+    reconnecting to a restarted daemon -- all derive the same token
+    independently.  Doubles as the checkpoint's filename stem: hex, so
+    it is filesystem-safe regardless of what the stream id contains.
+    """
+    identity = {
+        "stream": hello["stream"],
+        "threads": hello["threads"],
+        "epochs": hello["epochs"],
+        "lifeguard": hello["lifeguard"],
+        "preallocated": sorted(hello["preallocated"]),
+    }
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+def checkpoint_meta(hello: Dict[str, Any], token: str) -> Dict[str, Any]:
+    """The per-stream checkpoint fingerprint (``Checkpoint.verify``)."""
+    return {
+        "serve_stream": hello["stream"],
+        "threads": hello["threads"],
+        "epochs": hello["epochs"],
+        "lifeguard": hello["lifeguard"],
+        "token": token,
+    }
+
+
+# -- REPORT -----------------------------------------------------------------
+
+
+def build_report(stream_id: str, hello: Dict[str, Any], engine, guard
+                 ) -> Dict[str, Any]:
+    """The end-of-stream report: everything ``repro check`` would print.
+
+    Built from a finished engine/guard pair -- by the daemon after the
+    last epoch folds, and by offline runs (``repro check`` on a
+    version-2 trace goes through this same function), so the
+    serve-vs-offline differential mode and the CI smoke job compare
+    like with like.
+    """
+    report: Dict[str, Any] = {
+        "stream": stream_id,
+        "lifeguard": hello["lifeguard"],
+        "threads": hello["threads"],
+        "epochs": hello["epochs"],
+        "stats": asdict(engine.stats),
+        "window_high_water": engine.window_high_water,
+        "window_bound": 3 * hello["threads"],
+    }
+    if hello["lifeguard"] == "race":
+        report["races"] = [
+            {
+                "kind": race.kind,
+                "location": race.location,
+                "body_ref": list(race.body_ref),
+            }
+            for race in guard.races
+        ]
+    else:
+        report["errors"] = [
+            {
+                "kind": r.kind.value,
+                "location": r.location,
+                "ref": list(r.ref) if r.ref is not None else None,
+                "block": list(r.block) if r.block is not None else None,
+                "detail": r.detail,
+            }
+            for r in guard.errors.reports
+        ]
+    return report
+
+
+def format_report(
+    report: Dict[str, Any], label: str, limit: int = 10
+) -> List[str]:
+    """Render a report as the ``repro check`` streamed-result block.
+
+    Both ``repro check --trace v2.jsonl`` and ``repro push`` print
+    through here, so the two commands' outputs over the same trace can
+    be diffed byte for byte -- the serve-smoke job's acceptance check.
+    """
+    threads = report["threads"]
+    epochs = "?" if report["epochs"] is None else report["epochs"]
+    lines = [f"trace: {label}, {threads} threads, {epochs} epochs (streamed)"]
+    if report["lifeguard"] == "race":
+        races = report["races"]
+        lines.append(f"potential conflicts: {len(races)}")
+        for race in races[:limit]:
+            ref = tuple(race["body_ref"])
+            lines.append(
+                f"  {race['kind']:12s} loc=0x{race['location']:x} at {ref}"
+            )
+    else:
+        errors = report["errors"]
+        lines.append(f"flags: {len(errors)}")
+        for err in errors[:limit]:
+            ref = tuple(err["ref"]) if err["ref"] is not None else None
+            lines.append(
+                f"  {err['kind']:18s} loc=0x{err['location']:x} at {ref}"
+            )
+    lines.append(
+        f"stream: peak resident summaries {report['window_high_water']} "
+        f"(bound {report['window_bound']})"
+    )
+    return lines
+
+
+def error_payload(code: str, message: str, **fields: Any) -> Dict[str, Any]:
+    assert code in ERROR_CODES, code
+    payload = {"code": code, "error": message}
+    payload.update(fields)
+    return payload

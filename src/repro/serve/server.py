@@ -1,0 +1,808 @@
+"""The butterfly-as-a-service daemon: ``repro serve``.
+
+A long-running asyncio process that accepts many concurrent version-2
+trace streams over TCP or Unix sockets (the framed protocol in
+:mod:`repro.serve.protocol`) and folds each one through its own
+:class:`~repro.core.framework.ButterflyEngine`, holding only the
+three-epoch butterfly window per stream.
+
+Architecture
+------------
+
+One event loop owns all sockets, the accept path, every per-stream
+queue, and the daemon's :class:`~repro.obs.recorder.Recorder` (which is
+not thread-safe -- ``serve.*`` counters are only ever touched from the
+loop thread).  Analysis work never runs on the loop: each stream is
+routed by a stable hash of its id to one of ``workers`` *shards*, a
+single-thread executor, and every ``feed_blocks``/``finish``/checkpoint
+call runs there.  Streams on the same shard serialize; streams on
+different shards fold epochs genuinely in parallel; and a lifeguard
+crash surfaces as a failed future on the one session that caused it,
+never as a dead daemon.
+
+Backpressure is the queue, not a protocol message: each session's epoch
+queue is bounded at ``queue_depth``, the socket reader ``await``\\ s the
+put, and a full queue therefore stops the read loop -- the kernel's TCP
+window fills and the producer's sends block.  End to end, a producer
+can run at most ``queue_depth + 1`` epochs ahead of the lifeguard, and
+the per-stream window invariant (at most 3 epochs x threads resident
+summaries) holds no matter how fast producers push.
+
+When backpressure is not enough the daemon degrades in documented
+rungs (``docs/serving.md``): per-stream queues fill first; if the
+daemon-wide queued-epoch total exceeds ``max_pending_epochs`` the
+*newest* accepted stream is shed (final checkpoint, ``ERROR shed``,
+resumable by token); at ``max_streams`` active sessions new connects
+are refused outright (``ERROR busy``).  Oldest streams -- closest to
+completing, with the most sunk work -- are never the victims.
+
+Every stream checkpoints at epoch boundaries
+(:class:`~repro.resilience.checkpoint.Checkpointer` under
+``checkpoint_dir``, filename = resume token), so a SIGKILLed daemon
+restarted on the same directory resumes every in-flight stream from
+its last committed epoch: the ``ACK`` tells the reconnecting producer
+which epoch to resend from, and the resumed report is bit-identical to
+an uninterrupted run's.  SIGTERM/SIGINT triggers the graceful variant:
+stop accepting, stop reading, fold what is queued, checkpoint, notify
+producers with ``ERROR drain``, flush the event sink, exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.framework import ButterflyEngine
+from repro.core.stream import ShapeSource
+from repro.errors import CheckpointError, ReproError, TraceError
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.lifeguards.racecheck import ButterflyRaceCheck
+from repro.lifeguards.taintcheck import ButterflyTaintCheck
+from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.resilience.checkpoint import (
+    Checkpointer,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.serve.protocol import (
+    FRAME_ACK,
+    FRAME_END,
+    FRAME_EPOCH,
+    FRAME_ERROR,
+    FRAME_HELLO,
+    FRAME_REPORT,
+    HEADER_SIZE,
+    ProtocolError,
+    build_report,
+    checkpoint_meta,
+    decode_header,
+    decode_json_payload,
+    encode_json_frame,
+    error_payload,
+    resume_token,
+    validate_hello,
+)
+from repro.trace.serialize import decode_epoch_row
+
+
+@dataclass
+class ServeConfig:
+    """Daemon knobs (CLI flags map onto these one to one)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    unix_path: Optional[str] = None
+    #: Engine shards (single-thread executors).  Streams hash onto
+    #: shards, so concurrency scales with workers while any one
+    #: stream's epochs stay strictly ordered.
+    workers: int = 2
+    #: Per-stream bounded epoch queue -- the backpressure depth.
+    queue_depth: int = 4
+    #: Active-session cap: the refuse-connects rung.
+    max_streams: int = 64
+    #: Daemon-wide queued-epoch cap: the shed-newest rung.
+    max_pending_epochs: int = 256
+    #: Seconds of producer silence before a session is timed out.
+    idle_timeout: float = 30.0
+    #: Directory for per-stream checkpoints (None disables resume).
+    checkpoint_dir: Optional[str] = None
+    #: Checkpoint every N committed epochs.
+    checkpoint_every: int = 1
+    #: Engine backend per stream ("serial" is right for a daemon:
+    #: cross-stream parallelism comes from the shards).
+    backend: str = "serial"
+
+
+def make_guard(lifeguard: str, preallocated) -> Any:
+    """Lifeguard factory shared by the daemon and offline CLI runs."""
+    if lifeguard == "addrcheck":
+        return ButterflyAddrCheck(initially_allocated=preallocated)
+    if lifeguard == "taintcheck":
+        return ButterflyTaintCheck()
+    return ButterflyRaceCheck()
+
+
+class _SessionError(Exception):
+    """Terminate a session with a protocol ``ERROR`` frame."""
+
+    def __init__(self, code: str, message: str, **fields: Any) -> None:
+        super().__init__(message)
+        self.code = code
+        self.fields = fields
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, timeout: Optional[float] = None
+) -> Optional[Tuple[int, bytes]]:
+    """One frame, or ``None`` on clean EOF at a frame boundary.
+
+    A connection that dies *inside* a frame (header or payload cut
+    short) raises :class:`ProtocolError` -- that is the truncated-frame
+    transport fault, distinct from a clean disconnect.  ``timeout``
+    bounds the wait for the *first* header byte and for the payload.
+    """
+
+    async def _read() -> Optional[Tuple[int, bytes]]:
+        try:
+            header = await reader.readexactly(HEADER_SIZE)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean EOF between frames
+            raise ProtocolError(
+                f"connection closed inside a frame header "
+                f"({len(exc.partial)}/{HEADER_SIZE} bytes)"
+            ) from None
+        ftype, length = decode_header(header)
+        try:
+            payload = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError(
+                f"connection closed inside a frame payload "
+                f"({len(exc.partial)}/{length} bytes)"
+            ) from None
+        return ftype, payload
+
+    if timeout is None:
+        return await _read()
+    return await asyncio.wait_for(_read(), timeout)
+
+
+class StreamSession:
+    """One connected trace stream: reader, bounded queue, shard feed."""
+
+    def __init__(
+        self,
+        server: "ReproServer",
+        hello: Dict[str, Any],
+        token: str,
+        writer: asyncio.StreamWriter,
+        seq: int,
+    ) -> None:
+        self.server = server
+        self.hello = hello
+        self.stream_id: str = hello["stream"]
+        self.token = token
+        self.writer = writer
+        #: Accept order -- the shed rung evicts the largest.
+        self.seq = seq
+        self.queue: "asyncio.Queue[Any]" = asyncio.Queue(
+            maxsize=server.config.queue_depth
+        )
+        self.engine: Optional[ButterflyEngine] = None
+        self.resume_epoch = 0
+        self.next_epoch = 0
+        self.ended = False
+        #: Set by the shed rung / drain to stop the read loop at the
+        #: next frame boundary.
+        self.stopped: Optional[str] = None
+        #: Wakes the read loop immediately when ``stopped`` is set, so
+        #: a drain never waits out the idle timeout on a quiet stream.
+        self.stop_event = asyncio.Event()
+        self.consumer: Optional["asyncio.Task[None]"] = None
+
+    def request_stop(self, reason: str) -> None:
+        if self.stopped is None:
+            self.stopped = reason
+            self.stop_event.set()
+
+    # -- engine setup (loop thread; pickling I/O on the shard) ----------
+
+    @property
+    def checkpoint_path(self) -> Optional[str]:
+        directory = self.server.config.checkpoint_dir
+        if directory is None:
+            return None
+        return os.path.join(directory, f"{self.token}.ckpt")
+
+    def build_engine(self) -> None:
+        """Fresh engine, or one restored from this stream's checkpoint."""
+        hello = self.hello
+        path = self.checkpoint_path
+        meta = checkpoint_meta(hello, self.token)
+        checkpoint = None
+        if path is not None and os.path.exists(path):
+            checkpoint = load_checkpoint(path)
+            checkpoint.verify(meta)
+        if checkpoint is not None:
+            guard = checkpoint.analysis
+        else:
+            guard = make_guard(
+                hello["lifeguard"], frozenset(hello["preallocated"])
+            )
+        engine = ButterflyEngine(guard, backend=self.server.config.backend)
+        source = ShapeSource(
+            hello["threads"],
+            num_epochs=hello["epochs"],
+            preallocated=frozenset(hello["preallocated"]),
+        )
+        engine.attach_source(source, resumed=checkpoint is not None)
+        if checkpoint is not None:
+            checkpoint.restore_into(engine)
+            self.resume_epoch = checkpoint.next_epoch
+        if path is not None:
+            engine.enable_checkpoints(
+                Checkpointer(
+                    path, meta, every=self.server.config.checkpoint_every
+                )
+            )
+        self.engine = engine
+        self.next_epoch = self.resume_epoch
+
+    # -- frame handling (loop thread) -----------------------------------
+
+    async def send(self, ftype: int, record: Dict[str, Any]) -> None:
+        self.writer.write(encode_json_frame(ftype, record))
+        await self.writer.drain()
+
+    def handle_epoch(self, payload: bytes) -> List[Any]:
+        """Validate one EPOCH payload into a block row (or raise)."""
+        lid = self.next_epoch
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise _SessionError(
+                "protocol",
+                f"epoch frame {lid} is not valid JSON: {exc}",
+                epoch=lid,
+            ) from None
+        try:
+            row = decode_epoch_row(
+                record, lid, self.hello["threads"], self.stream_id, lid + 2
+            )
+        except TraceError as exc:
+            raise _SessionError("protocol", str(exc), epoch=lid) from None
+        self.next_epoch += 1
+        return row
+
+    def handle_end(self, payload: bytes) -> None:
+        footer = decode_json_payload(FRAME_END, payload)
+        if footer.get("epochs_written") != self.hello["epochs"]:
+            raise _SessionError(
+                "protocol",
+                f"bad footer {footer!r} (expected epochs_written="
+                f"{self.hello['epochs']})",
+            )
+        if self.next_epoch != self.hello["epochs"]:
+            raise _SessionError(
+                "protocol",
+                f"stream ended at epoch {self.next_epoch} of "
+                f"{self.hello['epochs']}",
+            )
+        self.ended = True
+
+    # -- the shard-side consumer ----------------------------------------
+
+    async def consume(self) -> None:
+        """Fold queued epochs on this stream's shard, in order."""
+        server = self.server
+        while True:
+            item = await self.queue.get()
+            if item is None:  # end-of-stream sentinel
+                await server.run_on_shard(self, self.engine.finish)
+                return
+            lid, row = item
+            ok = False
+            try:
+                await server.run_on_shard(
+                    self, self.engine.feed_blocks, lid, row
+                )
+                ok = True
+            finally:
+                # Balance the pending-epoch gauge even when the feed
+                # (or a cancellation) failed -- a leak here would
+                # ratchet the shed rung's trigger over daemon lifetime.
+                server.note_folded(self, ok)
+
+    async def drain_queue(self) -> None:
+        """Fold what is already queued (shed/drain/timeout paths).
+
+        Per-item containment: a feed failure (e.g. the engine refusing
+        an epoch dropped by a cancelled consumer) must not leave later
+        items uncounted in the daemon's pending gauge -- resume covers
+        whatever could not be folded here.
+        """
+        while not self.queue.empty():
+            item = self.queue.get_nowait()
+            if item is None:
+                continue
+            lid, row = item
+            ok = False
+            try:
+                await self.server.run_on_shard(
+                    self, self.engine.feed_blocks, lid, row
+                )
+                ok = True
+            except Exception:
+                pass
+            finally:
+                self.server.note_folded(self, ok)
+
+    async def save_checkpoint_now(self) -> None:
+        """Force a snapshot regardless of ``checkpoint_every``."""
+        path = self.checkpoint_path
+        if path is None or self.engine is None:
+            return
+        meta = checkpoint_meta(self.hello, self.token)
+        await self.server.run_on_shard(
+            self, save_checkpoint, path, self.engine, meta
+        )
+
+
+class ReproServer:
+    """The daemon: accept loop, sessions, shards, overload ladder."""
+
+    def __init__(
+        self, config: ServeConfig, recorder: Recorder = NULL_RECORDER
+    ) -> None:
+        if config.workers < 1:
+            raise ReproError(f"workers must be >= 1: {config.workers}")
+        if config.queue_depth < 1:
+            raise ReproError(f"queue depth must be >= 1: {config.queue_depth}")
+        self.config = config
+        self.recorder = recorder
+        self.sessions: Dict[str, StreamSession] = {}
+        self.address: Optional[Tuple[str, Any]] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shards: List[ThreadPoolExecutor] = []
+        self._pending_epochs = 0
+        self._accept_seq = 0
+        self._draining = False
+        self._done = asyncio.Event()
+        self._conn_tasks: "set[asyncio.Task[None]]" = set()
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        config = self.config
+        if config.checkpoint_dir is not None:
+            os.makedirs(config.checkpoint_dir, exist_ok=True)
+        self._shards = [
+            ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"repro-shard-{i}"
+            )
+            for i in range(config.workers)
+        ]
+        if config.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._on_connect, path=config.unix_path
+            )
+            self.address = ("unix", config.unix_path)
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connect, host=config.host, port=config.port
+            )
+            sock = self._server.sockets[0]
+            host, port = sock.getsockname()[:2]
+            self.address = ("tcp", (host, port))
+
+    async def wait_done(self) -> None:
+        """Block until a drain completes."""
+        await self._done.wait()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish queued epochs,
+        checkpoint every in-flight stream, notify producers, stop."""
+        if self._draining:
+            await self._done.wait()
+            return
+        self._draining = True
+        self.emit("drain", inflight=len(self.sessions))
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for session in list(self.sessions.values()):
+            session.request_stop("drain")
+        # Stopped sessions unwind through their connection tasks (drain
+        # queued epochs -> final checkpoint -> ERROR drain frame).
+        while self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks))
+        for shard in self._shards:
+            shard.shutdown(wait=True)
+        if (
+            self.config.unix_path is not None
+            and os.path.exists(self.config.unix_path)
+        ):
+            os.unlink(self.config.unix_path)
+        self._done.set()
+
+    # -- shards ---------------------------------------------------------
+
+    def shard_for(self, stream_id: str) -> ThreadPoolExecutor:
+        index = zlib.crc32(stream_id.encode("utf-8")) % len(self._shards)
+        return self._shards[index]
+
+    async def run_on_shard(
+        self, session: StreamSession, fn, *args: Any
+    ) -> Any:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self.shard_for(session.stream_id), fn, *args
+        )
+
+    # -- counters (loop thread only; the recorder is not thread-safe) ---
+
+    def count(self, name: str, delta: int = 1) -> None:
+        if self.recorder.enabled:
+            self.recorder.count(f"serve.{name}", delta)
+
+    def emit(self, name: str, **fields: Any) -> None:
+        """A stream lifecycle event, for the JSONL sink / audit trail."""
+        if self.recorder.enabled:
+            self.recorder.event(f"serve.{name}", **fields)
+
+    def _gauge_active(self) -> None:
+        if self.recorder.enabled:
+            self.recorder.gauge("serve.streams_active", len(self.sessions))
+
+    def note_queued(self, session: StreamSession) -> None:
+        self._pending_epochs += 1
+        self.count("epochs_received")
+        if self.recorder.enabled:
+            self.recorder.gauge("serve.pending_epochs", self._pending_epochs)
+        if self._pending_epochs > self.config.max_pending_epochs:
+            self._shed_newest()
+
+    def note_folded(self, session: StreamSession, ok: bool = True) -> None:
+        self._pending_epochs -= 1
+        if ok:
+            self.count("epochs_folded")
+        if self.recorder.enabled:
+            self.recorder.gauge("serve.pending_epochs", self._pending_epochs)
+
+    # -- overload ladder -------------------------------------------------
+
+    def _shed_newest(self) -> None:
+        """Second rung: evict the newest accepted stream (most progress
+        still ahead of it, least sunk work).  It keeps its checkpoint
+        and resume token, so shedding costs a reconnect, not the run."""
+        victims = [
+            s for s in self.sessions.values() if s.stopped is None
+        ]
+        if not victims:
+            return
+        victim = max(victims, key=lambda s: s.seq)
+        victim.request_stop("shed")
+        self.count("streams_shed")
+        self.emit("shed", stream=victim.stream_id)
+
+    # -- connections -----------------------------------------------------
+
+    def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._serve_connection(reader, writer)
+        )
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection end to end.  Every failure mode lands here and
+        is contained here: the daemon survives anything a single
+        connection does."""
+        session: Optional[StreamSession] = None
+        try:
+            session = await self._handshake(reader, writer)
+            if session is None:
+                return
+            await self._pump(session, reader)
+            await self._complete(session)
+        except _SessionError as exc:
+            await self._fail_session(
+                session, writer, exc.code, str(exc), **exc.fields
+            )
+        except (ProtocolError, asyncio.TimeoutError) as exc:
+            code = (
+                "timeout" if isinstance(exc, asyncio.TimeoutError)
+                else "protocol"
+            )
+            message = (
+                f"no frame within {self.config.idle_timeout}s"
+                if isinstance(exc, asyncio.TimeoutError) else str(exc)
+            )
+            await self._fail_session(session, writer, code, message)
+        except (ConnectionError, BrokenPipeError):
+            # Clean-ish transport death (disconnect fault): checkpoint
+            # what we have; the producer will be back with the token.
+            await self._fail_session(session, writer, None, "disconnect")
+        except CheckpointError as exc:
+            await self._fail_session(session, writer, "token", str(exc))
+        except Exception as exc:  # fault isolation: never unwind the loop
+            await self._fail_session(
+                session, writer, "internal",
+                f"{type(exc).__name__}: {exc}",
+            )
+        finally:
+            if session is not None:
+                self.sessions.pop(session.stream_id, None)
+                self._gauge_active()
+                if session.engine is not None:
+                    session.engine.close()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Optional[StreamSession]:
+        frame = await read_frame(reader, self.config.idle_timeout)
+        if frame is None:
+            return None
+        ftype, payload = frame
+        if ftype != FRAME_HELLO:
+            raise _SessionError(
+                "protocol", "expected a HELLO frame first"
+            )
+        hello = validate_hello(decode_json_payload(ftype, payload))
+        stream_id = hello["stream"]
+        if self._draining:
+            raise _SessionError(
+                "drain", "daemon is draining; try another instance"
+            )
+        if len(self.sessions) >= self.config.max_streams:
+            # Top rung: refuse outright, before any state is built.
+            self.count("connects_refused")
+            writer.write(encode_json_frame(FRAME_ERROR, error_payload(
+                "busy",
+                f"at the {self.config.max_streams}-stream cap; retry later",
+            )))
+            await writer.drain()
+            return None
+        if stream_id in self.sessions:
+            raise _SessionError(
+                "busy", f"stream {stream_id!r} is already connected"
+            )
+        token = resume_token(hello)
+        if hello["token"] is not None and hello["token"] != token:
+            raise _SessionError(
+                "token",
+                f"resume token {hello['token']!r} does not match this "
+                f"stream's identity",
+            )
+        self._accept_seq += 1
+        session = StreamSession(
+            self, hello, token, writer, self._accept_seq
+        )
+        try:
+            session.build_engine()
+        except CheckpointError as exc:
+            raise _SessionError("token", str(exc)) from None
+        self.sessions[stream_id] = session
+        self.count("streams_accepted")
+        self.emit(
+            "accepted",
+            stream=stream_id,
+            resume_epoch=session.resume_epoch,
+            epochs=hello["epochs"],
+            lifeguard=hello["lifeguard"],
+        )
+        self._gauge_active()
+        session.consumer = asyncio.get_running_loop().create_task(
+            session.consume()
+        )
+        await session.send(FRAME_ACK, {
+            "stream": stream_id,
+            "resume_epoch": session.resume_epoch,
+            "token": token,
+        })
+        return session
+
+    async def _pump(
+        self, session: StreamSession, reader: asyncio.StreamReader
+    ) -> None:
+        """The read loop: frames in, bounded queue out."""
+        config = self.config
+        loop = asyncio.get_running_loop()
+        stop = loop.create_task(session.stop_event.wait())
+        try:
+            while not session.ended:
+                if session.stopped is None:
+                    read = loop.create_task(
+                        read_frame(reader, config.idle_timeout)
+                    )
+                    await asyncio.wait(
+                        {read, stop}, return_when=asyncio.FIRST_COMPLETED
+                    )
+                    if not read.done():
+                        read.cancel()
+                        try:
+                            await read
+                        except (asyncio.CancelledError, Exception):
+                            pass
+                        frame = None
+                    else:
+                        frame = read.result()  # re-raises read errors
+                if session.stopped is not None:
+                    raise _SessionError(
+                        session.stopped,
+                        "stream shed under overload; reconnect to resume"
+                        if session.stopped == "shed"
+                        else "daemon is draining; reconnect to resume",
+                    )
+                if frame is None:
+                    raise ConnectionResetError("producer disconnected")
+                ftype, payload = frame
+                self.count("bytes_ingested", HEADER_SIZE + len(payload))
+                if ftype == FRAME_EPOCH:
+                    lid = session.next_epoch
+                    row = session.handle_epoch(payload)
+                    if session.queue.full():
+                        # The await below blocks the read loop -- that
+                        # *is* the backpressure; count the stall.
+                        self.count("backpressure_stalls")
+                    await session.queue.put((lid, row))
+                    self.note_queued(session)
+                elif ftype == FRAME_END:
+                    session.handle_end(payload)
+                else:
+                    raise _SessionError(
+                        "protocol",
+                        f"unexpected frame type 0x{ftype:02x} mid-stream",
+                    )
+        finally:
+            stop.cancel()
+
+    async def _complete(self, session: StreamSession) -> None:
+        """END received: finish the engine, send the REPORT."""
+        await session.queue.put(None)
+        try:
+            await session.consumer
+        except Exception as exc:
+            raise _SessionError(
+                "internal", f"analysis failed: {exc}"
+            ) from exc
+        report = build_report(
+            session.stream_id, session.hello,
+            session.engine, session.engine.analysis,
+        )
+        await session.send(FRAME_REPORT, report)
+        path = session.checkpoint_path
+        if path is not None and os.path.exists(path):
+            os.unlink(path)  # the run is complete; nothing to resume
+        self.count("streams_completed")
+        self.emit(
+            "completed",
+            stream=session.stream_id,
+            epochs=session.next_epoch,
+            flags=len(report.get("errors", report.get("races", []))),
+        )
+
+    async def _fail_session(
+        self,
+        session: Optional[StreamSession],
+        writer: asyncio.StreamWriter,
+        code: Optional[str],
+        message: str,
+        **fields: Any,
+    ) -> None:
+        """Contain one session's failure: stop its consumer, fold what
+        is queued, checkpoint at the epoch boundary, tell the producer
+        (when the socket still works), and count it."""
+        if session is not None:
+            self.count("streams_failed")
+            self.emit(
+                "failed",
+                stream=session.stream_id,
+                code=code or "disconnect",
+                epoch=session.next_epoch,
+            )
+            if session.consumer is not None:
+                session.consumer.cancel()
+                try:
+                    await session.consumer
+                except (asyncio.CancelledError, Exception):
+                    pass
+            try:
+                await session.drain_queue()
+                await session.save_checkpoint_now()
+            except Exception:
+                # A failed final checkpoint degrades resume to the last
+                # periodic snapshot; it must not mask the error path.
+                pass
+        if code is not None:
+            payload = error_payload(code, message, **fields)
+            if session is not None:
+                payload.setdefault("token", session.token)
+                payload.setdefault(
+                    "resume_epoch",
+                    session.engine._next_to_receive
+                    if session.engine is not None else 0,
+                )
+            try:
+                writer.write(encode_json_frame(FRAME_ERROR, payload))
+                await writer.drain()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+
+class ServerThread:
+    """A daemon on a background thread, for tests and in-process use.
+
+    The event loop (sockets, sessions, recorder) runs entirely on the
+    background thread; :meth:`stop` requests a drain from the caller's
+    thread and joins.  Context-manager form guarantees the join.
+    """
+
+    def __init__(
+        self, config: ServeConfig, recorder: Recorder = NULL_RECORDER
+    ) -> None:
+        self.server = ReproServer(config, recorder)
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    @property
+    def address(self) -> Tuple[str, Any]:
+        return self.server.address
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        finally:
+            self._loop.close()
+
+    async def _main(self) -> None:
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.server.wait_done()
+
+    def stop(self) -> None:
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(), self._loop
+        )
+        future.result(timeout=60)
+        self._thread.join(timeout=60)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

@@ -256,8 +256,12 @@ def save_stream_file(
         dump_stream(partition, fp)
 
 
-def _stream_header(fp: IO[str], name: str) -> dict:
-    """Read and validate a version 2 header (line 1 of ``fp``)."""
+def stream_header(fp: IO[str], name: str) -> dict:
+    """Read and validate a version 2 header (line 1 of ``fp``).
+
+    Public because the serve client builds its ``HELLO`` frame from a
+    stream file's header without decoding any epoch records.
+    """
     line = fp.readline()
     if not line.strip():
         raise TraceError(f"{name}:1: unexpected end of file (expected header)")
@@ -286,10 +290,18 @@ def _stream_header(fp: IO[str], name: str) -> dict:
     return header
 
 
-def _decode_epoch_row(
+def decode_epoch_row(
     record: object, lid: int, num_threads: int, name: str, lineno: int
 ) -> List[Block]:
-    """Turn one epoch record into a row of :class:`Block` objects."""
+    """Turn one epoch record into a row of :class:`Block` objects.
+
+    Shared by the version 2 file reader and the serve daemon's framed
+    protocol (one ``EPOCH`` frame carries exactly one of these
+    records), so a byte stream arriving over a socket is validated by
+    the same code -- and rejected with the same diagnostics -- as a
+    trace file.  For the daemon, ``name`` is the stream id and
+    ``lineno`` the frame ordinal.
+    """
     if not isinstance(record, dict):
         raise TraceError(
             f"{name}:{lineno}: expected an epoch record, got {record!r}"
@@ -350,7 +362,7 @@ def stream_epochs(
     :class:`TraceError` with ``file:line`` context, as does trailing
     garbage after the footer.
     """
-    header = _stream_header(fp, name)
+    header = stream_header(fp, name)
     yield from _stream_rows(fp, header, name, start)
 
 
@@ -386,7 +398,7 @@ def _stream_rows(
             raise TraceError(
                 f"{name}:{lineno}: invalid JSON (epoch {lid}): {exc}"
             ) from None
-        yield _decode_epoch_row(record, lid, num_threads, name, lineno)
+        yield decode_epoch_row(record, lid, num_threads, name, lineno)
     lineno += 1
     line = fp.readline()
     if not line.strip():
@@ -430,7 +442,7 @@ class StreamTraceSource(EpochSource):
     def __init__(self, path: Union[str, Path]) -> None:
         self._path = str(path)
         with open(self._path) as fp:
-            self._header = _stream_header(fp, self._path)
+            self._header = stream_header(fp, self._path)
 
     @property
     def path(self) -> str:

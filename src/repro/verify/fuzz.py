@@ -100,7 +100,9 @@ def run_fuzz(
     )
     guard_ctx = apply_mutant(mutant) if mutant else _null_context()
     started = time.monotonic()
-    with guard_ctx:
+    # ``finally: harness.close()`` tears down the shared serve daemon
+    # the serve pair may have started (no-op otherwise).
+    with guard_ctx, harness:
         trial = 0
         while True:
             if trials is not None and trial >= trials:

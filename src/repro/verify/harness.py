@@ -1,6 +1,6 @@
 """The differential harness: every execution mode must agree.
 
-Six mode pairs, each an independent equivalence the paper (or this
+Eight mode pairs, each an independent equivalence the paper (or this
 codebase's own contracts) promises:
 
 ``orderings``
@@ -40,6 +40,14 @@ codebase's own contracts) promises:
     be bit-identical.  This doubles as a losslessness proof of the
     columnar round trip, since the object side materializes
     ``block.instrs`` from the columns.
+``serve``
+    The ``repro serve`` daemon vs. the offline streaming pipeline: the
+    case is written as a version 2 stream file, pushed over a Unix
+    socket to a shared in-process daemon, and the daemon's end-of-
+    stream report (errors, work counters, window peak) must be
+    bit-identical to what ``run_source`` computes over the same file.
+    The transport, framing, queueing, and shard hand-off must be
+    invisible in every output.
 
 Each check returns ``None`` on agreement (or when inapplicable) and a
 human-readable diagnosis string on disagreement; the diagnosis string
@@ -59,7 +67,7 @@ from repro.core.epoch import Block, EpochPartition
 from repro.core.framework import ButterflyEngine
 from repro.core.ordering import all_valid_orderings
 from repro.core.stream import EpochSource
-from repro.errors import ResilienceError
+from repro.errors import ReproError, ResilienceError
 from repro.lifeguards.addrcheck import ButterflyAddrCheck
 from repro.lifeguards.sequential import true_errors_under_any_ordering
 from repro.lifeguards.taintcheck import ButterflyTaintCheck
@@ -67,7 +75,15 @@ from repro.obs.recorder import NULL_RECORDER, Recorder, normalize_events
 from repro.resilience.checkpoint import Checkpointer, load_checkpoint
 from repro.resilience.faults import FaultPlan
 from repro.resilience.supervisor import RetryPolicy, SupervisedBackend
-from repro.trace.serialize import iter_load, save_stream_file
+from repro.serve import (
+    ServeConfig,
+    ServerThread,
+    build_report,
+    make_guard,
+    make_hello,
+    push_trace,
+)
+from repro.trace.serialize import iter_load, save_stream_file, stream_header
 from repro.verify.generator import TraceCase
 
 #: The full mode-pair matrix, in the order ``repro fuzz`` reports it.
@@ -79,6 +95,7 @@ MODE_NAMES = (
     "resume",
     "stream",
     "columnar",
+    "serve",
 )
 
 
@@ -183,6 +200,26 @@ class DifferentialHarness:
         self.checks_run: Dict[str, int] = {m: 0 for m in MODE_NAMES}
         #: mode -> number of cases skipped as inapplicable.
         self.skipped: Dict[str, int] = {m: 0 for m in MODE_NAMES}
+        # The serve pair's shared in-process daemon, created lazily on
+        # the first serve check and torn down by close().
+        self._serve_daemon = None
+        self._serve_dir: Optional[tempfile.TemporaryDirectory] = None
+        self._serve_seq = 0
+
+    def close(self) -> None:
+        """Tear down the shared serve daemon (idempotent)."""
+        if self._serve_daemon is not None:
+            self._serve_daemon.stop()
+            self._serve_daemon = None
+        if self._serve_dir is not None:
+            self._serve_dir.cleanup()
+            self._serve_dir = None
+
+    def __enter__(self) -> "DifferentialHarness":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- driving --------------------------------------------------------
 
@@ -524,6 +561,88 @@ class DifferentialHarness:
                     f"columnar run ({backend}) diverged in normalized "
                     f"event logs: {_first_diff(ref_events, col_events)}"
                 )
+        return None
+
+    def _serve_address(self):
+        """The shared in-process daemon's address, starting it lazily.
+
+        One daemon serves the whole campaign (the cost of a thread, an
+        event loop, and a shard pool per case would dominate the fuzz
+        rate); every case pushes under a fresh stream id, so sessions
+        never collide.  Checkpointing stays off -- each push is a
+        complete one-shot delivery and the resume pair has its own
+        dedicated tests.
+        """
+        if self._serve_daemon is None:
+            self._serve_dir = tempfile.TemporaryDirectory(
+                prefix="repro-verify-serve-"
+            )
+            self._serve_daemon = ServerThread(
+                ServeConfig(
+                    unix_path=os.path.join(
+                        self._serve_dir.name, "serve.sock"
+                    ),
+                    queue_depth=2,
+                )
+            )
+            self._serve_daemon.start()
+        return self._serve_daemon.address
+
+    def check_serve(self, case: TraceCase) -> Optional[str]:
+        """Daemon-ingested stream vs. the offline streaming pipeline:
+        the wire must be invisible in the end-of-stream report."""
+        self._serve_seq += 1
+        stream_id = f"case-{self._serve_seq}"
+        with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+            path = os.path.join(tmp, "case.stream.jsonl")
+            save_stream_file(case.partition(), path)
+            with open(path) as fp:
+                header = stream_header(fp, path)
+
+            # Offline side: the exact pipeline `repro check --trace`
+            # runs, built from the file's own header so both sides see
+            # byte-identical inputs.
+            guard = make_guard(case.lifeguard, header["preallocated"])
+            engine = ButterflyEngine(guard)
+            try:
+                engine.run_source(iter_load(path))
+            finally:
+                engine.close()
+            hello = make_hello(
+                stream_id,
+                header["threads"],
+                header["epochs"],
+                header["preallocated"],
+                case.lifeguard,
+            )
+            offline = json.loads(
+                json.dumps(build_report(stream_id, hello, engine, guard))
+            )
+
+            try:
+                served = push_trace(
+                    self._serve_address(),
+                    path,
+                    stream_id,
+                    lifeguard=case.lifeguard,
+                )
+            except ReproError as exc:
+                return f"serve push failed: {exc}"
+
+        if served != offline:
+            for key in sorted(set(served) | set(offline)):
+                if served.get(key) != offline.get(key):
+                    return (
+                        f"serve daemon diverged from offline run in "
+                        f"{key!r}: offline={offline.get(key)!r} "
+                        f"served={served.get(key)!r}"
+                    )
+        if served["window_high_water"] > served["window_bound"]:
+            return (
+                f"served stream violated the window bound: peak "
+                f"{served['window_high_water']} resident summaries > "
+                f"{served['window_bound']}"
+            )
         return None
 
 

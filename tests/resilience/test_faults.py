@@ -12,7 +12,7 @@ from repro.resilience import (
     InjectedFault,
     result_is_valid,
 )
-from repro.resilience.faults import faulted_apply
+from repro.resilience.faults import TRANSPORT_FAULT_KINDS, faulted_apply
 
 
 class TestFaultPlanParse:
@@ -108,6 +108,96 @@ class TestFaultPlanDecide:
         plan = FaultPlan(crash=0.1, hang=0.1, kill=0.1, corrupt=0.1)
         assert all(hasattr(plan, k) for k in FAULT_KINDS)
         assert plan.total_rate == pytest.approx(0.4)
+
+
+class TestTransportFaults:
+    def test_parse_transport_kinds(self):
+        plan = FaultPlan.parse(
+            "disconnect=0.1,trunc_frame=0.05,corrupt_bytes=0.02,"
+            "stall=0.01,stall_s=1.5,seed=11"
+        )
+        assert plan.disconnect == 0.1
+        assert plan.trunc_frame == 0.05
+        assert plan.corrupt_bytes == 0.02
+        assert plan.stall == 0.01
+        assert plan.stall_s == 1.5
+        assert plan.seed == 11
+        assert plan.total_transport_rate == pytest.approx(0.18)
+        # Transport rates never leak into the compute-fault budget.
+        assert plan.total_rate == 0.0
+
+    def test_families_validated_independently(self):
+        # 0.9 compute + 0.9 transport is fine: each family's dice are
+        # rolled separately, so each sum only has to fit in [0, 1].
+        plan = FaultPlan(crash=0.9, disconnect=0.9)
+        assert plan.total_rate == pytest.approx(0.9)
+        assert plan.total_transport_rate == pytest.approx(0.9)
+        with pytest.raises(ResilienceError, match="sum to at most 1"):
+            FaultPlan(disconnect=0.6, stall=0.6)
+        with pytest.raises(ResilienceError, match=r"in \[0, 1\]"):
+            FaultPlan(trunc_frame=-0.1)
+
+    def test_pure_and_repeatable(self):
+        plan = FaultPlan(
+            disconnect=0.2, trunc_frame=0.2, corrupt_bytes=0.2,
+            stall=0.2, seed=9,
+        )
+        keys = [((d, e), a)
+                for d in range(5) for e in range(5) for a in range(3)]
+        first = [plan.decide_transport(k, a) for k, a in keys]
+        again = [plan.decide_transport(k, a) for k, a in keys]
+        assert first == again
+        assert set(first) <= set(TRANSPORT_FAULT_KINDS) | {None}
+
+    def test_uncorrelated_with_compute_dice(self):
+        # Same seed, same keys: the transport draw must not mirror the
+        # compute draw, or mixed plans would fault in lockstep.
+        plan = FaultPlan(crash=0.5, disconnect=0.5, seed=2)
+        keys = [((d, e), 0) for d in range(20) for e in range(20)]
+        compute = [plan.decide(k, a) is not None for k, a in keys]
+        transport = [
+            plan.decide_transport(k, a) is not None for k, a in keys
+        ]
+        agree = sum(c == t for c, t in zip(compute, transport))
+        assert 0.3 < agree / len(keys) < 0.7
+
+    def test_attempt_rerolls_the_dice(self):
+        # A reconnecting producer must not be doomed to re-fault on the
+        # same epoch forever.
+        plan = FaultPlan(disconnect=0.5, seed=4)
+        decisions = {
+            plan.decide_transport((1, 1), a) for a in range(12)
+        }
+        assert decisions == {"disconnect", None}
+
+    def test_zero_rates_never_fault(self):
+        plan = FaultPlan(crash=0.5, seed=1)  # compute-only plan
+        assert all(
+            plan.decide_transport((d, e), 0) is None
+            for d in range(10) for e in range(10)
+        )
+
+    def test_rates_roughly_respected(self):
+        plan = FaultPlan(trunc_frame=0.25, seed=1)
+        n = 4000
+        hits = sum(
+            plan.decide_transport((0, i), 0) == "trunc_frame"
+            for i in range(n)
+        )
+        assert 0.18 < hits / n < 0.32
+
+    def test_decisions_survive_pickling(self):
+        plan = FaultPlan(disconnect=0.3, corrupt_bytes=0.3, seed=11)
+        clone = pickle.loads(pickle.dumps(plan))
+        keys = [((d, e), a)
+                for d in range(4) for e in range(4) for a in range(2)]
+        assert [plan.decide_transport(k, a) for k, a in keys] == [
+            clone.decide_transport(k, a) for k, a in keys
+        ]
+
+    def test_kinds_constant_matches_plan_fields(self):
+        plan = FaultPlan()
+        assert all(hasattr(plan, k) for k in TRANSPORT_FAULT_KINDS)
 
 
 def _consume(values):

@@ -1,0 +1,150 @@
+"""Stream resume: checkpoints survive disconnects, daemon restarts,
+and a SIGKILLed daemon process; resumed reports are bit-identical."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+from repro.resilience.checkpoint import load_checkpoint
+from repro.serve import ServeConfig, ServerThread, StreamClient
+from repro.serve.client import read_frame_sync
+from repro.serve.protocol import (
+    FRAME_EPOCH,
+    FRAME_ERROR,
+    FRAME_HELLO,
+    encode_frame,
+    encode_json_frame,
+    make_hello,
+)
+from repro.trace.serialize import stream_header
+
+from tests.serve.conftest import offline_report, write_trace
+from tests.serve.test_server import FAST, connect, raw_handshake
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def wait_for_checkpoint(ckpt_dir, min_epoch=1, timeout=10.0):
+    """Poll until some stream's checkpoint has committed ``min_epoch``."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        for path in ckpt_dir.glob("*.ckpt"):
+            try:
+                checkpoint = load_checkpoint(str(path))
+            except Exception:
+                continue  # mid-write; poll again
+            if checkpoint.next_epoch >= min_epoch:
+                return path, checkpoint
+        time.sleep(0.01)
+    raise AssertionError(f"no checkpoint reached epoch {min_epoch}")
+
+
+class TestResumeAcrossRestart:
+    def test_disconnect_then_new_daemon_resumes(self, tmp_path):
+        trace = tmp_path / "t.stream.jsonl"
+        write_trace(trace, events=300, seed=5)
+        ck = tmp_path / "ck"
+        first = ServeConfig(
+            unix_path=str(tmp_path / "a.sock"), checkpoint_dir=str(ck)
+        )
+        with ServerThread(first) as daemon:
+            sock = raw_handshake(daemon.address, trace, "s1", 6)
+            wait_for_checkpoint(ck, min_epoch=2)
+            sock.close()  # abandon mid-stream
+        # The drained daemon kept the checkpoint for the dead stream.
+        path, checkpoint = wait_for_checkpoint(ck, min_epoch=2)
+        committed = checkpoint.next_epoch
+
+        second = ServeConfig(
+            unix_path=str(tmp_path / "b.sock"), checkpoint_dir=str(ck)
+        )
+        with ServerThread(second) as daemon:
+            client = StreamClient(
+                daemon.address, str(trace), "s1", policy=FAST, retries=2
+            )
+            served = client.push()
+        assert client.last_ack["resume_epoch"] == committed
+        assert served == offline_report(trace, "s1")
+
+    def test_token_mismatch_is_refused(self, daemon, trace_file):
+        with open(trace_file) as fp:
+            header = stream_header(fp, str(trace_file))
+        hello = make_hello(
+            "s1", header["threads"], header["epochs"],
+            header["preallocated"], "addrcheck", token="0" * 32,
+        )
+        sock = connect(daemon.address)
+        sock.sendall(encode_json_frame(FRAME_HELLO, hello))
+        ftype, payload = read_frame_sync(sock)
+        sock.close()
+        assert ftype == FRAME_ERROR
+        assert json.loads(payload)["code"] == "token"
+
+    def test_error_frames_carry_resume_coordinates(
+        self, daemon, trace_file
+    ):
+        sock = raw_handshake(daemon.address, trace_file, "s1", 2)
+        sock.sendall(encode_frame(FRAME_EPOCH, b"garbage"))
+        ftype, payload = read_frame_sync(sock)
+        sock.close()
+        assert ftype == FRAME_ERROR
+        answer = json.loads(payload)
+        assert len(answer["token"]) == 32
+        assert answer["resume_epoch"] >= 0
+
+
+def start_daemon(tmp_path, sock_name, ck):
+    """``repro serve`` as a real subprocess; returns (proc, address)."""
+    sock_path = str(tmp_path / sock_name)
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--unix", sock_path,
+            "--checkpoint-dir", str(ck),
+            "--queue-depth", "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    banner = proc.stdout.readline()
+    assert "serving on unix" in banner, (banner, proc.stderr.read())
+    return proc, ("unix", sock_path)
+
+
+class TestKilledDaemon:
+    def test_sigkill_mid_epoch_then_resume(self, tmp_path):
+        trace = tmp_path / "t.stream.jsonl"
+        write_trace(trace, events=300, seed=9)
+        ck = tmp_path / "ck"
+        proc, address = start_daemon(tmp_path, "a.sock", ck)
+        try:
+            sock = raw_handshake(address, trace, "s1", 5)
+            _, checkpoint = wait_for_checkpoint(ck, min_epoch=2)
+            committed = checkpoint.next_epoch
+            proc.kill()  # SIGKILL: no drain, no final checkpoint
+            proc.wait(timeout=10)
+            sock.close()
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup
+                proc.kill()
+                proc.wait()
+
+        proc, address = start_daemon(tmp_path, "b.sock", ck)
+        try:
+            client = StreamClient(
+                address, str(trace), "s1", policy=FAST, retries=2
+            )
+            served = client.push()
+            # Resumed from a committed boundary at or past what we saw:
+            # the killed daemon's folded epochs were not re-fed.
+            assert client.last_ack["resume_epoch"] >= committed
+            assert served == offline_report(trace, "s1")
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

@@ -1,0 +1,259 @@
+"""Integration tests for the serve daemon: correctness, concurrency,
+fault isolation, backpressure, and the overload ladder."""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.obs.recorder import Recorder
+from repro.resilience.faults import FaultPlan
+from repro.resilience.supervisor import RetryPolicy
+from repro.serve import (
+    ServeConfig,
+    ServeErrorFrame,
+    ServerThread,
+    StreamClient,
+    push_trace,
+)
+from repro.serve.client import read_frame_sync
+from repro.serve.protocol import (
+    FRAME_ACK,
+    FRAME_EPOCH,
+    FRAME_ERROR,
+    FRAME_HELLO,
+    encode_frame,
+    encode_json_frame,
+    make_hello,
+)
+from repro.trace.serialize import stream_header
+
+from tests.serve.conftest import offline_report, write_trace
+
+#: Zero-backoff retry policy: tests exercise the retry *logic*, not its
+#: production pacing.
+FAST = RetryPolicy(backoff_base=0.0, backoff_max=0.0)
+
+
+def connect(address):
+    kind, where = address
+    sock = socket.socket(
+        socket.AF_UNIX if kind == "unix" else socket.AF_INET,
+        socket.SOCK_STREAM,
+    )
+    sock.settimeout(10.0)
+    sock.connect(where)
+    return sock
+
+
+def raw_handshake(address, path, stream_id, epochs_to_send=0):
+    """HELLO + ``epochs_to_send`` raw epoch frames; the open socket."""
+    with open(path) as fp:
+        header = stream_header(fp, str(path))
+        lines = [fp.readline() for _ in range(epochs_to_send)]
+    hello = make_hello(
+        stream_id, header["threads"], header["epochs"],
+        header["preallocated"], "addrcheck",
+    )
+    sock = connect(address)
+    sock.sendall(encode_json_frame(FRAME_HELLO, hello))
+    ftype, payload = read_frame_sync(sock)
+    assert ftype == FRAME_ACK, payload
+    for line in lines:
+        sock.sendall(encode_frame(FRAME_EPOCH, line.strip().encode()))
+    return sock
+
+
+class TestEndToEnd:
+    def test_report_matches_offline_run(self, daemon, trace_file):
+        served = push_trace(daemon.address, str(trace_file), "s1")
+        assert served == offline_report(trace_file, "s1")
+
+    def test_taintcheck_stream(self, daemon, trace_file):
+        served = push_trace(
+            daemon.address, str(trace_file), "s1", lifeguard="taintcheck"
+        )
+        assert served == offline_report(
+            trace_file, "s1", lifeguard="taintcheck"
+        )
+
+    def test_tcp_transport(self, tmp_path, trace_file):
+        with ServerThread(ServeConfig(port=0)) as daemon:
+            assert daemon.address[0] == "tcp"
+            served = push_trace(daemon.address, str(trace_file), "s1")
+        assert served == offline_report(trace_file, "s1")
+
+    def test_window_bound_holds_under_push(self, daemon, trace_file):
+        report = push_trace(daemon.address, str(trace_file), "s1")
+        assert report["window_high_water"] <= report["window_bound"]
+
+    def test_checkpoint_removed_after_completion(
+        self, daemon, trace_file, tmp_path
+    ):
+        push_trace(daemon.address, str(trace_file), "s1")
+        # The daemon unlinks just after flushing the REPORT frame, so
+        # give the loop thread a beat to get there.
+        deadline = time.monotonic() + 5.0
+        while list((tmp_path / "ckpt").glob("*.ckpt")):
+            assert time.monotonic() < deadline, "checkpoint not removed"
+            time.sleep(0.01)
+
+    def test_concurrent_streams_all_correct(self, daemon, tmp_path):
+        paths = {}
+        for i in range(6):
+            path = tmp_path / f"t{i}.stream.jsonl"
+            write_trace(path, threads=2 + i % 2, events=150, seed=i)
+            paths[f"stream-{i}"] = path
+        results, errors = {}, []
+
+        def push(sid, path):
+            try:
+                results[sid] = push_trace(daemon.address, str(path), sid)
+            except Exception as exc:  # pragma: no cover - assertion aid
+                errors.append((sid, exc))
+
+        threads = [
+            threading.Thread(target=push, args=(sid, path))
+            for sid, path in paths.items()
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for sid, path in paths.items():
+            assert results[sid] == offline_report(path, sid)
+
+
+class TestTransportFaults:
+    def test_faulted_push_matches_clean_report(self, daemon, trace_file):
+        plan = FaultPlan(
+            disconnect=0.08, trunc_frame=0.05, corrupt_bytes=0.05, seed=3
+        )
+        served = push_trace(
+            daemon.address, str(trace_file), "faulty",
+            plan=plan, retries=40,
+        )
+        expected = offline_report(trace_file, "faulty")
+        assert served == expected
+
+    def test_corrupt_frame_is_contained_to_its_stream(
+        self, daemon, trace_file
+    ):
+        sock = raw_handshake(daemon.address, trace_file, "bad", 1)
+        sock.sendall(encode_frame(FRAME_EPOCH, b"definitely not json"))
+        ftype, payload = read_frame_sync(sock)
+        assert ftype == FRAME_ERROR
+        answer = json.loads(payload)
+        assert answer["code"] == "protocol"
+        assert answer["token"]  # resumable: the good epoch survived
+        sock.close()
+        # The daemon is still healthy: a fresh stream completes.
+        served = push_trace(daemon.address, str(trace_file), "good")
+        assert served == offline_report(trace_file, "good")
+
+    def test_idle_producer_times_out(self, tmp_path, trace_file):
+        config = ServeConfig(
+            unix_path=str(tmp_path / "s.sock"), idle_timeout=0.2
+        )
+        with ServerThread(config) as daemon:
+            sock = raw_handshake(daemon.address, trace_file, "quiet", 1)
+            ftype, payload = read_frame_sync(sock)  # stall past timeout
+            assert ftype == FRAME_ERROR
+            assert json.loads(payload)["code"] == "timeout"
+            sock.close()
+
+    def test_stalling_producer_recovers_through_retries(
+        self, tmp_path, trace_file
+    ):
+        config = ServeConfig(
+            unix_path=str(tmp_path / "s.sock"),
+            checkpoint_dir=str(tmp_path / "ck"),
+            idle_timeout=0.3,
+        )
+        plan = FaultPlan(stall=0.25, stall_s=1.0, seed=7)
+        with ServerThread(config) as daemon:
+            served = StreamClient(
+                daemon.address, str(trace_file), "slow",
+                plan=plan, policy=FAST, retries=40,
+            ).push()
+        assert served == offline_report(trace_file, "slow")
+
+
+class TestOverloadLadder:
+    def test_duplicate_stream_id_refused(self, daemon, trace_file):
+        sock = raw_handshake(daemon.address, trace_file, "dup", 1)
+        with pytest.raises(ServeErrorFrame, match="already connected"):
+            StreamClient(
+                daemon.address, str(trace_file), "dup",
+                policy=FAST, retries=0,
+            ).push()
+        sock.close()
+
+    def test_stream_cap_refuses_connects(self, tmp_path, trace_file):
+        config = ServeConfig(
+            unix_path=str(tmp_path / "s.sock"), max_streams=1
+        )
+        with ServerThread(config, Recorder()) as daemon:
+            sock = raw_handshake(daemon.address, trace_file, "first", 1)
+            with pytest.raises(ServeErrorFrame, match="cap"):
+                StreamClient(
+                    daemon.address, str(trace_file), "second",
+                    policy=FAST, retries=0,
+                ).push()
+            sock.close()
+            snapshot = daemon.server.recorder.snapshot()
+        assert snapshot["counters"]["serve.connects_refused"] == 1
+
+    def test_shed_newest_is_resumable(self, tmp_path, trace_file):
+        # max_pending_epochs=0: the very first queued epoch trips the
+        # shed rung, and the (only, hence newest) stream is evicted with
+        # its checkpoint intact.
+        shed_config = ServeConfig(
+            unix_path=str(tmp_path / "s.sock"),
+            checkpoint_dir=str(tmp_path / "ck"),
+            max_pending_epochs=0,
+        )
+        with ServerThread(shed_config, Recorder()) as daemon:
+            with pytest.raises(ServeErrorFrame) as exc_info:
+                StreamClient(
+                    daemon.address, str(trace_file), "victim",
+                    policy=FAST, retries=0,
+                ).push()
+            snapshot = daemon.server.recorder.snapshot()
+        assert exc_info.value.code == "shed"
+        assert snapshot["counters"]["serve.streams_shed"] >= 1
+        assert list((tmp_path / "ck").glob("*.ckpt"))
+        # A healthy daemon on the same checkpoint dir finishes the run.
+        ok_config = ServeConfig(
+            unix_path=str(tmp_path / "s2.sock"),
+            checkpoint_dir=str(tmp_path / "ck"),
+        )
+        with ServerThread(ok_config) as daemon:
+            served = StreamClient(
+                daemon.address, str(trace_file), "victim",
+                policy=FAST, retries=5,
+            ).push()
+        assert served == offline_report(trace_file, "victim")
+
+
+class TestBackpressure:
+    def test_stalls_counted_and_accounting_balances(
+        self, tmp_path, trace_file
+    ):
+        config = ServeConfig(
+            unix_path=str(tmp_path / "s.sock"), queue_depth=1
+        )
+        with ServerThread(config, Recorder()) as daemon:
+            push_trace(daemon.address, str(trace_file), "s1")
+            snapshot = daemon.server.recorder.snapshot()
+        counters = snapshot["counters"]
+        assert counters["serve.backpressure_stalls"] >= 1
+        assert (
+            counters["serve.epochs_received"]
+            == counters["serve.epochs_folded"]
+        )
+        assert snapshot["gauges"]["serve.pending_epochs"] == 0
+        assert counters["serve.bytes_ingested"] > 0
