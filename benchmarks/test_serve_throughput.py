@@ -1,0 +1,138 @@
+"""Multi-stream serve throughput: thread shards vs process shards.
+
+The ``serve_throughput`` perf workload (``repro.bench.perf``, schema 7)
+drives N concurrent producers against one daemon per shard backend.
+This harness runs it at a reduced scale and checks two things:
+
+- **Equivalence (always):** every stream's report is bit-identical
+  across backends and to the offline run -- shipping validated epoch
+  rows over a pipe must not change a single byte of analysis output.
+- **Ordering (>=2 cores, not CI):** with real parallelism available,
+  process shards must not lose to thread shards -- the whole point of
+  the backend is to escape the GIL.  On a single core the process
+  backend only adds pickling and context switches, so the claim is
+  meaningless there and the test skips.
+"""
+
+import json
+import os
+import random
+import threading
+
+import pytest
+
+from repro.bench.perf import _bench_serve_throughput
+from repro.core.epoch import partition_fixed
+from repro.core.framework import ButterflyEngine
+from repro.serve import (
+    SHARD_BACKEND_CHOICES,
+    ServeConfig,
+    ServerThread,
+    build_report,
+    make_hello,
+    push_trace,
+)
+from repro.serve.server import make_guard
+from repro.trace.generator import simulated_alloc_program
+from repro.trace.serialize import (
+    iter_load,
+    save_stream_file,
+    stream_header,
+)
+
+STREAMS = 3
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    program = simulated_alloc_program(
+        random.Random(21), num_threads=3, total_events=900
+    )
+    partition = partition_fixed(program, 128)
+    path = tmp_path_factory.mktemp("serve-tp") / "t.stream.jsonl"
+    save_stream_file(partition, str(path))
+    return path
+
+
+def offline_report(path, stream_id):
+    with open(path) as fp:
+        header = stream_header(fp, str(path))
+    guard = make_guard("addrcheck", frozenset(header["preallocated"]))
+    with ButterflyEngine(guard) as engine:
+        engine.run_source(iter_load(str(path)))
+        hello = make_hello(
+            stream_id, header["threads"], header["epochs"],
+            header["preallocated"], "addrcheck",
+        )
+        return json.loads(
+            json.dumps(build_report(stream_id, hello, engine, guard))
+        )
+
+
+def _push_all(daemon, path):
+    results, errors = {}, []
+
+    def push(sid):
+        try:
+            results[sid] = push_trace(daemon.address, str(path), sid)
+        except Exception as exc:  # pragma: no cover - assertion aid
+            errors.append(f"{sid}: {exc}")
+
+    workers = [
+        threading.Thread(target=push, args=(f"s{i}",))
+        for i in range(STREAMS)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    assert not errors, errors
+    return results
+
+
+def test_concurrent_reports_identical_across_backends(
+    tmp_path, trace_path
+):
+    """N concurrent streams per backend: every report bit-identical to
+    the offline run, hence to each other."""
+    per_backend = {}
+    for backend in SHARD_BACKEND_CHOICES:
+        config = ServeConfig(
+            unix_path=str(tmp_path / f"{backend}.sock"),
+            workers=2,
+            shard_backend=backend,
+        )
+        with ServerThread(config) as daemon:
+            per_backend[backend] = _push_all(daemon, trace_path)
+    for i in range(STREAMS):
+        sid = f"s{i}"
+        expected = offline_report(trace_path, sid)
+        for backend in SHARD_BACKEND_CHOICES:
+            assert json.dumps(per_backend[backend][sid]) == json.dumps(
+                expected
+            ), (backend, sid)
+
+
+def test_workload_records_rates():
+    """The perf workload entry carries the fields BENCH_7 readers and
+    the docs rely on."""
+    entry = _bench_serve_throughput(streams=2, events_per_stream=600)
+    assert set(entry["runs"]) == {"thread", "process"}
+    for run in entry["runs"].values():
+        assert run["epochs_per_s"] > 0
+        assert run["streams_per_s"] > 0
+    assert entry["params"]["cpu_count"] == os.cpu_count()
+
+
+def test_process_shards_keep_up_on_multicore(timing_guard):
+    """Process shards must not lose to thread shards when real cores
+    exist.  Generous slack (0.8x) guards the shape -- a collapse to
+    half speed fails, scheduler jitter does not."""
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip(
+            "single-core host: process shards cannot beat the GIL here"
+        )
+    entry = _bench_serve_throughput(streams=4, events_per_stream=2000)
+    thread_rate = entry["runs"]["thread"]["epochs_per_s"]
+    process_rate = entry["runs"]["process"]["epochs_per_s"]
+    assert process_rate >= thread_rate * 0.8, entry["runs"]

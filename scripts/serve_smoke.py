@@ -18,12 +18,20 @@ Scenario, end to end against a *real* ``repro serve`` subprocess:
    report must match the uninterrupted run's.
 4. SIGTERM must drain gracefully: exit 0, ``serve.*`` counters in the
    summary JSON.
+5. A daemon started with ``--metrics 0`` serves a live Prometheus-style
+   text page: every tentpole ``serve.*`` family present, values moving
+   with real traffic.
+
+``--shard-backend {thread,process}`` runs the whole scenario against
+the chosen shard backend (CI runs the script once per backend); the
+daemon's report bytes must not depend on the choice.
 
 Run from the repository root with ``PYTHONPATH=src``:
 
-    python scripts/serve_smoke.py
+    python scripts/serve_smoke.py [--shard-backend process]
 """
 
+import argparse
 import json
 import os
 import pathlib
@@ -34,6 +42,7 @@ import sys
 import tempfile
 import threading
 import time
+import urllib.request
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -72,6 +81,10 @@ FAST = RetryPolicy(backoff_base=0.05, backoff_max=0.2)
 STREAMS = 8
 IDLE_TIMEOUT = 0.5
 
+#: Set by main() from --shard-backend; every daemon the script starts
+#: runs on this backend.
+SHARD_BACKEND = "thread"
+
 
 def log(message):
     print(f"serve-smoke: {message}", flush=True)
@@ -108,16 +121,19 @@ def offline_report(path, stream_id, lifeguard):
     )
 
 
-def start_daemon(sock_path, ckpt_dir, summary_path=None):
+def start_daemon(sock_path, ckpt_dir, summary_path=None, metrics=False):
     argv = [
         sys.executable, "-m", "repro", "serve",
         "--unix", str(sock_path),
         "--checkpoint-dir", str(ckpt_dir),
         "--queue-depth", "2",
         "--idle-timeout", str(IDLE_TIMEOUT),
+        "--shard-backend", SHARD_BACKEND,
     ]
     if summary_path is not None:
         argv += ["--summary-json", str(summary_path)]
+    if metrics:
+        argv += ["--metrics", "0"]
     env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
     proc = subprocess.Popen(
         argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
@@ -126,7 +142,13 @@ def start_daemon(sock_path, ckpt_dir, summary_path=None):
     banner = proc.stdout.readline()
     if "serving on unix" not in banner:
         fail(f"daemon did not start: {banner!r} / {proc.stderr.read()}")
-    return proc
+    if not metrics:
+        return proc
+    metrics_banner = proc.stdout.readline()
+    if not metrics_banner.startswith("metrics on "):
+        fail(f"no metrics banner: {metrics_banner!r}")
+    host, _, port = metrics_banner[len("metrics on "):].strip().rpartition(":")
+    return proc, (host, int(port))
 
 
 def phase_concurrent_streams(tmp, summary_path):
@@ -294,11 +316,70 @@ def phase_sigkill_resume(tmp):
     )
 
 
+def phase_metrics(tmp):
+    """Phase 5: the --metrics listener serves live serve.* families."""
+    trace = tmp / "metrics.stream.jsonl"
+    write_trace(trace, threads=2, events=200, seed=17)
+    sock = tmp / "metrics.sock"
+    proc, (host, port) = start_daemon(
+        sock, tmp / "metrics-ck", metrics=True
+    )
+    url = f"http://{host}:{port}/metrics"
+    try:
+        StreamClient(
+            ("unix", str(sock)), str(trace), "observed",
+            policy=FAST, retries=5,
+        ).push()
+        with urllib.request.urlopen(url, timeout=10) as response:
+            if response.status != 200:
+                fail(f"metrics endpoint returned {response.status}")
+            content_type = response.headers.get("Content-Type", "")
+            if not content_type.startswith("text/plain"):
+                fail(f"metrics content type {content_type!r}")
+            body = response.read().decode("utf-8")
+    finally:
+        proc.terminate()
+        proc.communicate(timeout=60)
+    samples = dict(
+        line.split(" ", 1)
+        for line in body.splitlines()
+        if line and not line.startswith("#")
+    )
+    for family in (
+        "repro_serve_streams_active",
+        "repro_serve_pending_epochs",
+        "repro_serve_epochs_folded",
+        "repro_serve_streams_completed",
+        "repro_serve_workers",
+        "repro_serve_shard_depth_0",
+    ):
+        if family not in samples:
+            fail(f"metrics page missing {family}: {sorted(samples)}")
+    if float(samples["repro_serve_streams_completed"]) < 1:
+        fail(f"metrics page shows no completed stream: {samples}")
+    log(
+        f"metrics endpoint live at {url}: "
+        f"{samples['repro_serve_epochs_folded']} epochs folded, "
+        f"{samples['repro_serve_workers']} shards"
+    )
+
+
 def main():
+    global SHARD_BACKEND
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--shard-backend", choices=("thread", "process"),
+        default="thread",
+        help="shard backend every daemon in the scenario runs on",
+    )
+    args = parser.parse_args()
+    SHARD_BACKEND = args.shard_backend
+    log(f"shard backend: {SHARD_BACKEND}")
     with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp_name:
         tmp = pathlib.Path(tmp_name)
         phase_concurrent_streams(tmp, tmp / "summary.json")
         phase_sigkill_resume(tmp)
+        phase_metrics(tmp)
     log("OK")
 
 

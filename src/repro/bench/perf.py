@@ -46,6 +46,15 @@ Workloads:
   subprocess per config.  Records the >=3x first-pass speedup the PR-7
   acceptance criteria gate on.  Skipped when numpy is unavailable.
 
+- ``serve_throughput`` -- end-to-end daemon throughput: N concurrent
+  producers each push the core trace to one ``repro serve`` daemon,
+  once per shard backend (``thread`` vs ``process``), recording
+  elapsed wall time, streams/sec, and epochs/sec per backend plus the
+  process-vs-thread speedup.  ``cpu_count`` is recorded alongside
+  because the ordering claim only means anything with >=2 cores --
+  on a single core process shards just add pickling and context
+  switches.  Sized via ``--serve-streams`` (0 skips the workload).
+
 Read a ``BENCH_*.json`` as: ``runs.<name>.best_s`` is the best-of-N
 wall time in seconds (N = ``repeats``), ``engine_stats`` the exact work
 counters of that run (identical across backends by design), and
@@ -55,7 +64,7 @@ also carries ``per_epoch``: deterministic per-epoch rows (instructions,
 meets, error attribution) from one instrumented replay.  Schema 3 adds
 the ``resilience_overhead`` workload; schema 4 adds
 ``streaming_overhead``; schema 5 adds ``columnar_10m``; schema 6 adds
-``taint_columnar_10m``.
+``taint_columnar_10m``; schema 7 adds ``serve_throughput``.
 """
 
 from __future__ import annotations
@@ -511,6 +520,101 @@ def _bench_shadow_store_range(repeats: int) -> Dict[str, Any]:
     }
 
 
+#: Default producer count for the ``serve_throughput`` workload.
+SERVE_STREAMS = 4
+#: Shard count the throughput daemons run with.
+SERVE_WORKERS = 2
+
+
+def _bench_serve_throughput(
+    streams: int = SERVE_STREAMS,
+    events_per_stream: int = CORE_EVENTS,
+) -> Dict[str, Any]:
+    """Time ``streams`` concurrent producers against one daemon per
+    shard backend.  Each backend gets a warm-up push first so process
+    shards pay their worker-spawn cost outside the timed window --
+    the steady state is what the ratio compares."""
+    import tempfile
+    import threading
+
+    from repro.serve import ServeConfig, ServerThread, push_trace
+    from repro.serve.shards import SHARD_BACKEND_CHOICES
+    from repro.trace.serialize import save_stream_file, stream_header
+
+    program = simulated_alloc_program(
+        random.Random(CORE_SEED),
+        num_threads=CORE_THREADS,
+        total_events=events_per_stream,
+        num_locations=CORE_LOCATIONS,
+    )
+    partition = partition_fixed(program, CORE_EPOCH)
+    runs: Dict[str, Any] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        trace = os.path.join(tmp, "core.stream.jsonl")
+        save_stream_file(partition, trace)
+        with open(trace) as fp:
+            epochs = stream_header(fp, trace)["epochs"]
+        for backend in SHARD_BACKEND_CHOICES:
+            config = ServeConfig(
+                unix_path=os.path.join(tmp, f"{backend}.sock"),
+                workers=SERVE_WORKERS,
+                shard_backend=backend,
+            )
+            with ServerThread(config) as daemon:
+                push_trace(
+                    daemon.address, trace, f"warmup-{backend}"
+                )
+                failures: list = []
+
+                def push(sid: str) -> None:
+                    try:
+                        push_trace(daemon.address, trace, sid)
+                    except Exception as exc:  # pragma: no cover
+                        failures.append(f"{sid}: {exc}")
+
+                producers = [
+                    threading.Thread(
+                        target=push, args=(f"{backend}-{i}",)
+                    )
+                    for i in range(streams)
+                ]
+                t0 = time.perf_counter()
+                for producer in producers:
+                    producer.start()
+                for producer in producers:
+                    producer.join()
+                elapsed = time.perf_counter() - t0
+                if failures:  # pragma: no cover - assertion aid
+                    raise RuntimeError(
+                        "serve throughput streams failed: "
+                        + "; ".join(failures)
+                    )
+            runs[backend] = {
+                "elapsed_s": elapsed,
+                "streams_per_s": streams / elapsed,
+                "epochs_per_s": streams * epochs / elapsed,
+            }
+    return {
+        "description": (
+            "concurrent producers vs one daemon: "
+            "thread shards vs process shards"
+        ),
+        "params": {
+            "streams": streams,
+            "events_per_stream": events_per_stream,
+            "epochs_per_stream": epochs,
+            "threads": CORE_THREADS,
+            "epoch_size": CORE_EPOCH,
+            "workers": SERVE_WORKERS,
+            "cpu_count": os.cpu_count(),
+        },
+        "runs": runs,
+        "speedup_process_vs_thread": (
+            runs["thread"]["elapsed_s"] / runs["process"]["elapsed_s"]
+        ),
+    }
+
+
 def run_perf(
     repeats: int = 5,
     output_path: Optional[str] = None,
@@ -518,6 +622,7 @@ def run_perf(
     inject_faults: Optional[str] = None,
     stream_file: bool = False,
     big_events: int = 10_000_000,
+    serve_streams: int = SERVE_STREAMS,
 ) -> Dict[str, Any]:
     """Run every perf workload; optionally write the JSON report.
 
@@ -527,7 +632,8 @@ def run_perf(
     ``stream_file`` adds an on-disk run to ``streaming_overhead``;
     ``big_events`` sizes the ``columnar_10m`` and ``taint_columnar_10m``
     workloads (0 skips them -- the full 10M-event default takes minutes
-    on the object paths).
+    on the object paths); ``serve_streams`` sizes the
+    ``serve_throughput`` workload's producer count (0 skips it).
     """
     workloads = {
         "microbench_core": _bench_microbench_core(repeats, events_path),
@@ -546,8 +652,12 @@ def run_perf(
         workloads["taint_columnar_10m"] = _bench_taint_columnar_10m(
             big_events
         )
+    if serve_streams > 0:
+        workloads["serve_throughput"] = _bench_serve_throughput(
+            serve_streams
+        )
     report: Dict[str, Any] = {
-        "schema": 6,
+        "schema": 7,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "cpu_count": os.cpu_count(),
@@ -568,11 +678,15 @@ def main(argv: Optional[list] = None) -> int:  # pragma: no cover - thin CLI
     parser.add_argument("--output", default="BENCH_1.json")
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--big-events", type=int, default=10_000_000)
+    parser.add_argument(
+        "--serve-streams", type=int, default=SERVE_STREAMS
+    )
     args = parser.parse_args(argv)
     report = run_perf(
         repeats=args.repeats,
         output_path=args.output,
         big_events=args.big_events,
+        serve_streams=args.serve_streams,
     )
     core = report["workloads"]["microbench_core"]
     print(

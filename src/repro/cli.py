@@ -61,6 +61,7 @@ from repro.resilience import (
     load_checkpoint,
 )
 from repro.serve import (
+    SHARD_BACKEND_CHOICES,
     ReproServer,
     ServeConfig,
     ServerThread,
@@ -706,6 +707,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return _fail(
             "bench", f"--big-events must be >= 0, got {args.big_events}"
         )
+    if args.serve_streams < 0:
+        return _fail(
+            "bench",
+            f"--serve-streams must be >= 0, got {args.serve_streams}",
+        )
     if args.inject_faults:
         try:
             FaultPlan.parse(args.inject_faults)
@@ -727,6 +733,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         inject_faults=args.inject_faults,
         stream_file=args.stream,
         big_events=args.big_events,
+        serve_streams=args.serve_streams,
     )
     core = report["workloads"]["microbench_core"]
     print(f"wrote {args.output}")
@@ -757,6 +764,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   f"optimized objects; processes "
                   f"{ups['columnar_processes_vs_object_optimized']:.2f}x vs "
                   f"optimized serial")
+    serve = report["workloads"].get("serve_throughput")
+    if serve is not None:
+        thread_run = serve["runs"]["thread"]
+        process_run = serve["runs"]["process"]
+        print(f"serve throughput ({serve['params']['streams']} producers, "
+              f"{serve['params']['cpu_count']} cpus): "
+              f"thread shards {thread_run['epochs_per_s']:.0f} epochs/s, "
+              f"process shards {process_run['epochs_per_s']:.0f} epochs/s "
+              f"({serve['speedup_process_vs_thread']:.2f}x)")
     return 0
 
 
@@ -819,6 +835,7 @@ def _serve_config(args: argparse.Namespace) -> ServeConfig:
         port=args.port,
         unix_path=args.unix,
         workers=args.workers,
+        shard_backend=args.shard_backend,
         queue_depth=args.queue_depth,
         max_streams=args.max_streams,
         max_pending_epochs=args.max_pending_epochs,
@@ -826,6 +843,7 @@ def _serve_config(args: argparse.Namespace) -> ServeConfig:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         backend=args.backend,
+        metrics_port=args.metrics,
     )
 
 
@@ -853,6 +871,9 @@ async def _serve_main(server: ReproServer) -> None:
         print(f"serving on {where[0]}:{where[1]}", flush=True)
     else:
         print(f"serving on unix {where}", flush=True)
+    if server.metrics_address is not None:
+        host, port = server.metrics_address
+        print(f"metrics on {host}:{port}", flush=True)
     await server.wait_done()
 
 
@@ -861,7 +882,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     recorder, rc = _open_recorder(args, "serve")
     if recorder is None:
         return rc
-    if args.summary_json and not recorder.enabled:
+    if (args.summary_json or args.metrics is not None) and not recorder.enabled:
+        # The metrics listener serves the recorder's snapshot, so a
+        # scrape-enabled daemon needs live counters even without a sink.
         recorder = Recorder()
     # The recorder lives on the event loop's thread -- which in the
     # foreground daemon is this one; counters are only touched there.
@@ -954,7 +977,7 @@ def _run_stats_serve(
         trace = os.path.join(tmp, "stats.jsonl")
         save_stream_file(partition, trace)
         config = ServeConfig(
-            workers=2,
+            workers=args.workers,
             queue_depth=1,
             checkpoint_dir=os.path.join(tmp, "checkpoints"),
             backend=args.backend,
@@ -1238,6 +1261,11 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: 10000000)",
     )
     p.add_argument(
+        "--serve-streams", type=int, default=4, metavar="N",
+        help="concurrent producers for the serve_throughput workload; "
+             "0 skips it (default: 4)",
+    )
+    p.add_argument(
         "--inject-faults", default=None, metavar="SPEC",
         help="additionally time the core workload under supervised "
              "fault injection with SPEC",
@@ -1307,6 +1335,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=2,
                    help="engine shards; streams hash onto shards and "
                         "fold in parallel (default: 2)")
+    p.add_argument("--shard-backend", default="thread",
+                   choices=SHARD_BACKEND_CHOICES,
+                   help="where shard engines live: 'thread' executors "
+                        "in the daemon, or one long-lived worker "
+                        "'process' per shard for real-core analysis "
+                        "parallelism (default: thread)")
+    p.add_argument("--metrics", type=int, default=None, metavar="PORT",
+                   help="serve a live text /metrics-style snapshot of "
+                        "the serve.* counters and gauges on this TCP "
+                        "port (0 picks a free one and prints it)")
     p.add_argument("--queue-depth", type=int, default=4,
                    help="per-stream bounded epoch queue; a full queue "
                         "pauses that stream's socket reads "
@@ -1396,6 +1434,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="route the workload through an in-process serve daemon so "
              "the serve.* counters (streams, backpressure stalls, bytes "
              "ingested, epochs folded) land in the summary",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="engine shards for the --serve daemon (default: 2)",
     )
     _add_backend_arg(p)
     _add_resilience_args(p)

@@ -95,7 +95,14 @@ class _PooledBackend(ExecutionBackend):
     """Shared lazy-executor plumbing for the pooled backends."""
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
-        self.max_workers = max_workers or _default_workers()
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(
+                f"max_workers must be >= 1 (got {max_workers}); "
+                f"omit it to use the CPU-count default"
+            )
+        self.max_workers = (
+            max_workers if max_workers is not None else _default_workers()
+        )
         self._executor: Optional[Executor] = None
 
     def _make_executor(self) -> Executor:

@@ -4,6 +4,7 @@ See :mod:`repro.obs.recorder` for the API and ``docs/observability.md``
 for the event schema and overhead numbers.
 """
 
+from repro.obs.metrics import render_metrics, render_snapshot
 from repro.obs.recorder import (
     NULL_RECORDER,
     JsonlSink,
@@ -20,4 +21,6 @@ __all__ = [
     "Recorder",
     "normalize_events",
     "read_events",
+    "render_metrics",
+    "render_snapshot",
 ]

@@ -1,0 +1,72 @@
+"""Text exposition of a recorder's metrics, Prometheus style.
+
+The serve daemon's ``--metrics`` listener answers every request with
+:func:`render_metrics` over the daemon's live recorder: one
+``# TYPE``-annotated family per counter/gauge, plus ``_count`` /
+``_total_ns`` / ``_max_ns`` triples for span aggregates.  The format is
+the Prometheus text exposition format (version 0.0.4) restricted to
+what the recorder actually holds -- no labels, no timestamps -- which
+any scraper, or ``curl`` + ``grep``, can consume.
+
+Names are sanitized the standard way: every character outside
+``[a-zA-Z0-9_]`` becomes ``_`` (so ``serve.pending_epochs`` scrapes as
+``repro_serve_pending_epochs``), and everything is prefixed ``repro_``
+to keep the daemon's metrics from colliding in a shared registry.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict
+
+from repro.obs.recorder import Recorder
+
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: MIME type scrapers expect for this exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def metric_name(name: str) -> str:
+    """``serve.shard_depth.0`` -> ``repro_serve_shard_depth_0``."""
+    return "repro_" + _SANITIZE.sub("_", name)
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
+
+
+def render_snapshot(snapshot: Dict[str, Any]) -> str:
+    """Render a :meth:`Recorder.snapshot` dict as exposition text."""
+    lines = []
+    for name in sorted(snapshot.get("counters", {})):
+        exposed = metric_name(name)
+        lines.append(f"# TYPE {exposed} counter")
+        lines.append(
+            f"{exposed} {_format_value(snapshot['counters'][name])}"
+        )
+    for name in sorted(snapshot.get("gauges", {})):
+        exposed = metric_name(name)
+        lines.append(f"# TYPE {exposed} gauge")
+        lines.append(f"{exposed} {_format_value(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("spans", {})):
+        stats = snapshot["spans"][name]
+        exposed = metric_name(name)
+        for suffix, kind in (
+            ("count", "counter"),
+            ("total_ns", "counter"),
+            ("max_ns", "gauge"),
+        ):
+            lines.append(f"# TYPE {exposed}_{suffix} {kind}")
+            lines.append(
+                f"{exposed}_{suffix} {_format_value(stats[suffix])}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def render_metrics(recorder: Recorder) -> str:
+    """Exposition text for a live recorder (empty-but-valid when the
+    recorder is the null recorder or has recorded nothing yet)."""
+    return render_snapshot(recorder.snapshot())

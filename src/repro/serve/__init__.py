@@ -29,10 +29,12 @@ from repro.serve.server import (
     StreamSession,
     make_guard,
 )
+from repro.serve.shards import SHARD_BACKEND_CHOICES
 
 __all__ = [
     "ERROR_CODES",
     "MAX_FRAME",
+    "SHARD_BACKEND_CHOICES",
     "ProtocolError",
     "RETRYABLE_CODES",
     "ReproServer",

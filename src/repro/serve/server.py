@@ -13,11 +13,13 @@ One event loop owns all sockets, the accept path, every per-stream
 queue, and the daemon's :class:`~repro.obs.recorder.Recorder` (which is
 not thread-safe -- ``serve.*`` counters are only ever touched from the
 loop thread).  Analysis work never runs on the loop: each stream is
-routed by a stable hash of its id to one of ``workers`` *shards*, a
-single-thread executor, and every ``feed_blocks``/``finish``/checkpoint
-call runs there.  Streams on the same shard serialize; streams on
-different shards fold epochs genuinely in parallel; and a lifeguard
-crash surfaces as a failed future on the one session that caused it,
+routed by a stable hash of its id to one of ``workers`` *shards* --
+single-thread executors by default, long-lived worker *processes* with
+``shard_backend="process"`` (:mod:`repro.serve.shards`) -- and every
+``feed``/``finish``/checkpoint call runs there.  Streams on the same
+shard serialize; streams on different shards fold epochs genuinely in
+parallel (across real cores under process shards); and a lifeguard
+crash surfaces as a failed call on the one session that caused it,
 never as a dead daemon.
 
 Backpressure is the queue, not a protocol message: each session's epoch
@@ -54,22 +56,12 @@ import json
 import os
 import threading
 import zlib
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.framework import ButterflyEngine
-from repro.core.stream import ShapeSource
 from repro.errors import CheckpointError, ReproError, TraceError
-from repro.lifeguards.addrcheck import ButterflyAddrCheck
-from repro.lifeguards.racecheck import ButterflyRaceCheck
-from repro.lifeguards.taintcheck import ButterflyTaintCheck
+from repro.obs.metrics import CONTENT_TYPE, render_metrics
 from repro.obs.recorder import NULL_RECORDER, Recorder
-from repro.resilience.checkpoint import (
-    Checkpointer,
-    load_checkpoint,
-    save_checkpoint,
-)
 from repro.serve.protocol import (
     FRAME_ACK,
     FRAME_END,
@@ -79,8 +71,6 @@ from repro.serve.protocol import (
     FRAME_REPORT,
     HEADER_SIZE,
     ProtocolError,
-    build_report,
-    checkpoint_meta,
     decode_header,
     decode_json_payload,
     encode_json_frame,
@@ -88,7 +78,23 @@ from repro.serve.protocol import (
     resume_token,
     validate_hello,
 )
+from repro.serve.shards import (
+    SHARD_BACKEND_CHOICES,
+    StreamEngineHandle,
+    make_guard,
+    make_shards,
+    stream_checkpoint_path,
+)
 from repro.trace.serialize import decode_epoch_row
+
+__all__ = [
+    "ReproServer",
+    "ServeConfig",
+    "ServerThread",
+    "StreamSession",
+    "make_guard",
+    "read_frame",
+]
 
 
 @dataclass
@@ -98,10 +104,13 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 0
     unix_path: Optional[str] = None
-    #: Engine shards (single-thread executors).  Streams hash onto
-    #: shards, so concurrency scales with workers while any one
-    #: stream's epochs stay strictly ordered.
+    #: Engine shards.  Streams hash onto shards, so concurrency scales
+    #: with workers while any one stream's epochs stay strictly ordered.
     workers: int = 2
+    #: Where a shard's engines live: ``"thread"`` (single-thread
+    #: executors in the daemon process) or ``"process"`` (one long-lived
+    #: worker process per shard; see :mod:`repro.serve.shards`).
+    shard_backend: str = "thread"
     #: Per-stream bounded epoch queue -- the backpressure depth.
     queue_depth: int = 4
     #: Active-session cap: the refuse-connects rung.
@@ -117,15 +126,9 @@ class ServeConfig:
     #: Engine backend per stream ("serial" is right for a daemon:
     #: cross-stream parallelism comes from the shards).
     backend: str = "serial"
-
-
-def make_guard(lifeguard: str, preallocated) -> Any:
-    """Lifeguard factory shared by the daemon and offline CLI runs."""
-    if lifeguard == "addrcheck":
-        return ButterflyAddrCheck(initially_allocated=preallocated)
-    if lifeguard == "taintcheck":
-        return ButterflyTaintCheck()
-    return ButterflyRaceCheck()
+    #: TCP port for the ``/metrics``-style text snapshot listener
+    #: (``None`` disables it; ``0`` binds an ephemeral port).
+    metrics_port: Optional[int] = None
 
 
 class _SessionError(Exception):
@@ -144,33 +147,43 @@ async def read_frame(
 
     A connection that dies *inside* a frame (header or payload cut
     short) raises :class:`ProtocolError` -- that is the truncated-frame
-    transport fault, distinct from a clean disconnect.  ``timeout``
-    bounds the wait for the *first* header byte and for the payload.
+    transport fault, distinct from a clean disconnect.  ``timeout`` is
+    an *idle* deadline, applied per read: every chunk of progress
+    resets it, so a live producer trickling a large frame slower than
+    the deadline is never killed mid-frame, while a stalled one times
+    out after ``timeout`` seconds without a single byte.
     """
 
-    async def _read() -> Optional[Tuple[int, bytes]]:
-        try:
-            header = await reader.readexactly(HEADER_SIZE)
-        except asyncio.IncompleteReadError as exc:
-            if not exc.partial:
-                return None  # clean EOF between frames
-            raise ProtocolError(
-                f"connection closed inside a frame header "
-                f"({len(exc.partial)}/{HEADER_SIZE} bytes)"
-            ) from None
-        ftype, length = decode_header(header)
-        try:
-            payload = await reader.readexactly(length)
-        except asyncio.IncompleteReadError as exc:
-            raise ProtocolError(
-                f"connection closed inside a frame payload "
-                f"({len(exc.partial)}/{length} bytes)"
-            ) from None
-        return ftype, payload
+    async def _read_exactly(
+        count: int, where: str, total: int, clean_eof: bool
+    ) -> Optional[bytes]:
+        chunks: List[bytes] = []
+        got = 0
+        while got < count:
+            read = reader.read(count - got)
+            chunk = (
+                await read if timeout is None
+                else await asyncio.wait_for(read, timeout)
+            )
+            if not chunk:  # EOF
+                if clean_eof and got == 0:
+                    return None
+                raise ProtocolError(
+                    f"connection closed inside a frame {where} "
+                    f"({got}/{total} bytes)"
+                ) from None
+            chunks.append(chunk)
+            got += len(chunk)
+        return b"".join(chunks)
 
-    if timeout is None:
-        return await _read()
-    return await asyncio.wait_for(_read(), timeout)
+    header = await _read_exactly(
+        HEADER_SIZE, "header", HEADER_SIZE, clean_eof=True
+    )
+    if header is None:
+        return None  # clean EOF between frames
+    ftype, length = decode_header(header)
+    payload = await _read_exactly(length, "payload", length, clean_eof=False)
+    return ftype, payload or b""
 
 
 class StreamSession:
@@ -194,7 +207,8 @@ class StreamSession:
         self.queue: "asyncio.Queue[Any]" = asyncio.Queue(
             maxsize=server.config.queue_depth
         )
-        self.engine: Optional[ButterflyEngine] = None
+        self.engine: Optional[StreamEngineHandle] = None
+        self.shard_index = server.shard_index_for(self.stream_id)
         self.resume_epoch = 0
         self.next_epoch = 0
         self.ended = False
@@ -211,47 +225,22 @@ class StreamSession:
             self.stopped = reason
             self.stop_event.set()
 
-    # -- engine setup (loop thread; pickling I/O on the shard) ----------
+    # -- engine setup ---------------------------------------------------
 
     @property
     def checkpoint_path(self) -> Optional[str]:
-        directory = self.server.config.checkpoint_dir
-        if directory is None:
-            return None
-        return os.path.join(directory, f"{self.token}.ckpt")
-
-    def build_engine(self) -> None:
-        """Fresh engine, or one restored from this stream's checkpoint."""
-        hello = self.hello
-        path = self.checkpoint_path
-        meta = checkpoint_meta(hello, self.token)
-        checkpoint = None
-        if path is not None and os.path.exists(path):
-            checkpoint = load_checkpoint(path)
-            checkpoint.verify(meta)
-        if checkpoint is not None:
-            guard = checkpoint.analysis
-        else:
-            guard = make_guard(
-                hello["lifeguard"], frozenset(hello["preallocated"])
-            )
-        engine = ButterflyEngine(guard, backend=self.server.config.backend)
-        source = ShapeSource(
-            hello["threads"],
-            num_epochs=hello["epochs"],
-            preallocated=frozenset(hello["preallocated"]),
+        return stream_checkpoint_path(
+            self.server.config.checkpoint_dir, self.token
         )
-        engine.attach_source(source, resumed=checkpoint is not None)
-        if checkpoint is not None:
-            checkpoint.restore_into(engine)
-            self.resume_epoch = checkpoint.next_epoch
-        if path is not None:
-            engine.enable_checkpoints(
-                Checkpointer(
-                    path, meta, every=self.server.config.checkpoint_every
-                )
-            )
-        self.engine = engine
+
+    async def open_engine(self) -> None:
+        """Fresh engine, or one restored from this stream's checkpoint,
+        living wherever this stream's shard keeps its engines."""
+        shard = self.server.shard_for(self.stream_id)
+        self.engine = await shard.open_stream(
+            self.hello, self.token, self.server.config
+        )
+        self.resume_epoch = self.engine.resume_epoch
         self.next_epoch = self.resume_epoch
 
     # -- frame handling (loop thread) -----------------------------------
@@ -304,14 +293,12 @@ class StreamSession:
         while True:
             item = await self.queue.get()
             if item is None:  # end-of-stream sentinel
-                await server.run_on_shard(self, self.engine.finish)
+                await self.engine.finish()
                 return
             lid, row = item
             ok = False
             try:
-                await server.run_on_shard(
-                    self, self.engine.feed_blocks, lid, row
-                )
+                await self.engine.feed(lid, row)
                 ok = True
             finally:
                 # Balance the pending-epoch gauge even when the feed
@@ -334,9 +321,7 @@ class StreamSession:
             lid, row = item
             ok = False
             try:
-                await self.server.run_on_shard(
-                    self, self.engine.feed_blocks, lid, row
-                )
+                await self.engine.feed(lid, row)
                 ok = True
             except Exception:
                 pass
@@ -345,13 +330,9 @@ class StreamSession:
 
     async def save_checkpoint_now(self) -> None:
         """Force a snapshot regardless of ``checkpoint_every``."""
-        path = self.checkpoint_path
-        if path is None or self.engine is None:
+        if self.engine is None:
             return
-        meta = checkpoint_meta(self.hello, self.token)
-        await self.server.run_on_shard(
-            self, save_checkpoint, path, self.engine, meta
-        )
+        await self.engine.save_checkpoint()
 
 
 class ReproServer:
@@ -364,12 +345,20 @@ class ReproServer:
             raise ReproError(f"workers must be >= 1: {config.workers}")
         if config.queue_depth < 1:
             raise ReproError(f"queue depth must be >= 1: {config.queue_depth}")
+        if config.shard_backend not in SHARD_BACKEND_CHOICES:
+            raise ReproError(
+                f"unknown shard backend {config.shard_backend!r} (choose "
+                f"from {', '.join(SHARD_BACKEND_CHOICES)})"
+            )
         self.config = config
         self.recorder = recorder
         self.sessions: Dict[str, StreamSession] = {}
         self.address: Optional[Tuple[str, Any]] = None
+        self.metrics_address: Optional[Tuple[str, int]] = None
         self._server: Optional[asyncio.AbstractServer] = None
-        self._shards: List[ThreadPoolExecutor] = []
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
+        self._shards: List[Any] = []
+        self._shard_depth = [0] * config.workers
         self._pending_epochs = 0
         self._accept_seq = 0
         self._draining = False
@@ -382,12 +371,11 @@ class ReproServer:
         config = self.config
         if config.checkpoint_dir is not None:
             os.makedirs(config.checkpoint_dir, exist_ok=True)
-        self._shards = [
-            ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix=f"repro-shard-{i}"
-            )
-            for i in range(config.workers)
-        ]
+        self._shards = make_shards(config.shard_backend, config.workers)
+        if self.recorder.enabled:
+            self.recorder.gauge("serve.workers", config.workers)
+            for i in range(config.workers):
+                self.recorder.gauge(f"serve.shard_depth.{i}", 0)
         if config.unix_path is not None:
             self._server = await asyncio.start_unix_server(
                 self._on_connect, path=config.unix_path
@@ -400,6 +388,15 @@ class ReproServer:
             sock = self._server.sockets[0]
             host, port = sock.getsockname()[:2]
             self.address = ("tcp", (host, port))
+        if config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._on_metrics_connect,
+                host=config.host,
+                port=config.metrics_port,
+            )
+            sock = self._metrics_server.sockets[0]
+            host, port = sock.getsockname()[:2]
+            self.metrics_address = (host, port)
 
     async def wait_done(self) -> None:
         """Block until a drain completes."""
@@ -416,6 +413,9 @@ class ReproServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         for session in list(self.sessions.values()):
             session.request_stop("drain")
         # Stopped sessions unwind through their connection tasks (drain
@@ -433,17 +433,11 @@ class ReproServer:
 
     # -- shards ---------------------------------------------------------
 
-    def shard_for(self, stream_id: str) -> ThreadPoolExecutor:
-        index = zlib.crc32(stream_id.encode("utf-8")) % len(self._shards)
-        return self._shards[index]
+    def shard_index_for(self, stream_id: str) -> int:
+        return zlib.crc32(stream_id.encode("utf-8")) % self.config.workers
 
-    async def run_on_shard(
-        self, session: StreamSession, fn, *args: Any
-    ) -> Any:
-        loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
-            self.shard_for(session.stream_id), fn, *args
-        )
+    def shard_for(self, stream_id: str):
+        return self._shards[self.shard_index_for(stream_id)]
 
     # -- counters (loop thread only; the recorder is not thread-safe) ---
 
@@ -462,18 +456,28 @@ class ReproServer:
 
     def note_queued(self, session: StreamSession) -> None:
         self._pending_epochs += 1
+        self._shard_depth[session.shard_index] += 1
         self.count("epochs_received")
         if self.recorder.enabled:
             self.recorder.gauge("serve.pending_epochs", self._pending_epochs)
+            self.recorder.gauge(
+                f"serve.shard_depth.{session.shard_index}",
+                self._shard_depth[session.shard_index],
+            )
         if self._pending_epochs > self.config.max_pending_epochs:
             self._shed_newest()
 
     def note_folded(self, session: StreamSession, ok: bool = True) -> None:
         self._pending_epochs -= 1
+        self._shard_depth[session.shard_index] -= 1
         if ok:
             self.count("epochs_folded")
         if self.recorder.enabled:
             self.recorder.gauge("serve.pending_epochs", self._pending_epochs)
+            self.recorder.gauge(
+                f"serve.shard_depth.{session.shard_index}",
+                self._shard_depth[session.shard_index],
+            )
 
     # -- overload ladder -------------------------------------------------
 
@@ -490,6 +494,43 @@ class ReproServer:
         victim.request_stop("shed")
         self.count("streams_shed")
         self.emit("shed", stream=victim.stream_id)
+
+    # -- the metrics listener --------------------------------------------
+
+    async def _on_metrics_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer any request with the current metrics snapshot.
+
+        Deliberately not a web server: the request head is read (and
+        discarded) only so well-behaved HTTP clients see a response to
+        *their* bytes, then one snapshot is rendered -- on the loop
+        thread, so the recorder needs no lock -- and the connection
+        closes.  ``curl`` and Prometheus both cope.
+        """
+        try:
+            try:
+                await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), timeout=1.0
+                )
+            except Exception:
+                pass  # a bare `nc` probe gets the snapshot too
+            body = render_metrics(self.recorder).encode("utf-8")
+            writer.write(
+                b"HTTP/1.0 200 OK\r\n"
+                + f"Content-Type: {CONTENT_TYPE}\r\n".encode("ascii")
+                + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
 
     # -- connections -----------------------------------------------------
 
@@ -545,7 +586,7 @@ class ReproServer:
                 self.sessions.pop(session.stream_id, None)
                 self._gauge_active()
                 if session.engine is not None:
-                    session.engine.close()
+                    await session.engine.close()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -594,7 +635,7 @@ class ReproServer:
             self, hello, token, writer, self._accept_seq
         )
         try:
-            session.build_engine()
+            await session.open_engine()
         except CheckpointError as exc:
             raise _SessionError("token", str(exc)) from None
         self.sessions[stream_id] = session
@@ -681,9 +722,8 @@ class ReproServer:
             raise _SessionError(
                 "internal", f"analysis failed: {exc}"
             ) from exc
-        report = build_report(
-            session.stream_id, session.hello,
-            session.engine, session.engine.analysis,
+        report = await session.engine.report(
+            session.stream_id, session.hello
         )
         await session.send(FRAME_REPORT, report)
         path = session.checkpoint_path
@@ -735,7 +775,7 @@ class ReproServer:
                 payload.setdefault("token", session.token)
                 payload.setdefault(
                     "resume_epoch",
-                    session.engine._next_to_receive
+                    session.engine.next_to_receive
                     if session.engine is not None else 0,
                 )
             try:

@@ -1,0 +1,529 @@
+"""Shard backends for the serve daemon: thread shards and process shards.
+
+A *shard* is the unit of analysis concurrency in ``repro serve``:
+streams hash onto shards, every ``feed``/``finish``/checkpoint call for
+a stream runs on its shard, and streams on different shards make
+progress independently.  This module provides two interchangeable shard
+implementations behind one async interface:
+
+``thread`` (the default)
+    One single-thread executor per shard, exactly PR 8's architecture.
+    Engines live in the daemon process; concurrency is bounded by the
+    GIL, which is fine when streams are I/O-bound or few.
+
+``process``
+    One long-lived worker *process* per shard, owning its streams'
+    :class:`~repro.core.framework.ButterflyEngine` objects.  The event
+    loop ships each validated epoch row over a ``multiprocessing`` pipe
+    -- columnar blocks pickle as raw little-endian column bytes (the
+    PR-6 zero-object pickle graph), so nothing heavier than ``bytes``
+    and ints crosses the boundary -- and gets back folded-epoch acks,
+    end-of-stream reports, and checkpoint confirmations.  Analysis then
+    runs on real cores while the loop process keeps owning sockets,
+    queues, backpressure, and the recorder.
+
+Both implementations expose per-stream :class:`StreamEngineHandle`
+objects with identical semantics: engines are built (or restored from
+the same on-disk checkpoints) by :func:`build_stream_engine`, feeds are
+atomic at epoch boundaries, and the end-of-stream report is produced by
+the same :func:`~repro.serve.protocol.build_report` either way -- which
+is what lets the serve fuzz mode and the SIGKILL-resume drills assert
+bit-identical reports across shard backends.
+
+Worker lifetime is tied to the pipe: a worker blocks in ``recv`` and
+exits on ``EOFError``, so a SIGKILLed daemon leaves no orphaned
+analysis processes -- the dying parent's pipe end closes and every
+worker unwinds.  A worker that dies on its own (or is killed) is
+respawned on the next call; engines it held are rebuilt from their
+checkpoints when the producers reconnect with their resume tokens.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.framework import ButterflyEngine
+from repro.core.stream import ShapeSource
+from repro.errors import (
+    AnalysisError,
+    CheckpointError,
+    ReproError,
+    TraceError,
+)
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.lifeguards.racecheck import ButterflyRaceCheck
+from repro.lifeguards.taintcheck import ButterflyTaintCheck
+from repro.resilience.checkpoint import (
+    Checkpointer,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.serve.protocol import build_report, checkpoint_meta
+
+#: Shard backends accepted by ``ServeConfig.shard_backend`` / the CLI.
+SHARD_BACKEND_CHOICES = ("thread", "process")
+
+
+def make_guard(lifeguard: str, preallocated) -> Any:
+    """Lifeguard factory shared by the daemon, workers, and offline CLI."""
+    if lifeguard == "addrcheck":
+        return ButterflyAddrCheck(initially_allocated=preallocated)
+    if lifeguard == "taintcheck":
+        return ButterflyTaintCheck()
+    return ButterflyRaceCheck()
+
+
+def stream_checkpoint_path(
+    checkpoint_dir: Optional[str], token: str
+) -> Optional[str]:
+    """Where a stream's checkpoint lives (``None`` disables resume)."""
+    if checkpoint_dir is None:
+        return None
+    return os.path.join(checkpoint_dir, f"{token}.ckpt")
+
+
+def build_stream_engine(
+    hello: Dict[str, Any],
+    token: str,
+    checkpoint_dir: Optional[str],
+    checkpoint_every: int,
+    backend: str,
+) -> Tuple[ButterflyEngine, int]:
+    """``(engine, resume_epoch)``: fresh, or restored from checkpoint.
+
+    The one engine-construction path for both shard backends -- thread
+    shards call it in the daemon process, process shards call it inside
+    the worker -- so resume semantics (fingerprint verification,
+    window restore, event-log numbering) cannot drift between them.
+    """
+    path = stream_checkpoint_path(checkpoint_dir, token)
+    meta = checkpoint_meta(hello, token)
+    checkpoint = None
+    if path is not None and os.path.exists(path):
+        checkpoint = load_checkpoint(path)
+        checkpoint.verify(meta)
+    if checkpoint is not None:
+        guard = checkpoint.analysis
+    else:
+        guard = make_guard(
+            hello["lifeguard"], frozenset(hello["preallocated"])
+        )
+    engine = ButterflyEngine(guard, backend=backend)
+    source = ShapeSource(
+        hello["threads"],
+        num_epochs=hello["epochs"],
+        preallocated=frozenset(hello["preallocated"]),
+    )
+    engine.attach_source(source, resumed=checkpoint is not None)
+    resume_epoch = 0
+    if checkpoint is not None:
+        checkpoint.restore_into(engine)
+        resume_epoch = checkpoint.next_epoch
+    if path is not None:
+        engine.enable_checkpoints(
+            Checkpointer(path, meta, every=checkpoint_every)
+        )
+    return engine, resume_epoch
+
+
+class StreamEngineHandle:
+    """One stream's engine as seen from the event loop.
+
+    The server never touches a :class:`ButterflyEngine` directly; it
+    drives this handle, and the shard decides where the engine actually
+    lives (same process for thread shards, a worker for process
+    shards).  All coroutines run their work off the loop -- on the
+    shard's single dispatch thread -- so per-stream epoch order and
+    per-shard serialization hold identically across backends.
+    """
+
+    #: The epoch the engine resumed from (0 for a fresh run).
+    resume_epoch: int = 0
+    #: Mirror of the engine's ``_next_to_receive`` -- the resume
+    #: coordinate ``ERROR`` frames advertise.
+    next_to_receive: int = 0
+
+    async def feed(self, lid: int, row) -> None:
+        raise NotImplementedError
+
+    async def finish(self) -> None:
+        raise NotImplementedError
+
+    async def report(self, stream_id: str, hello: Dict[str, Any]) -> Dict:
+        raise NotImplementedError
+
+    async def save_checkpoint(self) -> None:
+        """Force a snapshot now (no-op when checkpointing is off)."""
+        raise NotImplementedError
+
+    async def close(self) -> None:
+        """Release the engine's resources (never raises)."""
+        raise NotImplementedError
+
+
+# -- thread shards -----------------------------------------------------------
+
+
+class ThreadShard:
+    """PR 8's shard: a single-thread executor in the daemon process."""
+
+    backend = "thread"
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-shard-{index}"
+        )
+
+    async def _run(self, fn, *args: Any) -> Any:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, fn, *args)
+
+    async def open_stream(
+        self, hello: Dict[str, Any], token: str, config
+    ) -> "_ThreadStreamEngine":
+        # Engine construction (including checkpoint load) stays on the
+        # loop thread, as in PR 8: it happens once per handshake and
+        # must finish before the ACK names the resume epoch.
+        engine, resume_epoch = build_stream_engine(
+            hello,
+            token,
+            config.checkpoint_dir,
+            config.checkpoint_every,
+            config.backend,
+        )
+        return _ThreadStreamEngine(self, engine, hello, token, resume_epoch)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+
+
+class _ThreadStreamEngine(StreamEngineHandle):
+    def __init__(
+        self,
+        shard: ThreadShard,
+        engine: ButterflyEngine,
+        hello: Dict[str, Any],
+        token: str,
+        resume_epoch: int,
+    ) -> None:
+        self._shard = shard
+        self._engine = engine
+        self._hello = hello
+        self._token = token
+        self.resume_epoch = resume_epoch
+
+    @property
+    def next_to_receive(self) -> int:
+        return self._engine._next_to_receive
+
+    async def feed(self, lid: int, row) -> None:
+        await self._shard._run(self._engine.feed_blocks, lid, row)
+
+    async def finish(self) -> None:
+        await self._shard._run(self._engine.finish)
+
+    async def report(self, stream_id: str, hello: Dict[str, Any]) -> Dict:
+        return build_report(
+            stream_id, hello, self._engine, self._engine.analysis
+        )
+
+    async def save_checkpoint(self) -> None:
+        checkpointer = self._engine._checkpointer
+        if checkpointer is None:
+            return
+        await self._shard._run(
+            save_checkpoint, checkpointer.path, self._engine,
+            checkpointer.meta,
+        )
+
+    async def close(self) -> None:
+        self._engine.close()
+
+
+# -- process shards ----------------------------------------------------------
+
+#: Error kinds a worker reply may carry, mapped back onto the exception
+#: types the server's session error paths dispatch on.
+_ERROR_KINDS = {
+    "checkpoint": CheckpointError,
+    "trace": TraceError,
+    "analysis": AnalysisError,
+    "repro": ReproError,
+}
+
+
+def _error_kind(exc: BaseException) -> str:
+    if isinstance(exc, CheckpointError):
+        return "checkpoint"
+    if isinstance(exc, TraceError):
+        return "trace"
+    if isinstance(exc, AnalysisError):
+        return "analysis"
+    if isinstance(exc, ReproError):
+        return "repro"
+    return "other"
+
+
+def _worker_dispatch(
+    engines: Dict[str, Tuple[ButterflyEngine, Optional[str], Dict]],
+    command: str,
+    *args: Any,
+) -> Any:
+    """Execute one command against the worker's engine table."""
+    if command == "open":
+        token, hello, checkpoint_dir, checkpoint_every, backend = args
+        stale = engines.pop(token, None)
+        if stale is not None:
+            stale[0].close()
+        engine, resume_epoch = build_stream_engine(
+            hello, token, checkpoint_dir, checkpoint_every, backend
+        )
+        engines[token] = (
+            engine,
+            stream_checkpoint_path(checkpoint_dir, token),
+            checkpoint_meta(hello, token),
+        )
+        return resume_epoch
+    token = args[0]
+    entry = engines.get(token)
+    if entry is None:
+        # The worker was respawned after a crash and lost this engine;
+        # the session fails (resumably -- the checkpoint is on disk).
+        raise AnalysisError(
+            f"shard worker holds no engine for token {token!r} "
+            f"(worker restarted?); reconnect to resume"
+        )
+    engine, path, meta = entry
+    if command == "feed":
+        _token, lid, row = args
+        engine.feed_blocks(lid, row)
+        return engine._next_to_receive
+    if command == "finish":
+        engine.finish()
+        return None
+    if command == "report":
+        _token, stream_id, hello = args
+        return build_report(stream_id, hello, engine, engine.analysis)
+    if command == "checkpoint":
+        if path is not None:
+            save_checkpoint(path, engine, meta)
+        return None
+    if command == "close":
+        engine.close()
+        del engines[token]
+        return None
+    raise ReproError(f"unknown shard command {command!r}")
+
+
+def _shard_worker_main(conn) -> None:
+    """The worker process: serve pipe commands until EOF or ``stop``.
+
+    EOF is the parent-death signal: when the daemon dies -- SIGKILL
+    included -- its pipe end closes and the blocking ``recv`` raises
+    ``EOFError``, so workers can never outlive the daemon.
+    """
+    engines: Dict[str, Tuple[ButterflyEngine, Optional[str], Dict]] = {}
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError, KeyboardInterrupt):
+                break
+            command = message[0]
+            if command == "stop":
+                break
+            try:
+                result = _worker_dispatch(engines, *message)
+            except BaseException as exc:  # contained: reply, keep serving
+                reply = ("err", _error_kind(exc), f"{exc}")
+            else:
+                reply = ("ok", None, result)
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        for engine, _path, _meta in engines.values():
+            engine.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class ProcessShard:
+    """A shard whose engines live in a long-lived worker process.
+
+    One dispatch thread per shard serializes pipe access (send a
+    command, block for the reply), preserving exactly the ordering the
+    thread shard's single executor gives.  The worker is spawned
+    lazily on first use -- a daemon with many shards but few streams
+    pays only for the workers it routes to -- and respawned if found
+    dead, with lost engines rebuilt from checkpoints on reconnect.
+    """
+
+    backend = "process"
+
+    #: Seconds to wait for a worker to exit on shutdown before
+    #: escalating to terminate().
+    JOIN_TIMEOUT = 10.0
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-shard-{index}"
+        )
+        self._ctx = multiprocessing.get_context("spawn")
+        self._proc = None
+        self._conn = None
+
+    # -- dispatch-thread side ------------------------------------------
+
+    def _ensure_worker(self) -> None:
+        if self._proc is not None and self._proc.is_alive():
+            return
+        self._discard_worker()
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn,),
+            name=f"repro-shard-worker-{self.index}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # the worker owns its end now
+        self._proc, self._conn = proc, parent_conn
+
+    def _discard_worker(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+        if self._proc is not None and self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(self.JOIN_TIMEOUT)
+        self._proc = None
+        self._conn = None
+
+    def _call(self, command: str, *args: Any) -> Any:
+        self._ensure_worker()
+        try:
+            self._conn.send((command, *args))
+            status, kind, value = self._conn.recv()
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            # The worker died mid-call.  Drop it so the next call gets
+            # a fresh one; this stream's session fails resumably.
+            self._discard_worker()
+            raise ReproError(
+                f"shard {self.index} worker died during {command!r}: "
+                f"{type(exc).__name__}"
+            ) from None
+        if status == "ok":
+            return value
+        raise _ERROR_KINDS.get(kind, ReproError)(value)
+
+    def _stop_worker(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        if self._proc is not None:
+            self._proc.join(self.JOIN_TIMEOUT)
+            if self._proc.is_alive():  # pragma: no cover - stuck worker
+                self._proc.terminate()
+                self._proc.join(self.JOIN_TIMEOUT)
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+        self._proc = None
+        self._conn = None
+
+    # -- loop side ------------------------------------------------------
+
+    async def call(self, command: str, *args: Any) -> Any:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, lambda: self._call(command, *args)
+        )
+
+    async def open_stream(
+        self, hello: Dict[str, Any], token: str, config
+    ) -> "_ProcessStreamEngine":
+        resume_epoch = await self.call(
+            "open",
+            token,
+            hello,
+            config.checkpoint_dir,
+            config.checkpoint_every,
+            config.backend,
+        )
+        return _ProcessStreamEngine(self, token, resume_epoch)
+
+    def shutdown(self, wait: bool = True) -> None:
+        if wait:
+            self._executor.submit(self._stop_worker).result()
+            self._executor.shutdown(wait=True)
+        else:  # pragma: no cover - only the wait path is exercised
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._discard_worker()
+
+
+class _ProcessStreamEngine(StreamEngineHandle):
+    def __init__(
+        self, shard: ProcessShard, token: str, resume_epoch: int
+    ) -> None:
+        self._shard = shard
+        self._token = token
+        self.resume_epoch = resume_epoch
+        self.next_to_receive = resume_epoch
+        self._closed = False
+
+    async def feed(self, lid: int, row) -> None:
+        # The reply carries the worker engine's post-feed progress, so
+        # the loop-side mirror tracks rollbacks exactly: a failed feed
+        # raises and leaves next_to_receive at the epoch boundary.
+        self.next_to_receive = await self._shard.call(
+            "feed", self._token, lid, row
+        )
+
+    async def finish(self) -> None:
+        await self._shard.call("finish", self._token)
+
+    async def report(self, stream_id: str, hello: Dict[str, Any]) -> Dict:
+        return await self._shard.call(
+            "report", self._token, stream_id, hello
+        )
+
+    async def save_checkpoint(self) -> None:
+        await self._shard.call("checkpoint", self._token)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            await self._shard.call("close", self._token)
+        except Exception:
+            # A dead worker has nothing to close; resume covers it.
+            pass
+
+
+def make_shards(shard_backend: str, workers: int):
+    """The daemon's shard list for a validated backend name."""
+    if shard_backend == "thread":
+        return [ThreadShard(i) for i in range(workers)]
+    if shard_backend == "process":
+        return [ProcessShard(i) for i in range(workers)]
+    raise ReproError(
+        f"unknown shard backend {shard_backend!r} "
+        f"(choose from {', '.join(SHARD_BACKEND_CHOICES)})"
+    )

@@ -46,6 +46,11 @@ codebase's own contracts) promises:
     socket to a shared in-process daemon, and the daemon's end-of-
     stream report (errors, work counters, window peak) must be
     bit-identical to what ``run_source`` computes over the same file.
+``serve_process``
+    The same proof against a daemon running process shards
+    (``shard_backend="process"``): the engine lives in a worker
+    process and every epoch crosses a pipe as raw column bytes, and
+    the report must still match the offline pipeline bit for bit.
     The transport, framing, queueing, and shard hand-off must be
     invisible in every output.
 
@@ -60,7 +65,7 @@ import json
 import os
 import tempfile
 import zlib
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.columnar import ColumnarBlock
 from repro.core.epoch import Block, EpochPartition
@@ -96,6 +101,7 @@ MODE_NAMES = (
     "stream",
     "columnar",
     "serve",
+    "serve_process",
 )
 
 
@@ -200,17 +206,17 @@ class DifferentialHarness:
         self.checks_run: Dict[str, int] = {m: 0 for m in MODE_NAMES}
         #: mode -> number of cases skipped as inapplicable.
         self.skipped: Dict[str, int] = {m: 0 for m in MODE_NAMES}
-        # The serve pair's shared in-process daemon, created lazily on
-        # the first serve check and torn down by close().
-        self._serve_daemon = None
+        # The serve pairs' shared in-process daemons (one per shard
+        # backend), created lazily on first use, torn down by close().
+        self._serve_daemons: Dict[str, Any] = {}
         self._serve_dir: Optional[tempfile.TemporaryDirectory] = None
         self._serve_seq = 0
 
     def close(self) -> None:
-        """Tear down the shared serve daemon (idempotent)."""
-        if self._serve_daemon is not None:
-            self._serve_daemon.stop()
-            self._serve_daemon = None
+        """Tear down the shared serve daemons (idempotent)."""
+        for daemon in self._serve_daemons.values():
+            daemon.stop()
+        self._serve_daemons.clear()
         if self._serve_dir is not None:
             self._serve_dir.cleanup()
             self._serve_dir = None
@@ -563,36 +569,52 @@ class DifferentialHarness:
                 )
         return None
 
-    def _serve_address(self):
+    def _serve_address(self, shard_backend: str = "thread"):
         """The shared in-process daemon's address, starting it lazily.
 
-        One daemon serves the whole campaign (the cost of a thread, an
-        event loop, and a shard pool per case would dominate the fuzz
-        rate); every case pushes under a fresh stream id, so sessions
-        never collide.  Checkpointing stays off -- each push is a
-        complete one-shot delivery and the resume pair has its own
-        dedicated tests.
+        One daemon per shard backend serves the whole campaign (the
+        cost of a thread, an event loop, and a shard pool per case
+        would dominate the fuzz rate); every case pushes under a fresh
+        stream id, so sessions never collide.  Checkpointing stays off
+        -- each push is a complete one-shot delivery and the resume
+        pair has its own dedicated tests.
         """
-        if self._serve_daemon is None:
-            self._serve_dir = tempfile.TemporaryDirectory(
-                prefix="repro-verify-serve-"
-            )
-            self._serve_daemon = ServerThread(
+        daemon = self._serve_daemons.get(shard_backend)
+        if daemon is None:
+            if self._serve_dir is None:
+                self._serve_dir = tempfile.TemporaryDirectory(
+                    prefix="repro-verify-serve-"
+                )
+            daemon = ServerThread(
                 ServeConfig(
                     unix_path=os.path.join(
-                        self._serve_dir.name, "serve.sock"
+                        self._serve_dir.name, f"serve-{shard_backend}.sock"
                     ),
                     queue_depth=2,
+                    shard_backend=shard_backend,
                 )
             )
-            self._serve_daemon.start()
-        return self._serve_daemon.address
+            daemon.start()
+            self._serve_daemons[shard_backend] = daemon
+        return daemon.address
 
     def check_serve(self, case: TraceCase) -> Optional[str]:
         """Daemon-ingested stream vs. the offline streaming pipeline:
         the wire must be invisible in the end-of-stream report."""
+        return self._check_serve(case, "thread")
+
+    def check_serve_process(self, case: TraceCase) -> Optional[str]:
+        """The same wire-invisibility proof under process shards: the
+        engine lives in a worker process, epochs cross a pipe as raw
+        column bytes, and the report must *still* be bit-identical to
+        the offline pipeline's."""
+        return self._check_serve(case, "process")
+
+    def _check_serve(
+        self, case: TraceCase, shard_backend: str
+    ) -> Optional[str]:
         self._serve_seq += 1
-        stream_id = f"case-{self._serve_seq}"
+        stream_id = f"case-{shard_backend}-{self._serve_seq}"
         with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
             path = os.path.join(tmp, "case.stream.jsonl")
             save_stream_file(case.partition(), path)
@@ -621,13 +643,13 @@ class DifferentialHarness:
 
             try:
                 served = push_trace(
-                    self._serve_address(),
+                    self._serve_address(shard_backend),
                     path,
                     stream_id,
                     lifeguard=case.lifeguard,
                 )
             except ReproError as exc:
-                return f"serve push failed: {exc}"
+                return f"serve push failed ({shard_backend} shards): {exc}"
 
         if served != offline:
             for key in sorted(set(served) | set(offline)):

@@ -162,6 +162,27 @@ class TestStatsCommand:
         ) == 0
         assert read_events(str(path))
 
+    def test_stats_serve_honors_workers_flag(self, tmp_path, capsys):
+        # Regression: the --serve self-test used to hardcode workers=2,
+        # ignoring --workers entirely.  The daemon publishes its actual
+        # shard count as the serve.workers gauge, so the summary proves
+        # the flag reached the ServeConfig.
+        import json
+
+        summary = tmp_path / "summary.json"
+        assert main(
+            [
+                "stats", "--benchmark", "LU", "--threads", "2",
+                "--events", "1500", "--epoch-size", "256",
+                "--serve", "--workers", "3",
+                "--summary-json", str(summary),
+            ]
+        ) == 0
+        snapshot = json.loads(summary.read_text())
+        assert snapshot["gauges"]["serve.workers"] == 3
+        assert snapshot["gauges"]["serve.shard_depth.2"] == 0
+        assert snapshot["counters"]["serve.streams_completed"] == 2
+
 
 class TestErrorPaths:
     """Unwritable outputs exit 2 with a one-line message, no traceback."""

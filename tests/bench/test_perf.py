@@ -15,9 +15,12 @@ from repro.obs import read_events
 class TestRunPerf:
     def test_report_shape_and_json_output(self, tmp_path):
         out = tmp_path / "BENCH_test.json"
-        report = run_perf(repeats=1, output_path=str(out), big_events=0)
+        report = run_perf(
+            repeats=1, output_path=str(out), big_events=0,
+            serve_streams=0,
+        )
 
-        assert report["schema"] == 6
+        assert report["schema"] == 7
         assert set(report["workloads"]) == {
             "microbench_core",
             "reaching_defs",
@@ -45,7 +48,7 @@ class TestRunPerf:
 
     def test_engine_stats_identical_across_configs(self, tmp_path):
         """Reference, optimized, and every backend do the same work."""
-        report = run_perf(repeats=1, big_events=0)
+        report = run_perf(repeats=1, big_events=0, serve_streams=0)
         runs = report["workloads"]["microbench_core"]["runs"]
         ref = runs["reference_serial"]
         for name, entry in runs.items():
@@ -56,7 +59,7 @@ class TestRunPerf:
         """The schema-2 ``per_epoch`` section must agree with the timed
         runs: same epoch count, instruction totals, and final cumulative
         error count."""
-        report = run_perf(repeats=1, big_events=0)
+        report = run_perf(repeats=1, big_events=0, serve_streams=0)
         core = report["workloads"]["microbench_core"]
         per_epoch = core["per_epoch"]
         stats = core["runs"]["optimized_serial"]["engine_stats"]
@@ -75,40 +78,46 @@ class TestRunPerf:
 
     def test_events_path_captures_instrumented_replay(self, tmp_path):
         events_file = tmp_path / "bench_events.jsonl"
-        run_perf(repeats=1, events_path=str(events_file), big_events=0)
+        run_perf(
+            repeats=1, events_path=str(events_file), big_events=0,
+            serve_streams=0,
+        )
         events = read_events(str(events_file))
         names = {ev["ev"] for ev in events}
         assert {"run.attach", "pass.first", "pass.second",
                 "epoch.summary", "run.finish"} <= names
 
     def test_observability_overhead_entry(self):
-        report = run_perf(repeats=1, big_events=0)
+        report = run_perf(repeats=1, big_events=0, serve_streams=0)
         obs = report["workloads"]["observability_overhead"]
         assert set(obs["runs"]) == {"disabled", "enabled"}
         assert obs["overhead_ratio"] > 0
 
     def test_resilience_overhead_entry(self):
-        report = run_perf(repeats=1, big_events=0)
+        report = run_perf(repeats=1, big_events=0, serve_streams=0)
         res = report["workloads"]["resilience_overhead"]
         assert set(res["runs"]) == {"bare_serial", "supervised_serial"}
         assert res["overhead_ratio"] > 0
 
     def test_streaming_overhead_entry(self):
-        report = run_perf(repeats=1, big_events=0)
+        report = run_perf(repeats=1, big_events=0, serve_streams=0)
         st = report["workloads"]["streaming_overhead"]
         assert set(st["runs"]) == {"materialized", "streamed"}
         assert st["overhead_ratio"] > 0
         assert 0 < st["window_high_water"] <= st["window_bound"]
 
     def test_streaming_overhead_file_run(self):
-        report = run_perf(repeats=1, stream_file=True, big_events=0)
+        report = run_perf(
+            repeats=1, stream_file=True, big_events=0, serve_streams=0
+        )
         st = report["workloads"]["streaming_overhead"]
         assert "stream_file" in st["runs"]
         assert st["runs"]["stream_file"]["best_s"] > 0
 
     def test_resilience_overhead_faulted_run(self):
         report = run_perf(
-            repeats=1, inject_faults="crash=0.05,seed=7", big_events=0
+            repeats=1, inject_faults="crash=0.05,seed=7",
+            big_events=0, serve_streams=0,
         )
         res = report["workloads"]["resilience_overhead"]
         assert "faulted_serial" in res["runs"]
@@ -180,11 +189,31 @@ class TestTaintColumnar10m:
         assert entry["rss_ratio_columnar_vs_object"] > 0
 
 
+class TestServeThroughput:
+    def test_small_scale_runs_both_backends(self):
+        """The schema-7 serve workload (scaled down) times both shard
+        backends under concurrent producers and records the rates the
+        docs quote."""
+        from repro.bench.perf import _bench_serve_throughput
+
+        entry = _bench_serve_throughput(streams=2, events_per_stream=600)
+        assert set(entry["runs"]) == {"thread", "process"}
+        for name, run in entry["runs"].items():
+            assert run["elapsed_s"] > 0, name
+            assert run["streams_per_s"] > 0, name
+            assert run["epochs_per_s"] > 0, name
+        params = entry["params"]
+        assert params["streams"] == 2
+        assert params["epochs_per_stream"] > 0
+        assert params["cpu_count"] >= 1
+        assert entry["speedup_process_vs_thread"] > 0
+
+
 class TestBenchCLI:
     def test_bench_subcommand_writes_report(self, tmp_path, capsys):
         out = tmp_path / "BENCH_cli.json"
         rc = main(["bench", "--output", str(out), "--repeats", "1",
-                   "--big-events", "0"])
+                   "--big-events", "0", "--serve-streams", "0"])
         assert rc == 0
         report = json.loads(out.read_text())
         assert "microbench_core" in report["workloads"]

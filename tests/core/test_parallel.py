@@ -63,6 +63,25 @@ class TestCapabilities:
         assert not backend.shares_memory
 
 
+class TestWorkerCountValidation:
+    @pytest.mark.parametrize(
+        "backend_cls", [ThreadPoolBackend, ProcessPoolBackend]
+    )
+    @pytest.mark.parametrize("bad", [0, -1, -8])
+    def test_non_positive_max_workers_rejected(self, backend_cls, bad):
+        # Regression: `max_workers or _default_workers()` silently
+        # turned an explicit 0 into the CPU-count default.
+        with pytest.raises(ValueError, match="max_workers must be >= 1"):
+            backend_cls(max_workers=bad)
+
+    @pytest.mark.parametrize(
+        "backend_cls", [ThreadPoolBackend, ProcessPoolBackend]
+    )
+    def test_omitted_still_defaults(self, backend_cls):
+        assert backend_cls().max_workers >= 1
+        assert backend_cls(max_workers=1).max_workers == 1
+
+
 class TestMapOrdered:
     @pytest.mark.parametrize("name", BACKEND_CHOICES)
     def test_preserves_item_order(self, name):

@@ -57,15 +57,22 @@ def trace_file(tmp_path):
     return path
 
 
-@pytest.fixture
-def daemon(tmp_path):
-    """A running in-process daemon on a Unix socket; stopped on exit."""
+@pytest.fixture(params=["thread", "process"])
+def daemon(request, tmp_path):
+    """A running in-process daemon on a Unix socket; stopped on exit.
+
+    Parametrized over both shard backends: every daemon-facing test --
+    end-to-end pushes, transport faults, the overload ladder (shed),
+    backpressure accounting -- must behave identically whether engines
+    live on shard threads or in shard worker processes.
+    """
     thread = ServerThread(
         ServeConfig(
             unix_path=str(tmp_path / "serve.sock"),
             checkpoint_dir=str(tmp_path / "ckpt"),
             queue_depth=2,
             idle_timeout=5.0,
+            shard_backend=request.param,
         )
     )
     with thread:

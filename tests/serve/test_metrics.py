@@ -1,0 +1,122 @@
+"""The live metrics endpoint: a text /metrics-style snapshot of every
+``serve.*`` counter and gauge the daemon records, scraped over HTTP."""
+
+import urllib.request
+
+import pytest
+
+from repro.obs import Recorder, render_metrics, render_snapshot
+from repro.obs.metrics import metric_name
+from repro.serve import ServeConfig, ServerThread, push_trace
+
+from tests.serve.conftest import write_trace
+
+
+class TestRenderer:
+    def test_names_sanitized_and_prefixed(self):
+        assert metric_name("serve.pending_epochs") == (
+            "repro_serve_pending_epochs"
+        )
+        assert metric_name("serve.shard_depth.3") == (
+            "repro_serve_shard_depth_3"
+        )
+
+    def test_counters_gauges_and_spans_rendered(self):
+        recorder = Recorder()
+        recorder.count("serve.epochs_folded", 7)
+        recorder.gauge("serve.pending_epochs", 2)
+        with recorder.span("epoch.analyze"):
+            pass
+        text = render_metrics(recorder)
+        assert "# TYPE repro_serve_epochs_folded counter" in text
+        assert "repro_serve_epochs_folded 7" in text
+        assert "# TYPE repro_serve_pending_epochs gauge" in text
+        assert "repro_serve_pending_epochs 2" in text
+        assert "repro_epoch_analyze_count 1" in text
+        assert "repro_epoch_analyze_total_ns" in text
+        assert text.endswith("\n")
+
+    def test_empty_recorder_renders_valid_empty_page(self):
+        assert render_metrics(Recorder()) == "\n"
+
+    def test_float_gauge_keeps_precision(self):
+        text = render_snapshot({"gauges": {"g": 0.5}})
+        assert "repro_g 0.5" in text
+
+
+def _scrape(address):
+    host, port = address
+    with urllib.request.urlopen(
+        f"http://{host}:{port}/metrics", timeout=10
+    ) as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        return response.read().decode("utf-8")
+
+
+class TestEndpoint:
+    @pytest.mark.parametrize("shard_backend", ["thread", "process"])
+    def test_serves_every_counter_and_gauge_live(
+        self, tmp_path, shard_backend
+    ):
+        trace = tmp_path / "t.stream.jsonl"
+        write_trace(trace, events=200, seed=6)
+        recorder = Recorder()
+        config = ServeConfig(
+            unix_path=str(tmp_path / "s.sock"),
+            metrics_port=0,
+            workers=2,
+            shard_backend=shard_backend,
+        )
+        with ServerThread(config, recorder) as daemon:
+            assert daemon.server.metrics_address is not None
+            push_trace(daemon.address, str(trace), "s1")
+            body = _scrape(daemon.server.metrics_address)
+            snapshot = recorder.snapshot()
+        # Every serve.* counter and gauge the recorder holds is on the
+        # page, with the value it held at scrape time.
+        lines = dict(
+            line.split(" ", 1)
+            for line in body.splitlines()
+            if line and not line.startswith("#")
+        )
+        for family in ("counters", "gauges"):
+            for name, value in snapshot[family].items():
+                if not name.startswith("serve."):
+                    continue
+                exposed = metric_name(name)
+                assert exposed in lines, (exposed, body)
+                assert float(lines[exposed]) == float(value)
+        # The tentpole families specifically:
+        for required in (
+            "repro_serve_streams_active",
+            "repro_serve_pending_epochs",
+            "repro_serve_epochs_folded",
+            "repro_serve_epochs_received",
+            "repro_serve_streams_accepted",
+            "repro_serve_streams_completed",
+            "repro_serve_workers",
+            "repro_serve_shard_depth_0",
+            "repro_serve_shard_depth_1",
+        ):
+            assert required in lines, (required, sorted(lines))
+        assert float(lines["repro_serve_workers"]) == 2.0
+
+    def test_scrapes_track_live_progress(self, tmp_path):
+        trace = tmp_path / "t.stream.jsonl"
+        write_trace(trace, events=150, seed=8)
+        recorder = Recorder()
+        config = ServeConfig(
+            unix_path=str(tmp_path / "s.sock"), metrics_port=0
+        )
+        with ServerThread(config, recorder) as daemon:
+            before = _scrape(daemon.server.metrics_address)
+            assert "repro_serve_streams_completed" not in before
+            push_trace(daemon.address, str(trace), "s1")
+            after = _scrape(daemon.server.metrics_address)
+        assert "repro_serve_streams_completed 1" in after
+
+    def test_disabled_by_default(self, tmp_path):
+        config = ServeConfig(unix_path=str(tmp_path / "s.sock"))
+        with ServerThread(config) as daemon:
+            assert daemon.server.metrics_address is None

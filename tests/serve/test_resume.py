@@ -7,6 +7,8 @@ import subprocess
 import sys
 import time
 
+import pytest
+
 from repro.resilience.checkpoint import load_checkpoint
 from repro.serve import ServeConfig, ServerThread, StreamClient
 from repro.serve.client import read_frame_sync
@@ -95,7 +97,7 @@ class TestResumeAcrossRestart:
         assert answer["resume_epoch"] >= 0
 
 
-def start_daemon(tmp_path, sock_name, ck):
+def start_daemon(tmp_path, sock_name, ck, shard_backend="thread"):
     """``repro serve`` as a real subprocess; returns (proc, address)."""
     sock_path = str(tmp_path / sock_name)
     env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
@@ -105,6 +107,7 @@ def start_daemon(tmp_path, sock_name, ck):
             "--unix", sock_path,
             "--checkpoint-dir", str(ck),
             "--queue-depth", "2",
+            "--shard-backend", shard_backend,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
@@ -118,11 +121,21 @@ def start_daemon(tmp_path, sock_name, ck):
 
 
 class TestKilledDaemon:
-    def test_sigkill_mid_epoch_then_resume(self, tmp_path):
+    # (killed daemon's backend, restarted daemon's backend): same-
+    # backend resume both ways, plus one cross-backend pair proving the
+    # checkpoint format is shard-backend agnostic.
+    @pytest.mark.parametrize("first_backend,second_backend", [
+        ("thread", "thread"),
+        ("process", "process"),
+        ("process", "thread"),
+    ])
+    def test_sigkill_mid_epoch_then_resume(
+        self, tmp_path, first_backend, second_backend
+    ):
         trace = tmp_path / "t.stream.jsonl"
         write_trace(trace, events=300, seed=9)
         ck = tmp_path / "ck"
-        proc, address = start_daemon(tmp_path, "a.sock", ck)
+        proc, address = start_daemon(tmp_path, "a.sock", ck, first_backend)
         try:
             sock = raw_handshake(address, trace, "s1", 5)
             _, checkpoint = wait_for_checkpoint(ck, min_epoch=2)
@@ -135,7 +148,9 @@ class TestKilledDaemon:
                 proc.kill()
                 proc.wait()
 
-        proc, address = start_daemon(tmp_path, "b.sock", ck)
+        proc, address = start_daemon(
+            tmp_path, "b.sock", ck, second_backend
+        )
         try:
             client = StreamClient(
                 address, str(trace), "s1", policy=FAST, retries=2

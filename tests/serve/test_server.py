@@ -21,9 +21,11 @@ from repro.serve import (
 from repro.serve.client import read_frame_sync
 from repro.serve.protocol import (
     FRAME_ACK,
+    FRAME_END,
     FRAME_EPOCH,
     FRAME_ERROR,
     FRAME_HELLO,
+    FRAME_REPORT,
     encode_frame,
     encode_json_frame,
     make_hello,
@@ -165,6 +167,41 @@ class TestTransportFaults:
             assert json.loads(payload)["code"] == "timeout"
             sock.close()
 
+    def test_slow_trickle_inside_a_frame_is_not_idle(
+        self, tmp_path, trace_file
+    ):
+        # Regression: read_frame used to wrap the whole header+payload
+        # read in ONE wait_for, so a live producer trickling a large
+        # frame slower than idle_timeout was killed as "idle" mid-frame.
+        # The deadline is per read now -- progress resets it -- so a
+        # trickled delivery slower than the timeout must still complete.
+        config = ServeConfig(
+            unix_path=str(tmp_path / "s.sock"), idle_timeout=0.3
+        )
+        with open(trace_file) as fp:
+            header = stream_header(fp, str(trace_file))
+            lines = [line.strip() for line in fp if line.strip()]
+        epochs = header["epochs"]
+        with ServerThread(config) as daemon:
+            sock = raw_handshake(daemon.address, trace_file, "drip", 0)
+            # Trickle the first epoch frame in small chunks, pausing
+            # between them so the frame takes several idle_timeouts end
+            # to end while no single gap exceeds the deadline.
+            frame = encode_frame(FRAME_EPOCH, lines[0].encode())
+            step = max(1, len(frame) // 6)
+            for off in range(0, len(frame), step):
+                sock.sendall(frame[off:off + step])
+                time.sleep(0.15)
+            for line in lines[1:epochs]:
+                sock.sendall(encode_frame(FRAME_EPOCH, line.encode()))
+            sock.sendall(encode_json_frame(
+                FRAME_END, {"epochs_written": epochs}
+            ))
+            ftype, payload = read_frame_sync(sock)
+            sock.close()
+        assert ftype == FRAME_REPORT, payload
+        assert json.loads(payload) == offline_report(trace_file, "drip")
+
     def test_stalling_producer_recovers_through_retries(
         self, tmp_path, trace_file
     ):
@@ -207,7 +244,10 @@ class TestOverloadLadder:
             snapshot = daemon.server.recorder.snapshot()
         assert snapshot["counters"]["serve.connects_refused"] == 1
 
-    def test_shed_newest_is_resumable(self, tmp_path, trace_file):
+    @pytest.mark.parametrize("shard_backend", ["thread", "process"])
+    def test_shed_newest_is_resumable(
+        self, tmp_path, trace_file, shard_backend
+    ):
         # max_pending_epochs=0: the very first queued epoch trips the
         # shed rung, and the (only, hence newest) stream is evicted with
         # its checkpoint intact.
@@ -215,6 +255,7 @@ class TestOverloadLadder:
             unix_path=str(tmp_path / "s.sock"),
             checkpoint_dir=str(tmp_path / "ck"),
             max_pending_epochs=0,
+            shard_backend=shard_backend,
         )
         with ServerThread(shed_config, Recorder()) as daemon:
             with pytest.raises(ServeErrorFrame) as exc_info:

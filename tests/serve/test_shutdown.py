@@ -8,6 +8,8 @@ import subprocess
 import sys
 import time
 
+import pytest
+
 from repro.serve import ServeConfig, ServerThread, StreamClient
 from repro.serve.client import read_frame_sync
 from repro.serve.protocol import FRAME_ERROR
@@ -18,8 +20,9 @@ from tests.serve.test_server import FAST, raw_handshake
 
 
 class TestInProcessDrain:
+    @pytest.mark.parametrize("shard_backend", ["thread", "process"])
     def test_drain_notifies_and_checkpoints_inflight_streams(
-        self, tmp_path
+        self, tmp_path, shard_backend
     ):
         trace = tmp_path / "t.stream.jsonl"
         write_trace(trace, events=300, seed=2)
@@ -27,6 +30,7 @@ class TestInProcessDrain:
         config = ServeConfig(
             unix_path=str(tmp_path / "s.sock"),
             checkpoint_dir=str(ck),
+            shard_backend=shard_backend,
             # A long idle timeout: the drain must interrupt a quietly
             # waiting read immediately, not ride the timeout out.
             idle_timeout=60.0,
@@ -90,7 +94,10 @@ def run_daemon(tmp_path, extra=()):
 
 
 class TestSignals:
-    def test_sigterm_drains_flushes_and_exits_zero(self, tmp_path):
+    @pytest.mark.parametrize("shard_backend", ["thread", "process"])
+    def test_sigterm_drains_flushes_and_exits_zero(
+        self, tmp_path, shard_backend
+    ):
         trace = tmp_path / "t.stream.jsonl"
         write_trace(trace, events=200, seed=1)
         events_path = tmp_path / "events.jsonl"
@@ -98,6 +105,7 @@ class TestSignals:
         proc, address = run_daemon(tmp_path, (
             "--emit-events", str(events_path),
             "--summary-json", str(summary_path),
+            "--shard-backend", shard_backend,
         ))
         try:
             served = StreamClient(
