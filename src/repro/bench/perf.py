@@ -55,6 +55,20 @@ Workloads:
   on a single core process shards just add pickling and context
   switches.  Sized via ``--serve-streams`` (0 skips the workload).
 
+- ``adaptive_epoch`` -- the heartbeat's FP-rate/latency tradeoff and
+  the online controller navigating it.  ``tune`` is the offline
+  ``repro tune`` sweep over the allocation-handoff workload (fitted
+  curve: FP rate vs log2(h), fold latency vs h).  ``serve`` replays a
+  bursty producer against the same fold loop the daemon shards run,
+  in virtual time (arrivals follow the burst clock, service times are
+  real measured folds, ``checkpoint_every=1`` makes per-epoch
+  overhead real): ``fixed_small`` pays one checkpoint per producer
+  row and falls behind the offered load, ``fixed_large`` keeps up by
+  always analyzing at the large heartbeat (higher FP rate), and
+  ``adaptive`` folds only under queue pressure -- holding the latency
+  SLO the small heartbeat violates, at a lower FP rate than the
+  large one pays for the same SLO.
+
 Read a ``BENCH_*.json`` as: ``runs.<name>.best_s`` is the best-of-N
 wall time in seconds (N = ``repeats``), ``engine_stats`` the exact work
 counters of that run (identical across backends by design), and
@@ -64,7 +78,8 @@ also carries ``per_epoch``: deterministic per-epoch rows (instructions,
 meets, error attribution) from one instrumented replay.  Schema 3 adds
 the ``resilience_overhead`` workload; schema 4 adds
 ``streaming_overhead``; schema 5 adds ``columnar_10m``; schema 6 adds
-``taint_columnar_10m``; schema 7 adds ``serve_throughput``.
+``taint_columnar_10m``; schema 7 adds ``serve_throughput``; schema 8
+adds ``adaptive_epoch``.
 """
 
 from __future__ import annotations
@@ -615,6 +630,257 @@ def _bench_serve_throughput(
     }
 
 
+#: Parameters of the ``adaptive_epoch`` workload.
+ADAPTIVE_THREADS = 4
+ADAPTIVE_EVENTS = 1024        # events per thread
+ADAPTIVE_H_SMALL = 4          # the producer's heartbeat
+ADAPTIVE_BURST = 16           # producer rows arriving per burst
+#: Controller ceiling: effective heartbeat 16, which sits in the FP
+#: curve's rising regime -- fixed_large (effective heartbeat 64) is in
+#: its saturated tail, so the cap is what buys the lower FP rate.
+ADAPTIVE_MAX_FOLD = 4
+ADAPTIVE_TUNE_SIZES = (2, 4, 8, 16, 32)
+
+
+def _percentile(values: list, q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def _bench_adaptive_epoch(
+    events: int = ADAPTIVE_EVENTS,
+) -> Dict[str, Any]:
+    """Tune curve plus a bursty serve-loop A/B for the adaptive epoch.
+
+    The ``serve`` section is a trace-driven queueing replay of the
+    fold loop the daemon shards run: producer rows arrive on a
+    *virtual* burst clock (so the result is a property of the
+    schedule, not of sleeps), each fold's service time is the real
+    measured wall time of feeding it through a checkpointing engine,
+    and a row's latency is its fold-completion time minus its arrival
+    time.  The burst interval is calibrated to ~1.7x the small
+    heartbeat's measured capacity, which is exactly the regime the
+    controller exists for.  Runs once -- it is a queueing simulation
+    with hundreds of internally-timed folds, not a microbenchmark.
+    """
+    import tempfile
+
+    from repro.core.stream import ShapeSource
+    from repro.core.tune import (
+        AdaptiveEngine,
+        EpochController,
+        SloConfig,
+        tune_workload,
+    )
+    from repro.lifeguards.reports import compare_reports
+    from repro.lifeguards.sequential import SequentialAddrCheck
+    from repro.resilience import Checkpointer
+    from repro.trace.generator import alloc_handoff_program
+
+    program = alloc_handoff_program(
+        random.Random(CORE_SEED),
+        num_threads=ADAPTIVE_THREADS,
+        events_per_thread=events,
+    )
+    curve = tune_workload(program, list(ADAPTIVE_TUNE_SIZES))
+    truth = SequentialAddrCheck(program.preallocated)
+    truth.run_order(program)
+
+    h_large = ADAPTIVE_H_SMALL * ADAPTIVE_BURST
+    small = partition_fixed(program, ADAPTIVE_H_SMALL)
+    large = partition_fixed(program, h_large)
+    rows_small = [
+        small.epoch_blocks(lid) for lid in range(small.num_epochs)
+    ]
+    rows_large = [
+        large.epoch_blocks(lid) for lid in range(large.num_epochs)
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="repro-adaptive-") as tmp:
+
+        def build(name: str, num_rows: int, slo_ms: Optional[float]):
+            guard = ButterflyAddrCheck(
+                initially_allocated=program.preallocated
+            )
+            engine: Any = ButterflyEngine(guard, backend="serial")
+            engine.attach_source(ShapeSource(
+                ADAPTIVE_THREADS,
+                num_epochs=None if slo_ms is not None else num_rows,
+                preallocated=program.preallocated,
+            ))
+            if slo_ms is not None:
+                # error_bias off: the handoff workload flags on almost
+                # every epoch by construction, and the bias rule would
+                # pin the controller at min_fold -- this A/B isolates
+                # the queue-pressure/latency loop the SLO claim is
+                # about.
+                controller = EpochController(SloConfig(
+                    target_fold_ms=slo_ms,
+                    max_fold=ADAPTIVE_MAX_FOLD,
+                    error_bias=False,
+                ))
+                engine = AdaptiveEngine(
+                    engine, controller, ADAPTIVE_THREADS
+                )
+            engine.enable_checkpoints(Checkpointer(
+                os.path.join(tmp, f"{name}.ckpt"),
+                {"bench": "adaptive_epoch", "config": name},
+            ))
+            return engine, guard
+
+        def row_progress(engine: Any) -> int:
+            folded = getattr(engine, "rows_folded", None)
+            return engine._next_to_receive if folded is None else folded
+
+        # Calibrate: the small heartbeat's back-to-back service rate,
+        # checkpoint included, sets the offered load and the SLO.
+        engine, _guard = build("calibrate", len(rows_small), None)
+        t0 = time.perf_counter()
+        for lid, row in enumerate(rows_small):
+            engine.feed_blocks(lid, row)
+        engine.finish()
+        row_ms = (time.perf_counter() - t0) * 1e3 / len(rows_small)
+        engine.close()
+        burst_interval_ms = 0.6 * ADAPTIVE_BURST * row_ms
+        slo_target_ms = 2.0 * burst_interval_ms
+
+        def arrival_times(num_rows: int, per_burst: int) -> list:
+            # Alternate phases: even groups land as one instantaneous
+            # burst, odd groups are paced across their interval.  The
+            # offered load is ~1.7x the small heartbeat's capacity in
+            # BOTH phases (so fixed_small falls behind everywhere),
+            # but only the bursts need a large fold -- the paced
+            # stretches are where the controller earns its lower
+            # average heartbeat, and with it a lower FP rate than
+            # fixed_large.
+            out = []
+            for i in range(num_rows):
+                group, offset = divmod(i, per_burst)
+                base = group * burst_interval_ms
+                if group % 2 == 0:
+                    out.append(base)
+                else:
+                    out.append(
+                        base
+                        + offset * (burst_interval_ms / per_burst)
+                    )
+            return out
+
+        def simulate(name: str, rows: list, per_burst: int,
+                     adaptive: bool) -> Dict[str, Any]:
+            arrivals = arrival_times(len(rows), per_burst)
+            engine, guard = build(
+                name, len(rows), slo_target_ms if adaptive else None
+            )
+            completions = [0.0] * len(rows)
+            fold_ms: list = []
+            max_rows_per_fold = 0
+            now = 0.0
+            fed = done = arrived = 0
+            finished = False
+            try:
+                while done < len(rows):
+                    if fed < len(rows):
+                        now = max(now, arrivals[fed])
+                        while (arrived < len(rows)
+                               and arrivals[arrived] <= now):
+                            arrived += 1
+                        if adaptive:
+                            engine.note_queue_depth(arrived - fed)
+                        t0 = time.perf_counter()
+                        engine.feed_blocks(fed, rows[fed])
+                        fed += 1
+                    else:
+                        t0 = time.perf_counter()
+                        engine.finish()
+                        finished = True
+                    dt = (time.perf_counter() - t0) * 1e3
+                    now += dt
+                    progress = row_progress(engine)
+                    if progress > done:
+                        fold_ms.append(dt)
+                        max_rows_per_fold = max(
+                            max_rows_per_fold, progress - done
+                        )
+                        for i in range(done, progress):
+                            completions[i] = now
+                        done = progress
+                if not finished:
+                    engine.finish()
+                stats = engine.stats
+                latency = [
+                    completions[i] - arrivals[i]
+                    for i in range(len(rows))
+                ]
+                precision = compare_reports(
+                    truth.errors, guard.errors,
+                    program.memory_op_count,
+                )
+            finally:
+                engine.close()
+            p95 = _percentile(latency, 0.95)
+            return {
+                "rows": len(rows),
+                "analysis_epochs": stats.epochs_processed,
+                "elapsed_virtual_ms": now,
+                "mean_fold_ms": sum(fold_ms) / len(fold_ms),
+                "p95_fold_ms": _percentile(fold_ms, 0.95),
+                "max_rows_per_fold": max_rows_per_fold,
+                "p95_row_latency_ms": p95,
+                "max_row_latency_ms": max(latency),
+                "meets_slo": p95 <= slo_target_ms,
+                "false_positives": precision.false_positives,
+                "fp_rate": precision.false_positive_rate,
+            }
+
+        runs = {
+            "fixed_small": simulate(
+                "fixed_small", rows_small, ADAPTIVE_BURST, False
+            ),
+            "fixed_large": simulate(
+                "fixed_large", rows_large, 1, False
+            ),
+            "adaptive": simulate(
+                "adaptive", rows_small, ADAPTIVE_BURST, True
+            ),
+        }
+    tune_record = {
+        "workload": "handoff",
+        "threads": ADAPTIVE_THREADS,
+        "events_per_thread": events,
+        "seed": CORE_SEED,
+        "sizes": list(ADAPTIVE_TUNE_SIZES),
+    }
+    tune_record.update(curve.to_record())
+    return {
+        "description": (
+            "heartbeat FP/latency tradeoff (offline tune sweep) and a "
+            "bursty virtual-time serve-loop A/B: fixed small vs fixed "
+            "large vs adaptive heartbeat"
+        ),
+        "tune": tune_record,
+        "serve": {
+            "params": {
+                "threads": ADAPTIVE_THREADS,
+                "events_per_thread": events,
+                "seed": CORE_SEED,
+                "h_small": ADAPTIVE_H_SMALL,
+                "h_large": h_large,
+                "burst_rows": ADAPTIVE_BURST,
+                "max_fold": ADAPTIVE_MAX_FOLD,
+                "burst_interval_ms": burst_interval_ms,
+                "slo_target_ms": slo_target_ms,
+                "calibrated_row_ms": row_ms,
+                "checkpoint_every": 1,
+            },
+            "runs": runs,
+        },
+    }
+
+
 def run_perf(
     repeats: int = 5,
     output_path: Optional[str] = None,
@@ -623,6 +889,7 @@ def run_perf(
     stream_file: bool = False,
     big_events: int = 10_000_000,
     serve_streams: int = SERVE_STREAMS,
+    adaptive_events: int = ADAPTIVE_EVENTS,
 ) -> Dict[str, Any]:
     """Run every perf workload; optionally write the JSON report.
 
@@ -633,7 +900,9 @@ def run_perf(
     ``big_events`` sizes the ``columnar_10m`` and ``taint_columnar_10m``
     workloads (0 skips them -- the full 10M-event default takes minutes
     on the object paths); ``serve_streams`` sizes the
-    ``serve_throughput`` workload's producer count (0 skips it).
+    ``serve_throughput`` workload's producer count (0 skips it);
+    ``adaptive_events`` sizes the ``adaptive_epoch`` workload's trace
+    (events per thread; 0 skips it).
     """
     workloads = {
         "microbench_core": _bench_microbench_core(repeats, events_path),
@@ -656,8 +925,12 @@ def run_perf(
         workloads["serve_throughput"] = _bench_serve_throughput(
             serve_streams
         )
+    if adaptive_events > 0:
+        workloads["adaptive_epoch"] = _bench_adaptive_epoch(
+            adaptive_events
+        )
     report: Dict[str, Any] = {
-        "schema": 7,
+        "schema": 8,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "cpu_count": os.cpu_count(),
@@ -681,12 +954,16 @@ def main(argv: Optional[list] = None) -> int:  # pragma: no cover - thin CLI
     parser.add_argument(
         "--serve-streams", type=int, default=SERVE_STREAMS
     )
+    parser.add_argument(
+        "--adaptive-events", type=int, default=ADAPTIVE_EVENTS
+    )
     args = parser.parse_args(argv)
     report = run_perf(
         repeats=args.repeats,
         output_path=args.output,
         big_events=args.big_events,
         serve_streams=args.serve_streams,
+        adaptive_events=args.adaptive_events,
     )
     core = report["workloads"]["microbench_core"]
     print(

@@ -28,7 +28,9 @@ from __future__ import annotations
 import argparse
 import asyncio
 import hashlib
+import json
 import os
+import random
 import shutil
 import signal
 import sys
@@ -38,10 +40,11 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.bench.experiments import figure11, figure12, figure13, table1
 from repro.bench.harness import ExperimentConfig, ExperimentSuite
 from repro.bench.reporting import render_table
-from repro.core.epoch import partition_auto
+from repro.core.epoch import partition_auto, partition_from_boundaries
 from repro.core.framework import ButterflyEngine
 from repro.core.parallel import BACKEND_CHOICES, ExecutionBackend
 from repro.core.stream import EpochSource, PartitionSource
+from repro.core.tune import ORACLE_LIFEGUARDS, tune_workload
 from repro.errors import (
     CheckpointError,
     ReproError,
@@ -72,6 +75,7 @@ from repro.serve import (
     push_trace,
 )
 from repro.sim.lba import LBASystem
+from repro.trace.generator import alloc_handoff_program
 from repro.trace.serialize import (
     STREAM_VERSION,
     file_version,
@@ -170,6 +174,7 @@ def _run_meta(
     num_threads: int,
     trace_path: Optional[str],
     stream: bool,
+    partition=None,
 ) -> Dict[str, Any]:
     """The checkpoint's configuration fingerprint: everything needed to
     rebuild the identical trace and partition at resume time.
@@ -177,7 +182,19 @@ def _run_meta(
     ``stream`` records whether the run fed the engine through an
     :class:`EpochSource`; resume replays the same pipeline so a
     checkpoint taken mid-stream is continued by seeking the reader.
+
+    When the run materialized a partition, its explicit boundary stream
+    is recorded too: resume replays those exact cuts
+    (:func:`partition_from_boundaries`) instead of re-deriving them
+    from ``epoch_size``, so variable-size partitions -- skewed,
+    global-order, adaptive -- resume on identical epoch geometry.
+    (``epoch_size`` alone loses that information; deriving cuts from it
+    was the old resume path's latent bug.)
     """
+    boundaries = (
+        [list(cuts) for cuts in partition.boundaries]
+        if partition is not None else None
+    )
     if trace_path:
         trace_abs = os.path.abspath(trace_path)
         return {
@@ -190,6 +207,7 @@ def _run_meta(
             "epoch_size": args.epoch_size,
             "lifeguard": args.lifeguard,
             "stream": stream,
+            "boundaries": boundaries,
         }
     return {
         "benchmark": args.benchmark,
@@ -201,6 +219,7 @@ def _run_meta(
         "epoch_size": args.epoch_size,
         "lifeguard": args.lifeguard,
         "stream": stream,
+        "boundaries": boundaries,
     }
 
 
@@ -466,7 +485,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     else:
         guard = _make_guard(args.lifeguard, source.preallocated)
     streaming = source is not None
-    meta = _run_meta(args, args.threads, trace_path, streaming)
+    meta = _run_meta(args, args.threads, trace_path, streaming, partition)
     engine = ButterflyEngine(guard, backend=backend, recorder=recorder)
     try:
         if streaming:
@@ -566,7 +585,21 @@ def cmd_resume(args: argparse.Namespace) -> int:
         return rc
     partition = None
     if program is not None:
-        partition = partition_auto(program, meta["epoch_size"])
+        if meta.get("boundaries"):
+            # Replay the recorded cuts verbatim: the interrupted run's
+            # partition may not be derivable from epoch_size (skewed or
+            # otherwise variable cuts), and resuming on different
+            # geometry would silently change the analysis.
+            try:
+                partition = partition_from_boundaries(
+                    program, meta["boundaries"]
+                )
+            except ReproError as exc:
+                return _fail("resume", str(exc))
+        else:
+            # Pre-boundary checkpoints: fall back to re-deriving the
+            # fixed-h cuts the old writer used.
+            partition = partition_auto(program, meta["epoch_size"])
         if meta.get("stream"):
             # The interrupted run streamed; resume through the same
             # pipeline so its counters and window gauge stay coherent.
@@ -624,6 +657,17 @@ def _quarantine_file(path: str, directory: str) -> str:
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Epoch-size sweep for one benchmark (the paper's tuning knob),
     or over saved trace files (``--traces``)."""
+    if args.lifeguard not in ORACLE_LIFEGUARDS:
+        # The FP column is a comparison against a sequential oracle for
+        # the *same* lifeguard; silently swapping in the AddrCheck
+        # oracle (the old behavior) would label another lifeguard's
+        # flags with a meaningless FP rate.
+        return _fail(
+            "sweep",
+            f"lifeguard {args.lifeguard!r} has no sequential oracle to "
+            f"measure false positives against; supported: "
+            f"{', '.join(ORACLE_LIFEGUARDS)}",
+        )
     recorder, rc = _open_recorder(args, "sweep")
     if recorder is None:
         return rc
@@ -697,6 +741,86 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tune(args: argparse.Namespace) -> int:
+    """Sweep the heartbeat over one workload and fit the FP-rate /
+    latency tradeoff curve the adaptive controller navigates.
+
+    The default workload is the allocation-handoff generator, whose
+    false-positive rate genuinely grows with the heartbeat (the
+    paper's Figure 13 shape); registry benchmarks are available via
+    ``--benchmark`` but are allocation-clean and fit a flat curve.
+    """
+    if args.lifeguard not in ORACLE_LIFEGUARDS:
+        return _fail(
+            "tune",
+            f"lifeguard {args.lifeguard!r} has no sequential oracle to "
+            f"measure false positives against; supported: "
+            f"{', '.join(ORACLE_LIFEGUARDS)}",
+        )
+    if any(h < 1 for h in args.sizes):
+        return _fail("tune", "--sizes must all be >= 1")
+    if args.benchmark is not None:
+        label = args.benchmark
+        program = get_benchmark(args.benchmark).generate(
+            args.threads, args.events, seed=args.seed
+        )
+    else:
+        label = "handoff"
+        program = alloc_handoff_program(
+            random.Random(args.seed),
+            num_threads=args.threads,
+            events_per_thread=args.events,
+        )
+    try:
+        curve = tune_workload(
+            program, args.sizes,
+            lifeguard=args.lifeguard, backend=args.backend,
+        )
+    except ReproError as exc:
+        return _fail("tune", str(exc))
+    print(f"workload: {label}, {args.threads} threads, "
+          f"{args.events} events/thread, seed {args.seed}")
+    print(render_table(
+        ("epoch size", "epochs", "false pos", "FP rate",
+         "mean epoch ms", "max epoch ms", "events/s"),
+        [
+            (
+                point.epoch_size,
+                point.epochs,
+                point.false_positives,
+                f"{point.fp_rate:.3%}",
+                f"{point.mean_epoch_ms:.3f}",
+                f"{point.max_epoch_ms:.3f}",
+                f"{point.events_per_s:,.0f}",
+            )
+            for point in curve.points
+        ],
+    ))
+    print(f"fit: fp_rate ~ {curve.fp_slope:+.4f} * log2(h) "
+          f"{curve.fp_intercept:+.4f}")
+    print(f"fit: mean_epoch_ms ~ {curve.latency_slope:+.6f} * h "
+          f"{curve.latency_intercept:+.4f}")
+    print("raw FP rate monotone nondecreasing: "
+          + ("yes" if curve.fp_monotone else "no"))
+    if args.output:
+        record = {
+            "workload": label,
+            "threads": args.threads,
+            "events_per_thread": args.events,
+            "seed": args.seed,
+            "lifeguard": args.lifeguard,
+        }
+        record.update(curve.to_record())
+        try:
+            with open(args.output, "w") as fh:
+                json.dump(record, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            return _fail("tune", f"cannot write {args.output}: {exc}")
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Measure wall-clock performance and write a BENCH_*.json report."""
     from repro.bench.perf import run_perf
@@ -711,6 +835,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return _fail(
             "bench",
             f"--serve-streams must be >= 0, got {args.serve_streams}",
+        )
+    if args.adaptive_events < 0:
+        return _fail(
+            "bench",
+            f"--adaptive-events must be >= 0, got {args.adaptive_events}",
         )
     if args.inject_faults:
         try:
@@ -734,6 +863,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         stream_file=args.stream,
         big_events=args.big_events,
         serve_streams=args.serve_streams,
+        adaptive_events=args.adaptive_events,
     )
     core = report["workloads"]["microbench_core"]
     print(f"wrote {args.output}")
@@ -773,6 +903,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"thread shards {thread_run['epochs_per_s']:.0f} epochs/s, "
               f"process shards {process_run['epochs_per_s']:.0f} epochs/s "
               f"({serve['speedup_process_vs_thread']:.2f}x)")
+    adaptive = report["workloads"].get("adaptive_epoch")
+    if adaptive is not None:
+        fit = adaptive["tune"]["fit"]["fp_rate_vs_log2_h"]
+        runs = adaptive["serve"]["runs"]
+        slo = adaptive["serve"]["params"]["slo_target_ms"]
+        print(f"adaptive epoch: tune FP slope {fit['slope']:+.4f} per "
+              f"log2(h); bursty p95 latency "
+              f"{runs['adaptive']['p95_row_latency_ms']:.1f} ms adaptive "
+              f"vs {runs['fixed_small']['p95_row_latency_ms']:.1f} ms "
+              f"fixed-small (SLO {slo:.1f} ms); FP rate "
+              f"{runs['adaptive']['fp_rate']:.3%} adaptive vs "
+              f"{runs['fixed_large']['fp_rate']:.3%} fixed-large")
     return 0
 
 
@@ -844,6 +986,12 @@ def _serve_config(args: argparse.Namespace) -> ServeConfig:
         checkpoint_every=args.checkpoint_every,
         backend=args.backend,
         metrics_port=args.metrics,
+        adaptive_epoch=args.adaptive_epoch,
+        slo_target_ms=args.slo_target_ms,
+        slo_queue_high=args.slo_queue_high,
+        slo_queue_low=args.slo_queue_low,
+        slo_min_fold=args.slo_min_fold,
+        slo_max_fold=args.slo_max_fold,
     )
 
 
@@ -1226,6 +1374,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events", type=int, default=16384)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument(
+        "--lifeguard", default="addrcheck",
+        choices=("addrcheck", "race", "taintcheck"),
+        help="lifeguard whose FP rate the sweep measures; only "
+             "lifeguards with a sequential oracle are supported "
+             "(others exit 2 instead of silently comparing against "
+             "the AddrCheck oracle)",
+    )
+    p.add_argument(
         "--sizes", type=int, nargs="+",
         default=[256, 512, 1024, 2048, 4096],
     )
@@ -1249,6 +1405,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
+        "tune",
+        help="sweep the heartbeat over a workload and fit the "
+             "FP-rate/latency tradeoff curve the adaptive-epoch "
+             "controller navigates (see docs/tuning.md)",
+    )
+    p.add_argument(
+        "--benchmark", default=None, choices=sorted(BENCHMARKS),
+        help="sweep a registry benchmark instead of the default "
+             "allocation-handoff workload (registry benchmarks are "
+             "allocation-clean, so their FP curves are flat)",
+    )
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--events", type=int, default=1024,
+                   help="events per thread (default: 1024)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--sizes", type=int, nargs="+", default=[2, 4, 8, 16, 32],
+        help="heartbeat sizes to measure (default: 2 4 8 16 32)",
+    )
+    p.add_argument(
+        "--lifeguard", default="addrcheck",
+        choices=("addrcheck", "race", "taintcheck"),
+        help="lifeguard to tune; only lifeguards with a sequential "
+             "oracle are supported (others exit 2)",
+    )
+    p.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the measured points and fitted curve as JSON "
+             "(the tune-smoke CI job asserts the fitted FP slope "
+             "is nonnegative)",
+    )
+    _add_backend_arg(p)
+    p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser(
         "bench", help="measure wall-clock perf and write BENCH_<n>.json"
     )
     p.add_argument("--output", default="BENCH_1.json",
@@ -1264,6 +1455,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--serve-streams", type=int, default=4, metavar="N",
         help="concurrent producers for the serve_throughput workload; "
              "0 skips it (default: 4)",
+    )
+    p.add_argument(
+        "--adaptive-events", type=int, default=1024, metavar="N",
+        help="events per thread for the adaptive_epoch workload; "
+             "0 skips it (default: 1024)",
     )
     p.add_argument(
         "--inject-faults", default=None, metavar="SPEC",
@@ -1369,6 +1565,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary-json", default=None, metavar="PATH",
         help="write the serve.* metrics snapshot to PATH on drain",
     )
+    p.add_argument(
+        "--adaptive-epoch", action="store_true",
+        help="resize the heartbeat online: an SLO controller folds "
+             "producer epochs into larger analysis epochs while the "
+             "fold latency budget holds, and shrinks back under "
+             "breach or new errors; the REPORT records the cut "
+             "stream actually analyzed (see docs/tuning.md)",
+    )
+    p.add_argument("--slo-target-ms", type=float, default=50.0,
+                   metavar="MS",
+                   help="adaptive: per-fold latency budget; a breach "
+                        "halves the fold factor (default: 50)")
+    p.add_argument("--slo-queue-high", type=int, default=3, metavar="N",
+                   help="adaptive: queue depth at or above which the "
+                        "fold factor doubles (default: 3)")
+    p.add_argument("--slo-queue-low", type=int, default=1, metavar="N",
+                   help="adaptive: queue depth at or below which the "
+                        "fold factor shrinks by one (default: 1)")
+    p.add_argument("--slo-min-fold", type=int, default=1, metavar="N",
+                   help="adaptive: fold-factor floor (default: 1)")
+    p.add_argument("--slo-max-fold", type=int, default=64, metavar="N",
+                   help="adaptive: fold-factor ceiling (default: 64)")
     _add_backend_arg(p)
     _add_emit_events_arg(p)
     p.set_defaults(func=cmd_serve)

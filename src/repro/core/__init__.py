@@ -12,10 +12,16 @@ Module map (paper section in parentheses):
 """
 
 from repro.core.epoch import (
+    AutoHeartbeat,
     Block,
     BlockId,
     EpochPartition,
+    ExplicitHeartbeat,
+    FixedHeartbeat,
+    GlobalOrderHeartbeat,
+    HeartbeatPolicy,
     InstrId,
+    SkewedHeartbeat,
     partition_fixed,
     partition_from_boundaries,
     partition_with_skew,
@@ -28,6 +34,12 @@ __all__ = [
     "BlockId",
     "InstrId",
     "EpochPartition",
+    "HeartbeatPolicy",
+    "FixedHeartbeat",
+    "SkewedHeartbeat",
+    "GlobalOrderHeartbeat",
+    "AutoHeartbeat",
+    "ExplicitHeartbeat",
     "partition_fixed",
     "partition_from_boundaries",
     "partition_with_skew",

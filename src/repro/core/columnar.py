@@ -223,6 +223,58 @@ class ColumnarBlock:
             _freeze_i64(src_val),
         )
 
+    @classmethod
+    def concat(cls, blocks: Sequence["ColumnarBlock"]) -> "ColumnarBlock":
+        """Concatenate blocks' events in order, staying columnar.
+
+        The adaptive serve path coalesces consecutive producer epochs
+        into one analysis epoch; this is its merge primitive -- pure
+        column appends (the CSR source offsets shift by each block's
+        running total), no per-event objects.
+        """
+        blocks = [b for b in blocks]
+        if not blocks:
+            return cls.from_instrs(())
+        if len(blocks) == 1:
+            return blocks[0]
+        if HAVE_NUMPY:
+            op = np.concatenate([np.asarray(b.op) for b in blocks])
+            dst = np.concatenate([np.asarray(b.dst) for b in blocks])
+            size = np.concatenate([np.asarray(b.size) for b in blocks])
+            src_val = np.concatenate(
+                [np.asarray(b.src_val) for b in blocks]
+            )
+            parts = [np.zeros(1, dtype=np.int64)]
+            base = 0
+            for b in blocks:
+                off = np.asarray(b.src_off)
+                parts.append(off[1:] + base)
+                base += int(off[-1])
+            return cls(
+                int(op.shape[0]),
+                op.astype(np.uint8, copy=False),
+                dst,
+                size,
+                np.concatenate(parts),
+                src_val,
+            )
+        op = array("B")
+        dst = array("q")
+        size = array("q")
+        src_off = array("q", [0])
+        src_val = array("q")
+        base = 0
+        for b in blocks:
+            op.extend(b.op)
+            dst.extend(b.dst)
+            size.extend(b.size)
+            src_val.extend(b.src_val)
+            offs = b.src_off
+            for o in list(offs)[1:]:
+                src_off.append(o + base)
+            base += int(offs[-1]) if len(offs) else 0
+        return cls(len(op), op, dst, size, src_off, src_val)
+
     # -- materialization ------------------------------------------------
 
     def instr(self, i: int) -> Instr:

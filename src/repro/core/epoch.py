@@ -8,10 +8,28 @@ guarantees that instructions in non-adjacent epochs are strictly ordered.
 
 A block is addressed by ``(l, t)`` and an instruction by ``(l, t, i)``
 with ``i`` an offset from the block start, exactly the paper's notation.
+
+Heartbeat policies
+------------------
+
+Where the cuts land is a *policy*, not a property of the partition: the
+paper's prototype fires a heartbeat every ``h`` events, but nothing in
+the analysis depends on that -- only on the boundary stream itself.
+:class:`HeartbeatPolicy` makes the boundary stream the first-class
+object: a policy maps a program to per-thread cut lists, and every
+partition constructor below is a trivial policy
+(:class:`FixedHeartbeat`, :class:`GlobalOrderHeartbeat`,
+:class:`SkewedHeartbeat`, :class:`AutoHeartbeat`,
+:class:`ExplicitHeartbeat`).  Downstream layers (the v2 stream writer,
+checkpoints, the serve daemon) carry the *explicit boundaries* a policy
+produced, never the policy's parameters, so re-running, resuming, or
+re-checking a trace always reproduces identical cuts -- the invariant
+the differential harness's variable-partition mode enforces.
 """
 
 from __future__ import annotations
 
+import abc
 import random
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -254,87 +272,109 @@ class EpochPartition:
 
 
 # ---------------------------------------------------------------------------
-# Partition constructors
+# Heartbeat policies
 # ---------------------------------------------------------------------------
 
 
-def partition_fixed(program: TraceProgram, epoch_size: int) -> EpochPartition:
-    """Cut every thread into blocks of exactly ``epoch_size`` instructions.
+class HeartbeatPolicy(abc.ABC):
+    """Maps a program to the boundary stream that partitions it.
+
+    The policy is the only place epoch geometry is *decided*; everything
+    downstream consumes the explicit per-thread cut lists it emits.
+    Policies must be deterministic given their construction parameters
+    (randomized ones seed their own RNG) so the same policy over the
+    same program always reproduces identical cuts.
+    """
+
+    @abc.abstractmethod
+    def boundaries(self, program: TraceProgram) -> List[List[int]]:
+        """Per-thread cut points: ``result[t]`` is non-decreasing and
+        ends at ``len(program.threads[t])``; all threads emit the same
+        number of cuts (the epoch count)."""
+
+    def partition(self, program: TraceProgram) -> EpochPartition:
+        """Cut ``program`` with this policy's boundary stream."""
+        return EpochPartition(program, self.boundaries(program))
+
+
+def _check_epoch_size(epoch_size: int) -> None:
+    if epoch_size < 1:
+        raise PartitionError("epoch_size must be >= 1")
+
+
+class FixedHeartbeat(HeartbeatPolicy):
+    """A heartbeat every ``h`` instructions of each thread.
 
     This is the LBA software heartbeat of Section 7.1: a marker is
     inserted into each thread's log every ``h`` instructions.
     """
-    if epoch_size < 1:
-        raise PartitionError("epoch_size must be >= 1")
-    lengths = [len(t) for t in program.threads]
-    num_epochs = max(
-        1, max((n + epoch_size - 1) // epoch_size for n in lengths) if lengths else 1
-    )
-    boundaries = []
-    for n in lengths:
-        cuts = [min((k + 1) * epoch_size, n) for k in range(num_epochs)]
-        boundaries.append(cuts)
-    return EpochPartition(program, boundaries)
+
+    def __init__(self, epoch_size: int) -> None:
+        _check_epoch_size(epoch_size)
+        self.epoch_size = epoch_size
+
+    def boundaries(self, program: TraceProgram) -> List[List[int]]:
+        h = self.epoch_size
+        lengths = [len(t) for t in program.threads]
+        num_epochs = max(
+            1, max((n + h - 1) // h for n in lengths) if lengths else 1
+        )
+        return [
+            [min((k + 1) * h, n) for k in range(num_epochs)]
+            for n in lengths
+        ]
 
 
-def partition_with_skew(
-    program: TraceProgram,
-    epoch_size: int,
-    max_skew: int,
-    rng: Optional[random.Random] = None,
-) -> EpochPartition:
+class SkewedHeartbeat(HeartbeatPolicy):
     """Fixed-size epochs with per-thread heartbeat delivery jitter.
 
     Each boundary lands within ``max_skew`` instructions of its nominal
     position, modelling non-simultaneous heartbeat reception (Section
     4.1).  ``max_skew`` must be less than half the epoch size so that
-    blocks never invert.
+    blocks never invert.  Determinism: the jitter stream is drawn from
+    ``rng`` (default ``random.Random(0)``) in a fixed thread-major,
+    cut-minor order, so equal seeds cut equally.
     """
-    if epoch_size < 1:
-        raise PartitionError("epoch_size must be >= 1")
-    if max_skew < 0 or 2 * max_skew >= epoch_size:
-        raise PartitionError("max_skew must satisfy 0 <= 2*skew < epoch_size")
-    rng = rng or random.Random(0)
-    lengths = [len(t) for t in program.threads]
-    num_epochs = max(
-        1, max((n + epoch_size - 1) // epoch_size for n in lengths) if lengths else 1
-    )
-    boundaries = []
-    for n in lengths:
-        cuts = []
-        for k in range(num_epochs - 1):
-            nominal = (k + 1) * epoch_size
-            jitter = rng.randint(-max_skew, max_skew)
-            cuts.append(max(0, min(nominal + jitter, n)))
-        cuts.append(n)
-        # Jitter near the trace tail can produce non-monotone cuts; clamp.
-        for k in range(1, len(cuts)):
-            cuts[k] = max(cuts[k], cuts[k - 1])
-        boundaries.append(cuts)
-    return EpochPartition(program, boundaries)
+
+    def __init__(
+        self,
+        epoch_size: int,
+        max_skew: int,
+        rng: Optional[random.Random] = None,
+        seed: int = 0,
+    ) -> None:
+        _check_epoch_size(epoch_size)
+        if max_skew < 0 or 2 * max_skew >= epoch_size:
+            raise PartitionError(
+                "max_skew must satisfy 0 <= 2*skew < epoch_size"
+            )
+        self.epoch_size = epoch_size
+        self.max_skew = max_skew
+        self._rng = rng if rng is not None else random.Random(seed)
+
+    def boundaries(self, program: TraceProgram) -> List[List[int]]:
+        h, max_skew, rng = self.epoch_size, self.max_skew, self._rng
+        lengths = [len(t) for t in program.threads]
+        num_epochs = max(
+            1, max((n + h - 1) // h for n in lengths) if lengths else 1
+        )
+        boundaries = []
+        for n in lengths:
+            cuts = []
+            for k in range(num_epochs - 1):
+                nominal = (k + 1) * h
+                jitter = rng.randint(-max_skew, max_skew)
+                cuts.append(max(0, min(nominal + jitter, n)))
+            cuts.append(n)
+            # Jitter near the trace tail can produce non-monotone cuts;
+            # clamp forward so every cut list stays sorted.
+            for k in range(1, len(cuts)):
+                cuts[k] = max(cuts[k], cuts[k - 1])
+            boundaries.append(cuts)
+        return boundaries
 
 
-def partition_auto(program: TraceProgram, epoch_size: int) -> EpochPartition:
-    """The LBA substrate's default cutting rule: heartbeats fire in
-    *execution time* when the trace recorded its ground-truth global
-    order (paper footnote 4), and per-thread instruction counts
-    otherwise.  Shared by the CLI, the LBA simulator and the streaming
-    trace writer so every path cuts a given trace identically."""
-    if program.true_order is not None:
-        return partition_by_global_order(program, epoch_size)
-    return partition_fixed(program, epoch_size)
-
-
-def partition_from_boundaries(
-    program: TraceProgram, boundaries: Sequence[Sequence[int]]
-) -> EpochPartition:
-    """Explicit per-thread cut points (tests and custom heartbeats)."""
-    return EpochPartition(program, boundaries)
-
-
-def partition_by_global_order(
-    program: TraceProgram, epoch_size: int
-) -> EpochPartition:
+class GlobalOrderHeartbeat(HeartbeatPolicy):
     """Heartbeats in *global execution time* (the paper's footnote 4).
 
     The LBA prototype issues a heartbeat after ``h * n`` instructions
@@ -344,25 +384,98 @@ def partition_by_global_order(
     workloads within an epoch").  Requires the trace's recorded
     ground-truth order as the notion of time.
     """
-    if epoch_size < 1:
-        raise PartitionError("epoch_size must be >= 1")
-    order = program.recorded_order()
-    n = program.num_threads
-    interval = epoch_size * n
-    positions = [0] * n
-    boundaries: List[List[int]] = [[] for _ in range(n)]
-    for count, (t, _i) in enumerate(order, start=1):
-        positions[t] += 1
-        if count % interval == 0:
-            for tid in range(n):
-                boundaries[tid].append(positions[tid])
-    # Close the final epoch at each trace's end.
-    lengths = [len(tr) for tr in program.threads]
-    for tid in range(n):
-        if not boundaries[tid] or boundaries[tid][-1] != lengths[tid]:
+
+    def __init__(self, epoch_size: int) -> None:
+        _check_epoch_size(epoch_size)
+        self.epoch_size = epoch_size
+
+    def boundaries(self, program: TraceProgram) -> List[List[int]]:
+        order = program.recorded_order()
+        n = program.num_threads
+        interval = self.epoch_size * n
+        positions = [0] * n
+        boundaries: List[List[int]] = [[] for _ in range(n)]
+        for count, (t, _i) in enumerate(order, start=1):
+            positions[t] += 1
+            if count % interval == 0:
+                for tid in range(n):
+                    boundaries[tid].append(positions[tid])
+        # Close the final epoch at each trace's end.  When the last
+        # heartbeat landed exactly at the end, a final (possibly empty)
+        # epoch is still appended so every thread agrees.
+        lengths = [len(tr) for tr in program.threads]
+        for tid in range(n):
             boundaries[tid].append(lengths[tid])
-        else:
-            # The last heartbeat landed exactly at the end; still add a
-            # final (possibly empty) epoch so every thread agrees.
-            boundaries[tid].append(lengths[tid])
-    return EpochPartition(program, boundaries)
+        return boundaries
+
+
+class AutoHeartbeat(HeartbeatPolicy):
+    """The LBA substrate's default cutting rule: heartbeats fire in
+    *execution time* when the trace recorded its ground-truth global
+    order (paper footnote 4), and per-thread instruction counts
+    otherwise.  Shared by the CLI, the LBA simulator and the streaming
+    trace writer so every path cuts a given trace identically."""
+
+    def __init__(self, epoch_size: int) -> None:
+        _check_epoch_size(epoch_size)
+        self.epoch_size = epoch_size
+
+    def boundaries(self, program: TraceProgram) -> List[List[int]]:
+        if program.true_order is not None:
+            return GlobalOrderHeartbeat(self.epoch_size).boundaries(program)
+        return FixedHeartbeat(self.epoch_size).boundaries(program)
+
+
+class ExplicitHeartbeat(HeartbeatPolicy):
+    """A recorded boundary stream replayed verbatim.
+
+    This is how cuts travel between layers: resume replays the
+    boundaries the interrupted run recorded, the adaptive serve daemon's
+    offline re-check replays the boundaries the controller actually
+    chose, and tests hand-craft irregular geometries.
+    """
+
+    def __init__(self, boundaries: Sequence[Sequence[int]]) -> None:
+        self._boundaries = [list(cuts) for cuts in boundaries]
+
+    def boundaries(self, program: TraceProgram) -> List[List[int]]:
+        return [list(cuts) for cuts in self._boundaries]
+
+
+# ---------------------------------------------------------------------------
+# Partition constructors (trivial wrappers over the policies)
+# ---------------------------------------------------------------------------
+
+
+def partition_fixed(program: TraceProgram, epoch_size: int) -> EpochPartition:
+    """Cut with :class:`FixedHeartbeat` (Section 7.1's software heartbeat)."""
+    return FixedHeartbeat(epoch_size).partition(program)
+
+
+def partition_with_skew(
+    program: TraceProgram,
+    epoch_size: int,
+    max_skew: int,
+    rng: Optional[random.Random] = None,
+) -> EpochPartition:
+    """Cut with :class:`SkewedHeartbeat` (jittered heartbeat delivery)."""
+    return SkewedHeartbeat(epoch_size, max_skew, rng=rng).partition(program)
+
+
+def partition_auto(program: TraceProgram, epoch_size: int) -> EpochPartition:
+    """Cut with :class:`AutoHeartbeat` (the substrate's default rule)."""
+    return AutoHeartbeat(epoch_size).partition(program)
+
+
+def partition_from_boundaries(
+    program: TraceProgram, boundaries: Sequence[Sequence[int]]
+) -> EpochPartition:
+    """Cut with :class:`ExplicitHeartbeat` (recorded/custom cut points)."""
+    return ExplicitHeartbeat(boundaries).partition(program)
+
+
+def partition_by_global_order(
+    program: TraceProgram, epoch_size: int
+) -> EpochPartition:
+    """Cut with :class:`GlobalOrderHeartbeat` (footnote 4's global time)."""
+    return GlobalOrderHeartbeat(epoch_size).partition(program)

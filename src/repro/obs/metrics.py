@@ -12,12 +12,26 @@ Names are sanitized the standard way: every character outside
 ``[a-zA-Z0-9_]`` becomes ``_`` (so ``serve.pending_epochs`` scrapes as
 ``repro_serve_pending_epochs``), and everything is prefixed ``repro_``
 to keep the daemon's metrics from colliding in a shared registry.
+
+Sanitization is lossy, so two recorder names can land on the same
+exposed name (``serve.shard-depth`` and ``serve.shard_depth`` both
+scrape as ``repro_serve_shard_depth``).  Scrapers reject a page that
+declares the same family twice, so colliding names are *merged* into
+one family: counters sum (each raw counter is a disjoint event count),
+span aggregates combine (counts and totals sum, ``max_ns`` takes the
+max), and gauges take the value of the last colliding raw name in
+sorted order (a documented tiebreak -- gauges are point-in-time
+samples, so no arithmetic merge is faithful).  A collision *across*
+kinds keeps the first kind encountered (counters, then gauges, then
+span suffixes) and drops later samples rather than emit a second
+``# TYPE`` line for the family.
 """
 
 from __future__ import annotations
 
+import math
 import re
-from typing import Any, Dict
+from typing import Any, Dict, List, Tuple
 
 from repro.obs.recorder import Recorder
 
@@ -33,36 +47,72 @@ def metric_name(name: str) -> str:
 
 
 def _format_value(value: Any) -> str:
-    if isinstance(value, float) and not value.is_integer():
-        return repr(value)
+    if isinstance(value, float):
+        # Prometheus spells non-finite values ``NaN``/``+Inf``/``-Inf``;
+        # Python's repr (``nan``/``inf``) is rejected by scrapers.
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if not value.is_integer():
+            return repr(value)
     return str(int(value))
+
+
+def _merge_samples(
+    family: Dict[str, Any], merge: str
+) -> List[Tuple[str, Any]]:
+    """Collapse raw names that sanitize identically into one sample per
+    exposed name, in sorted raw-name order."""
+    merged: Dict[str, Any] = {}
+    for name in sorted(family):
+        exposed = metric_name(name)
+        if exposed in merged and merge == "sum":
+            merged[exposed] += family[name]
+        else:
+            # Gauges: last sorted raw name wins (see module docstring).
+            merged[exposed] = family[name]
+    return list(merged.items())
 
 
 def render_snapshot(snapshot: Dict[str, Any]) -> str:
     """Render a :meth:`Recorder.snapshot` dict as exposition text."""
-    lines = []
-    for name in sorted(snapshot.get("counters", {})):
-        exposed = metric_name(name)
-        lines.append(f"# TYPE {exposed} counter")
-        lines.append(
-            f"{exposed} {_format_value(snapshot['counters'][name])}"
-        )
-    for name in sorted(snapshot.get("gauges", {})):
-        exposed = metric_name(name)
-        lines.append(f"# TYPE {exposed} gauge")
-        lines.append(f"{exposed} {_format_value(snapshot['gauges'][name])}")
+    lines: List[str] = []
+    emitted: Dict[str, str] = {}  # exposed family name -> kind
+
+    def emit(exposed: str, kind: str, value: Any) -> None:
+        if exposed in emitted:
+            # A same-kind duplicate was merged upstream; what reaches
+            # here is a cross-kind collision -- first kind wins.
+            return
+        emitted[exposed] = kind
+        lines.append(f"# TYPE {exposed} {kind}")
+        lines.append(f"{exposed} {_format_value(value)}")
+
+    for exposed, value in _merge_samples(
+        snapshot.get("counters", {}), merge="sum"
+    ):
+        emit(exposed, "counter", value)
+    for exposed, value in _merge_samples(
+        snapshot.get("gauges", {}), merge="last"
+    ):
+        emit(exposed, "gauge", value)
+    spans: Dict[str, Dict[str, Any]] = {}
     for name in sorted(snapshot.get("spans", {})):
         stats = snapshot["spans"][name]
-        exposed = metric_name(name)
+        agg = spans.setdefault(
+            metric_name(name), {"count": 0, "total_ns": 0, "max_ns": 0}
+        )
+        agg["count"] += stats["count"]
+        agg["total_ns"] += stats["total_ns"]
+        agg["max_ns"] = max(agg["max_ns"], stats["max_ns"])
+    for exposed, agg in spans.items():
         for suffix, kind in (
             ("count", "counter"),
             ("total_ns", "counter"),
             ("max_ns", "gauge"),
         ):
-            lines.append(f"# TYPE {exposed}_{suffix} {kind}")
-            lines.append(
-                f"{exposed}_{suffix} {_format_value(stats[suffix])}"
-            )
+            emit(f"{exposed}_{suffix}", kind, agg[suffix])
     return "\n".join(lines) + "\n"
 
 

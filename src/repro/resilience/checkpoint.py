@@ -65,13 +65,22 @@ def _engine_state(engine: "ButterflyEngine") -> Dict[str, Any]:
 
 
 def save_checkpoint(
-    path: str, engine: "ButterflyEngine", meta: Dict[str, Any]
+    path: str,
+    engine: "ButterflyEngine",
+    meta: Dict[str, Any],
+    extra: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Atomically snapshot ``engine`` (and its analysis) to ``path``.
 
     The analysis's recorder is detached during pickling (a live sink
     holds an open file handle); resume re-attaches whatever recorder
     the resuming run configures.
+
+    ``extra`` carries caller-owned resumable state that is *not* part
+    of the configuration fingerprint (``meta`` is compared key-for-key
+    by :meth:`Checkpoint.verify`; extra state is merely restored) --
+    the adaptive serve path stores its producer-row progress and
+    recorded boundaries here.
     """
     analysis = engine.analysis
     had_recorder = "recorder" in analysis.__dict__
@@ -83,6 +92,7 @@ def save_checkpoint(
                 "version": VERSION,
                 "meta": dict(meta),
                 "engine": _engine_state(engine),
+                "extra": dict(extra) if extra is not None else None,
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
@@ -100,9 +110,17 @@ def save_checkpoint(
 class Checkpoint:
     """A loaded checkpoint: config fingerprint plus engine state."""
 
-    def __init__(self, meta: Dict[str, Any], state: Dict[str, Any]) -> None:
+    def __init__(
+        self,
+        meta: Dict[str, Any],
+        state: Dict[str, Any],
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self.meta = meta
         self._state = state
+        #: Caller-owned resumable state (``None`` when the writer passed
+        #: nothing) -- outside the fingerprint, see :func:`save_checkpoint`.
+        self.extra = extra
 
     @property
     def analysis(self) -> Any:
@@ -204,7 +222,7 @@ def load_checkpoint(path: str) -> Checkpoint:
             f"unsupported checkpoint version {raw.get('version')!r} "
             f"(this build reads version {VERSION})"
         )
-    return Checkpoint(raw["meta"], raw["engine"])
+    return Checkpoint(raw["meta"], raw["engine"], raw.get("extra"))
 
 
 class Checkpointer:
@@ -220,6 +238,7 @@ class Checkpointer:
         path: str,
         meta: Optional[Dict[str, Any]] = None,
         every: int = 1,
+        extra_state: Optional[Any] = None,
     ) -> None:
         if every < 1:
             raise CheckpointError(f"checkpoint interval must be >= 1: {every}")
@@ -227,6 +246,17 @@ class Checkpointer:
         self.meta = dict(meta or {})
         self.every = every
         self.written = 0
+        #: Zero-arg callable sampled at every save; its dict rides the
+        #: snapshot as :attr:`Checkpoint.extra`.
+        self.extra_state = extra_state
+
+    def save_now(self, engine: "ButterflyEngine") -> None:
+        """Write one snapshot immediately (the forced-save entry point
+        shard backends use on session failure)."""
+        extra = (
+            self.extra_state() if self.extra_state is not None else None
+        )
+        save_checkpoint(self.path, engine, self.meta, extra=extra)
 
     def after_epoch(self, engine: "ButterflyEngine", lid: int) -> None:
         if (lid + 1) % self.every:
@@ -234,8 +264,8 @@ class Checkpointer:
         rec = engine.recorder
         if rec.enabled:
             with rec.span("resilience.checkpoint", epoch=lid):
-                save_checkpoint(self.path, engine, self.meta)
+                self.save_now(engine)
             rec.count("resilience.checkpoints")
         else:
-            save_checkpoint(self.path, engine, self.meta)
+            self.save_now(engine)
         self.written += 1

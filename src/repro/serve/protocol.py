@@ -227,7 +227,8 @@ def checkpoint_meta(hello: Dict[str, Any], token: str) -> Dict[str, Any]:
 # -- REPORT -----------------------------------------------------------------
 
 
-def build_report(stream_id: str, hello: Dict[str, Any], engine, guard
+def build_report(stream_id: str, hello: Dict[str, Any], engine, guard,
+                 boundaries: Optional[List[List[int]]] = None
                  ) -> Dict[str, Any]:
     """The end-of-stream report: everything ``repro check`` would print.
 
@@ -236,7 +237,17 @@ def build_report(stream_id: str, hello: Dict[str, Any], engine, guard
     version-2 trace goes through this same function), so the
     serve-vs-offline differential mode and the CI smoke job compare
     like with like.
+
+    ``boundaries`` is the per-thread heartbeat cut stream the run
+    *actually* analyzed with.  Adaptive sessions record it so an
+    offline re-check can replay the identical partition
+    (``ExplicitHeartbeat``) and must reproduce this report bit for bit;
+    when the caller passes nothing, an engine that carries
+    ``recorded_boundaries`` (the adaptive wrapper) still gets them into
+    the report automatically.
     """
+    if boundaries is None:
+        boundaries = getattr(engine, "recorded_boundaries", None)
     report: Dict[str, Any] = {
         "stream": stream_id,
         "lifeguard": hello["lifeguard"],
@@ -246,6 +257,8 @@ def build_report(stream_id: str, hello: Dict[str, Any], engine, guard
         "window_high_water": engine.window_high_water,
         "window_bound": 3 * hello["threads"],
     }
+    if boundaries is not None:
+        report["boundaries"] = [list(cuts) for cuts in boundaries]
     if hello["lifeguard"] == "race":
         report["races"] = [
             {

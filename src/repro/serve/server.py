@@ -129,6 +129,24 @@ class ServeConfig:
     #: TCP port for the ``/metrics``-style text snapshot listener
     #: (``None`` disables it; ``0`` binds an ephemeral port).
     metrics_port: Optional[int] = None
+    #: Adaptive epoch sizing: coalesce producer epochs into larger
+    #: analysis epochs under an online controller
+    #: (:mod:`repro.core.tune`) instead of analyzing every producer cut
+    #: as its own epoch.  Resume coordinates stay in producer rows, and
+    #: the boundaries actually analyzed ride the REPORT for offline
+    #: replay.
+    adaptive_epoch: bool = False
+    #: Latency SLO: one fold must complete within this many ms.
+    slo_target_ms: float = 50.0
+    #: Queue depth at/above which the controller doubles the fold.
+    slo_queue_high: int = 3
+    #: Queue depth at/below which the controller shrinks toward
+    #: ``slo_min_fold``.
+    slo_queue_low: int = 1
+    #: Fold-factor floor (1 = producer-sized epochs when idle).
+    slo_min_fold: int = 1
+    #: Fold-factor ceiling.
+    slo_max_fold: int = 64
 
 
 class _SessionError(Exception):
@@ -298,7 +316,10 @@ class StreamSession:
             lid, row = item
             ok = False
             try:
-                await self.engine.feed(lid, row)
+                # The queue depth behind this row is the adaptive
+                # controller's backpressure signal (ignored by fixed
+                # engines).
+                await self.engine.feed(lid, row, self.queue.qsize())
                 ok = True
             finally:
                 # Balance the pending-epoch gauge even when the feed

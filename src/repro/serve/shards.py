@@ -48,6 +48,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.core.framework import ButterflyEngine
 from repro.core.stream import ShapeSource
+from repro.core.tune import AdaptiveEngine, EpochController, SloConfig
 from repro.errors import (
     AnalysisError,
     CheckpointError,
@@ -57,11 +58,7 @@ from repro.errors import (
 from repro.lifeguards.addrcheck import ButterflyAddrCheck
 from repro.lifeguards.racecheck import ButterflyRaceCheck
 from repro.lifeguards.taintcheck import ButterflyTaintCheck
-from repro.resilience.checkpoint import (
-    Checkpointer,
-    load_checkpoint,
-    save_checkpoint,
-)
+from repro.resilience.checkpoint import Checkpointer, load_checkpoint
 from repro.serve.protocol import build_report, checkpoint_meta
 
 #: Shard backends accepted by ``ServeConfig.shard_backend`` / the CLI.
@@ -86,19 +83,79 @@ def stream_checkpoint_path(
     return os.path.join(checkpoint_dir, f"{token}.ckpt")
 
 
+def adaptive_params(config) -> Optional[Dict[str, Any]]:
+    """The SLO knobs an adaptive session folds under, as a plain dict.
+
+    A dict (not an :class:`~repro.core.tune.SloConfig`) so process
+    shards can ship it over the worker pipe next to the hello;
+    ``None`` means fixed producer-sized epochs (the default).
+    """
+    if not getattr(config, "adaptive_epoch", False):
+        return None
+    return {
+        "target_fold_ms": config.slo_target_ms,
+        "queue_high": config.slo_queue_high,
+        "queue_low": config.slo_queue_low,
+        "min_fold": config.slo_min_fold,
+        "max_fold": config.slo_max_fold,
+    }
+
+
+def resume_position(engine) -> int:
+    """The resume coordinate an ``ACK``/``ERROR`` frame advertises.
+
+    Producer rows for an adaptive engine (its analysis-epoch counter
+    runs on a different clock), the engine's own epoch counter -- the
+    same thing -- otherwise.
+    """
+    position = getattr(engine, "resume_position", None)
+    if position is not None:
+        return position
+    return engine._next_to_receive
+
+
+def _feed_row(engine, lid: int, row, queue_depth: int) -> int:
+    """One feed on the shard side; returns the post-feed resume
+    position (the loop-side mirror tracks rollbacks exactly)."""
+    note = getattr(engine, "note_queue_depth", None)
+    if note is not None:
+        note(queue_depth)
+    engine.feed_blocks(lid, row)
+    return resume_position(engine)
+
+
+def _checkpoint_now(engine) -> None:
+    """Force a snapshot through the engine's own checkpointer (no-op
+    when checkpointing is off) -- the one forced-save path, so extra
+    state (adaptive progress) always rides along."""
+    checkpointer = engine._checkpointer
+    if checkpointer is not None:
+        checkpointer.save_now(engine)
+
+
 def build_stream_engine(
     hello: Dict[str, Any],
     token: str,
     checkpoint_dir: Optional[str],
     checkpoint_every: int,
     backend: str,
-) -> Tuple[ButterflyEngine, int]:
+    adaptive: Optional[Dict[str, Any]] = None,
+) -> Tuple[Any, int]:
     """``(engine, resume_epoch)``: fresh, or restored from checkpoint.
 
     The one engine-construction path for both shard backends -- thread
     shards call it in the daemon process, process shards call it inside
     the worker -- so resume semantics (fingerprint verification,
     window restore, event-log numbering) cannot drift between them.
+
+    ``adaptive`` (see :func:`adaptive_params`) wraps the engine in an
+    :class:`~repro.core.tune.AdaptiveEngine`: the source drops its
+    epoch count (the engine's completeness check runs on analysis
+    epochs, whose count the controller decides; the *session* still
+    enforces the producer-row count against the hello), checkpoints
+    carry the adaptive progress as extra state, and the returned resume
+    epoch is in producer rows.  A checkpoint written by the other mode
+    is refused -- the two runs do not share a coordinate system.
     """
     path = stream_checkpoint_path(checkpoint_dir, token)
     meta = checkpoint_meta(hello, token)
@@ -106,6 +163,19 @@ def build_stream_engine(
     if path is not None and os.path.exists(path):
         checkpoint = load_checkpoint(path)
         checkpoint.verify(meta)
+        was_adaptive = (
+            checkpoint.extra is not None
+            and "rows_folded" in checkpoint.extra
+        )
+        if was_adaptive != (adaptive is not None):
+            raise CheckpointError(
+                f"checkpoint for stream {hello['stream']!r} was written "
+                f"by an {'adaptive' if was_adaptive else 'fixed'}-epoch "
+                f"daemon but this one is "
+                f"{'adaptive' if adaptive is not None else 'fixed'}; "
+                f"restart the daemon in the matching mode or delete the "
+                f"checkpoint"
+            )
     if checkpoint is not None:
         guard = checkpoint.analysis
     else:
@@ -115,17 +185,25 @@ def build_stream_engine(
     engine = ButterflyEngine(guard, backend=backend)
     source = ShapeSource(
         hello["threads"],
-        num_epochs=hello["epochs"],
+        num_epochs=None if adaptive is not None else hello["epochs"],
         preallocated=frozenset(hello["preallocated"]),
     )
     engine.attach_source(source, resumed=checkpoint is not None)
-    resume_epoch = 0
     if checkpoint is not None:
         checkpoint.restore_into(engine)
-        resume_epoch = checkpoint.next_epoch
+    extra_state = None
+    if adaptive is not None:
+        controller = EpochController(SloConfig(**adaptive))
+        engine = AdaptiveEngine(engine, controller, hello["threads"])
+        if checkpoint is not None:
+            engine.restore_extra(checkpoint.extra)
+        extra_state = engine.extra_state
+    resume_epoch = resume_position(engine) if checkpoint is not None else 0
     if path is not None:
         engine.enable_checkpoints(
-            Checkpointer(path, meta, every=checkpoint_every)
+            Checkpointer(
+                path, meta, every=checkpoint_every, extra_state=extra_state
+            )
         )
     return engine, resume_epoch
 
@@ -143,11 +221,15 @@ class StreamEngineHandle:
 
     #: The epoch the engine resumed from (0 for a fresh run).
     resume_epoch: int = 0
-    #: Mirror of the engine's ``_next_to_receive`` -- the resume
-    #: coordinate ``ERROR`` frames advertise.
+    #: Mirror of the engine's resume position (producer rows; see
+    #: :func:`resume_position`) -- the coordinate ``ERROR`` frames
+    #: advertise.
     next_to_receive: int = 0
 
-    async def feed(self, lid: int, row) -> None:
+    async def feed(self, lid: int, row, queue_depth: int = 0) -> None:
+        """Fold one epoch row.  ``queue_depth`` is the number of rows
+        still queued behind this one -- the adaptive controller's
+        backpressure signal; fixed engines ignore it."""
         raise NotImplementedError
 
     async def finish(self) -> None:
@@ -195,6 +277,7 @@ class ThreadShard:
             config.checkpoint_dir,
             config.checkpoint_every,
             config.backend,
+            adaptive=adaptive_params(config),
         )
         return _ThreadStreamEngine(self, engine, hello, token, resume_epoch)
 
@@ -219,10 +302,12 @@ class _ThreadStreamEngine(StreamEngineHandle):
 
     @property
     def next_to_receive(self) -> int:
-        return self._engine._next_to_receive
+        return resume_position(self._engine)
 
-    async def feed(self, lid: int, row) -> None:
-        await self._shard._run(self._engine.feed_blocks, lid, row)
+    async def feed(self, lid: int, row, queue_depth: int = 0) -> None:
+        await self._shard._run(
+            _feed_row, self._engine, lid, row, queue_depth
+        )
 
     async def finish(self) -> None:
         await self._shard._run(self._engine.finish)
@@ -233,13 +318,9 @@ class _ThreadStreamEngine(StreamEngineHandle):
         )
 
     async def save_checkpoint(self) -> None:
-        checkpointer = self._engine._checkpointer
-        if checkpointer is None:
+        if self._engine._checkpointer is None:
             return
-        await self._shard._run(
-            save_checkpoint, checkpointer.path, self._engine,
-            checkpointer.meta,
-        )
+        await self._shard._run(_checkpoint_now, self._engine)
 
     async def close(self) -> None:
         self._engine.close()
@@ -270,18 +351,20 @@ def _error_kind(exc: BaseException) -> str:
 
 
 def _worker_dispatch(
-    engines: Dict[str, Tuple[ButterflyEngine, Optional[str], Dict]],
+    engines: Dict[str, Tuple[Any, Optional[str], Dict]],
     command: str,
     *args: Any,
 ) -> Any:
     """Execute one command against the worker's engine table."""
     if command == "open":
-        token, hello, checkpoint_dir, checkpoint_every, backend = args
+        (token, hello, checkpoint_dir, checkpoint_every, backend,
+         adaptive) = args
         stale = engines.pop(token, None)
         if stale is not None:
             stale[0].close()
         engine, resume_epoch = build_stream_engine(
-            hello, token, checkpoint_dir, checkpoint_every, backend
+            hello, token, checkpoint_dir, checkpoint_every, backend,
+            adaptive=adaptive,
         )
         engines[token] = (
             engine,
@@ -300,9 +383,8 @@ def _worker_dispatch(
         )
     engine, path, meta = entry
     if command == "feed":
-        _token, lid, row = args
-        engine.feed_blocks(lid, row)
-        return engine._next_to_receive
+        _token, lid, row, queue_depth = args
+        return _feed_row(engine, lid, row, queue_depth)
     if command == "finish":
         engine.finish()
         return None
@@ -310,8 +392,7 @@ def _worker_dispatch(
         _token, stream_id, hello = args
         return build_report(stream_id, hello, engine, engine.analysis)
     if command == "checkpoint":
-        if path is not None:
-            save_checkpoint(path, engine, meta)
+        _checkpoint_now(engine)
         return None
     if command == "close":
         engine.close()
@@ -327,7 +408,7 @@ def _shard_worker_main(conn) -> None:
     included -- its pipe end closes and the blocking ``recv`` raises
     ``EOFError``, so workers can never outlive the daemon.
     """
-    engines: Dict[str, Tuple[ButterflyEngine, Optional[str], Dict]] = {}
+    engines: Dict[str, Tuple[Any, Optional[str], Dict]] = {}
     try:
         while True:
             try:
@@ -465,6 +546,7 @@ class ProcessShard:
             config.checkpoint_dir,
             config.checkpoint_every,
             config.backend,
+            adaptive_params(config),
         )
         return _ProcessStreamEngine(self, token, resume_epoch)
 
@@ -487,12 +569,12 @@ class _ProcessStreamEngine(StreamEngineHandle):
         self.next_to_receive = resume_epoch
         self._closed = False
 
-    async def feed(self, lid: int, row) -> None:
+    async def feed(self, lid: int, row, queue_depth: int = 0) -> None:
         # The reply carries the worker engine's post-feed progress, so
         # the loop-side mirror tracks rollbacks exactly: a failed feed
         # raises and leaves next_to_receive at the epoch boundary.
         self.next_to_receive = await self._shard.call(
-            "feed", self._token, lid, row
+            "feed", self._token, lid, row, queue_depth
         )
 
     async def finish(self) -> None:

@@ -187,6 +187,81 @@ def simulated_alloc_program(
     return program
 
 
+def alloc_handoff_program(
+    rng: random.Random,
+    num_threads: int = 4,
+    events_per_thread: int = 256,
+    num_locations: int = 64,
+    handoff_period: int = 12,
+    recency_window: int = 4,
+) -> TraceProgram:
+    """An allocation-*handoff* execution: the epoch-size FP workload.
+
+    One thread mallocs a location; the other threads immediately start
+    using it.  In the recorded order every access is strictly after its
+    malloc (zero true AddrCheck errors), but under butterfly analysis
+    the malloc stays *concurrent* with roughly one epoch's worth of the
+    accesses that follow it -- those accesses see the location outside
+    the LSOS and are flagged.  The number of accesses inside that
+    uncertainty window scales with the epoch size, so this workload's
+    false-positive rate grows with ``h`` (the paper's Figure 13 shape),
+    which is what ``repro tune`` sweeps and what makes epoch-size
+    tuning a real precision/latency tradeoff.  (Contrast
+    :func:`simulated_alloc_program`, whose uniform churn produces FPs
+    dominated by stale *frees* instead.)
+
+    Every ``handoff_period`` global events the scheduled thread
+    allocates a fresh location; accesses always target the
+    ``recency_window`` most recent allocations (recency is what keeps
+    accesses near their malloc); retired locations are freed only after
+    falling out of use, so frees are strictly ordered too.
+    """
+    traces: List[List[Instr]] = [[] for _ in range(num_threads)]
+    order: List[GlobalRef] = []
+    live: List[int] = []  # allocation order, oldest first
+    next_loc = 0
+    total_events = num_threads * events_per_thread
+
+    def schedule() -> int:
+        open_threads = [
+            t for t in range(num_threads)
+            if len(traces[t]) < events_per_thread
+        ]
+        return rng.choice(open_threads)
+
+    for step in range(total_events):
+        t = schedule()
+        instr: Instr
+        if step % handoff_period == 0 and len(live) < num_locations:
+            free_choices = [
+                loc for loc in range(num_locations) if loc not in live
+            ]
+            loc = free_choices[next_loc % len(free_choices)]
+            next_loc += 1
+            live.append(loc)
+            instr = Instr.malloc(loc)
+        elif len(live) > 2 * recency_window and rng.random() < 0.1:
+            # Retire the oldest allocation: long strictly-ordered by
+            # now, so the free itself is never uncertain.
+            instr = Instr.free(live.pop(0))
+        elif live:
+            recent = live[-recency_window:]
+            loc = rng.choice(recent)
+            instr = (
+                Instr.read(loc) if rng.random() < 0.5 else Instr.write(loc)
+            )
+        else:
+            instr = Instr.nop()
+        order.append((t, len(traces[t])))
+        traces[t].append(instr)
+
+    program = TraceProgram(
+        [ThreadTrace(tr) for tr in traces], true_order=order
+    )
+    program.validate()
+    return program
+
+
 def _next_alloc_event(
     rng: random.Random,
     allocated: set,

@@ -68,7 +68,7 @@ import zlib
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.columnar import ColumnarBlock
-from repro.core.epoch import Block, EpochPartition
+from repro.core.epoch import Block, EpochPartition, partition_from_boundaries
 from repro.core.framework import ButterflyEngine
 from repro.core.ordering import all_valid_orderings
 from repro.core.stream import EpochSource
@@ -102,6 +102,7 @@ MODE_NAMES = (
     "columnar",
     "serve",
     "serve_process",
+    "adaptive",
 )
 
 
@@ -569,17 +570,24 @@ class DifferentialHarness:
                 )
         return None
 
-    def _serve_address(self, shard_backend: str = "thread"):
+    def _serve_address(
+        self, shard_backend: str = "thread", adaptive: bool = False
+    ):
         """The shared in-process daemon's address, starting it lazily.
 
-        One daemon per shard backend serves the whole campaign (the
-        cost of a thread, an event loop, and a shard pool per case
-        would dominate the fuzz rate); every case pushes under a fresh
-        stream id, so sessions never collide.  Checkpointing stays off
-        -- each push is a complete one-shot delivery and the resume
-        pair has its own dedicated tests.
+        One daemon per shard backend (plus one adaptive-epoch daemon)
+        serves the whole campaign (the cost of a thread, an event
+        loop, and a shard pool per case would dominate the fuzz rate);
+        every case pushes under a fresh stream id, so sessions never
+        collide.  Checkpointing stays off -- each push is a complete
+        one-shot delivery and the resume pair has its own dedicated
+        tests.  The adaptive daemon pins the controller's fold factor
+        at 3 (min == max) so the recorded cut stream is a
+        deterministic function of the case -- shrinking a disagreement
+        must replay it exactly.
         """
-        daemon = self._serve_daemons.get(shard_backend)
+        key = "adaptive" if adaptive else shard_backend
+        daemon = self._serve_daemons.get(key)
         if daemon is None:
             if self._serve_dir is None:
                 self._serve_dir = tempfile.TemporaryDirectory(
@@ -588,14 +596,17 @@ class DifferentialHarness:
             daemon = ServerThread(
                 ServeConfig(
                     unix_path=os.path.join(
-                        self._serve_dir.name, f"serve-{shard_backend}.sock"
+                        self._serve_dir.name, f"serve-{key}.sock"
                     ),
                     queue_depth=2,
                     shard_backend=shard_backend,
+                    adaptive_epoch=adaptive,
+                    slo_min_fold=3 if adaptive else 1,
+                    slo_max_fold=3 if adaptive else 64,
                 )
             )
             daemon.start()
-            self._serve_daemons[shard_backend] = daemon
+            self._serve_daemons[key] = daemon
         return daemon.address
 
     def check_serve(self, case: TraceCase) -> Optional[str]:
@@ -665,6 +676,72 @@ class DifferentialHarness:
                 f"{served['window_high_water']} resident summaries > "
                 f"{served['window_bound']}"
             )
+        return None
+
+    def check_adaptive(self, case: TraceCase) -> Optional[str]:
+        """Adaptive-epoch serve vs. an offline replay of its recorded
+        cuts.
+
+        The adaptive daemon coalesces producer epochs online and its
+        REPORT carries the per-thread boundary stream it *actually*
+        analyzed.  An offline engine run over exactly those cuts
+        (``partition_from_boundaries``) must reproduce the report bit
+        for bit -- the adaptive run is only trustworthy if it is a
+        deterministic re-partitioning, not a different analysis.
+        """
+        self._serve_seq += 1
+        stream_id = f"case-adaptive-{self._serve_seq}"
+        with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+            path = os.path.join(tmp, "case.stream.jsonl")
+            save_stream_file(case.partition(), path)
+            with open(path) as fp:
+                header = stream_header(fp, path)
+            try:
+                served = push_trace(
+                    self._serve_address("thread", adaptive=True),
+                    path,
+                    stream_id,
+                    lifeguard=case.lifeguard,
+                )
+            except ReproError as exc:
+                return f"adaptive serve push failed: {exc}"
+        boundaries = served.get("boundaries")
+        if boundaries is None:
+            return "adaptive REPORT carried no recorded boundaries"
+        try:
+            replay = partition_from_boundaries(
+                case.program(), [list(cuts) for cuts in boundaries]
+            )
+        except ReproError as exc:
+            return (
+                f"recorded boundaries do not partition the trace: {exc}"
+            )
+        guard = make_guard(case.lifeguard, header["preallocated"])
+        engine = ButterflyEngine(guard)
+        try:
+            engine.run(replay)
+        finally:
+            engine.close()
+        hello = make_hello(
+            stream_id,
+            header["threads"],
+            header["epochs"],
+            header["preallocated"],
+            case.lifeguard,
+        )
+        offline = json.loads(json.dumps(build_report(
+            stream_id, hello, engine, guard,
+            boundaries=replay.boundaries,
+        )))
+        if served != offline:
+            for key in sorted(set(served) | set(offline)):
+                if served.get(key) != offline.get(key):
+                    return (
+                        f"adaptive serve diverged from the boundary "
+                        f"replay in {key!r}: "
+                        f"replay={offline.get(key)!r} "
+                        f"served={served.get(key)!r}"
+                    )
         return None
 
 

@@ -18,9 +18,10 @@ class TestRunPerf:
         report = run_perf(
             repeats=1, output_path=str(out), big_events=0,
             serve_streams=0,
+            adaptive_events=0,
         )
 
-        assert report["schema"] == 7
+        assert report["schema"] == 8
         assert set(report["workloads"]) == {
             "microbench_core",
             "reaching_defs",
@@ -48,7 +49,10 @@ class TestRunPerf:
 
     def test_engine_stats_identical_across_configs(self, tmp_path):
         """Reference, optimized, and every backend do the same work."""
-        report = run_perf(repeats=1, big_events=0, serve_streams=0)
+        report = run_perf(
+            repeats=1, big_events=0, serve_streams=0,
+            adaptive_events=0,
+        )
         runs = report["workloads"]["microbench_core"]["runs"]
         ref = runs["reference_serial"]
         for name, entry in runs.items():
@@ -59,7 +63,10 @@ class TestRunPerf:
         """The schema-2 ``per_epoch`` section must agree with the timed
         runs: same epoch count, instruction totals, and final cumulative
         error count."""
-        report = run_perf(repeats=1, big_events=0, serve_streams=0)
+        report = run_perf(
+            repeats=1, big_events=0, serve_streams=0,
+            adaptive_events=0,
+        )
         core = report["workloads"]["microbench_core"]
         per_epoch = core["per_epoch"]
         stats = core["runs"]["optimized_serial"]["engine_stats"]
@@ -81,6 +88,7 @@ class TestRunPerf:
         run_perf(
             repeats=1, events_path=str(events_file), big_events=0,
             serve_streams=0,
+            adaptive_events=0,
         )
         events = read_events(str(events_file))
         names = {ev["ev"] for ev in events}
@@ -88,19 +96,28 @@ class TestRunPerf:
                 "epoch.summary", "run.finish"} <= names
 
     def test_observability_overhead_entry(self):
-        report = run_perf(repeats=1, big_events=0, serve_streams=0)
+        report = run_perf(
+            repeats=1, big_events=0, serve_streams=0,
+            adaptive_events=0,
+        )
         obs = report["workloads"]["observability_overhead"]
         assert set(obs["runs"]) == {"disabled", "enabled"}
         assert obs["overhead_ratio"] > 0
 
     def test_resilience_overhead_entry(self):
-        report = run_perf(repeats=1, big_events=0, serve_streams=0)
+        report = run_perf(
+            repeats=1, big_events=0, serve_streams=0,
+            adaptive_events=0,
+        )
         res = report["workloads"]["resilience_overhead"]
         assert set(res["runs"]) == {"bare_serial", "supervised_serial"}
         assert res["overhead_ratio"] > 0
 
     def test_streaming_overhead_entry(self):
-        report = run_perf(repeats=1, big_events=0, serve_streams=0)
+        report = run_perf(
+            repeats=1, big_events=0, serve_streams=0,
+            adaptive_events=0,
+        )
         st = report["workloads"]["streaming_overhead"]
         assert set(st["runs"]) == {"materialized", "streamed"}
         assert st["overhead_ratio"] > 0
@@ -108,7 +125,8 @@ class TestRunPerf:
 
     def test_streaming_overhead_file_run(self):
         report = run_perf(
-            repeats=1, stream_file=True, big_events=0, serve_streams=0
+            repeats=1, stream_file=True, big_events=0,
+            serve_streams=0, adaptive_events=0,
         )
         st = report["workloads"]["streaming_overhead"]
         assert "stream_file" in st["runs"]
@@ -118,6 +136,7 @@ class TestRunPerf:
         report = run_perf(
             repeats=1, inject_faults="crash=0.05,seed=7",
             big_events=0, serve_streams=0,
+            adaptive_events=0,
         )
         res = report["workloads"]["resilience_overhead"]
         assert "faulted_serial" in res["runs"]
@@ -209,11 +228,38 @@ class TestServeThroughput:
         assert entry["speedup_process_vs_thread"] > 0
 
 
+class TestAdaptiveEpoch:
+    def test_small_scale_tune_and_burst_replay(self):
+        """The schema-8 adaptive workload (scaled down): the tune
+        curve's shape, and the three-way burst replay's record."""
+        from repro.bench.perf import ADAPTIVE_TUNE_SIZES, _bench_adaptive_epoch
+
+        entry = _bench_adaptive_epoch(events=256)
+        tune = entry["tune"]
+        assert [p["epoch_size"] for p in tune["points"]] == list(
+            ADAPTIVE_TUNE_SIZES
+        )
+        assert set(tune["fit"]) == {
+            "fp_rate_vs_log2_h", "mean_epoch_ms_vs_h"
+        }
+        runs = entry["serve"]["runs"]
+        assert set(runs) == {"fixed_small", "fixed_large", "adaptive"}
+        for name, run in runs.items():
+            assert run["rows"] > 0, name
+            assert run["analysis_epochs"] > 0, name
+            assert run["p95_row_latency_ms"] >= 0, name
+            assert 0 <= run["fp_rate"] <= 1, name
+        # Folding really happened: fewer analysis epochs than rows.
+        assert runs["adaptive"]["analysis_epochs"] < runs["adaptive"]["rows"]
+        assert entry["serve"]["params"]["slo_target_ms"] > 0
+
+
 class TestBenchCLI:
     def test_bench_subcommand_writes_report(self, tmp_path, capsys):
         out = tmp_path / "BENCH_cli.json"
         rc = main(["bench", "--output", str(out), "--repeats", "1",
-                   "--big-events", "0", "--serve-streams", "0"])
+                   "--big-events", "0", "--serve-streams", "0",
+                   "--adaptive-events", "0"])
         assert rc == 0
         report = json.loads(out.read_text())
         assert "microbench_core" in report["workloads"]
@@ -224,3 +270,9 @@ class TestBenchCLI:
                    "--big-events", "-1"])
         assert rc != 0
         assert "--big-events" in capsys.readouterr().err
+
+    def test_bench_rejects_negative_adaptive_events(self, tmp_path, capsys):
+        rc = main(["bench", "--output", str(tmp_path / "x.json"),
+                   "--adaptive-events", "-1"])
+        assert rc != 0
+        assert "--adaptive-events" in capsys.readouterr().err

@@ -5,7 +5,11 @@ import random
 
 import pytest
 
-from repro.core.epoch import partition_auto, partition_fixed
+from repro.core.epoch import (
+    partition_auto,
+    partition_fixed,
+    partition_from_boundaries,
+)
 from repro.core.framework import ButterflyAnalysis, ButterflyEngine
 from repro.core.stream import EpochSource, PartitionSource
 from repro.errors import AnalysisError
@@ -14,6 +18,7 @@ from repro.obs.recorder import Recorder, normalize_events
 from repro.trace.events import Instr
 from repro.trace.generator import simulated_alloc_program
 from repro.trace.program import TraceProgram
+from repro.trace.serialize import iter_load, save_stream_file
 
 
 class RecordingAnalysis(ButterflyAnalysis):
@@ -296,3 +301,65 @@ class TestFeedBlocksContract:
             engine.attach_source(PartitionSource(partition))
         with pytest.raises(AnalysisError, match="already attached"):
             engine.attach(partition)
+
+
+class TestVariablePartitions:
+    """Irregular explicit cuts -- unequal block sizes, zero-length
+    blocks mid-stream and at the tail -- flow through every ingestion
+    path identically (the shape adaptive serve sessions produce)."""
+
+    def case(self, seed=11):
+        prog = simulated_alloc_program(
+            random.Random(seed),
+            num_threads=3,
+            total_events=300,
+            num_locations=32,
+            inject_error_rate=0.02,
+        )
+        boundaries = []
+        for t in prog.threads:
+            n = len(t)
+            assert n >= 6  # the cuts below need room
+            # Tiny first block, an empty block mid-stream, a fat middle,
+            # and a zero-length tail.
+            boundaries.append([1, 1, n // 3, n, n])
+        return prog, boundaries
+
+    def fingerprint(self, guard, stats):
+        return (
+            stats,
+            [r.identity() for r in guard.errors],
+        )
+
+    def run_materialized(self, prog, boundaries):
+        guard = ButterflyAddrCheck(initially_allocated=prog.preallocated)
+        stats = ButterflyEngine(guard).run(
+            partition_from_boundaries(prog, boundaries)
+        )
+        return self.fingerprint(guard, stats)
+
+    def test_streamed_and_file_runs_match_materialized(self, tmp_path):
+        prog, boundaries = self.case()
+        reference = self.run_materialized(prog, boundaries)
+
+        guard = ButterflyAddrCheck(initially_allocated=prog.preallocated)
+        stats = ButterflyEngine(guard).run_source(
+            PartitionSource(partition_from_boundaries(prog, boundaries))
+        )
+        assert self.fingerprint(guard, stats) == reference
+
+        path = str(tmp_path / "irregular.stream.jsonl")
+        save_stream_file(partition_from_boundaries(prog, boundaries), path)
+        guard = ButterflyAddrCheck(initially_allocated=prog.preallocated)
+        stats = ButterflyEngine(guard).run_source(iter_load(path))
+        assert self.fingerprint(guard, stats) == reference
+
+    def test_zero_length_blocks_still_count_as_epochs(self):
+        prog, boundaries = self.case()
+        partition = partition_from_boundaries(prog, boundaries)
+        assert partition.num_epochs == 5
+        assert len(partition.block(1, 0)) == 0  # mid-stream empty block
+        assert len(partition.block(4, 0)) == 0  # zero-length tail
+        guard = ButterflyAddrCheck(initially_allocated=prog.preallocated)
+        stats = ButterflyEngine(guard).run(partition)
+        assert stats.epochs_processed == 5

@@ -1,0 +1,403 @@
+"""Adaptive epoch sizing: the SLO controller, block coalescing, the
+AdaptiveEngine wrapper, and the offline tune sweep."""
+
+import random
+
+import pytest
+
+from repro.core.columnar import HAVE_NUMPY, ColumnarBlock
+from repro.core.epoch import Block, partition_auto, partition_from_boundaries
+from repro.core.framework import ButterflyAnalysis, ButterflyEngine
+from repro.core.stream import ShapeSource
+from repro.core.tune import (
+    AdaptiveEngine,
+    EpochController,
+    SloConfig,
+    TunePoint,
+    fit_line,
+    fit_tradeoff,
+    merge_block_run,
+    tune_workload,
+)
+from repro.errors import AnalysisError, ReproError
+from repro.lifeguards.addrcheck import ButterflyAddrCheck
+from repro.trace.events import Instr
+from repro.trace.generator import alloc_handoff_program
+
+MS = 1_000_000  # observe() takes nanoseconds
+
+
+class TestSloConfig:
+    def test_defaults_are_valid(self):
+        slo = SloConfig()
+        assert slo.min_fold == 1
+        assert slo.max_fold >= slo.min_fold
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_fold": 0},
+            {"min_fold": 8, "max_fold": 4},
+            {"target_fold_ms": 0.0},
+            {"target_fold_ms": -5.0},
+        ],
+    )
+    def test_invalid_configs_are_rejected(self, kwargs):
+        with pytest.raises(ReproError):
+            SloConfig(**kwargs)
+
+
+def slo(**kw):
+    base = dict(
+        target_fold_ms=10.0, queue_high=3, queue_low=1, min_fold=1,
+        max_fold=16,
+    )
+    base.update(kw)
+    return SloConfig(**base)
+
+
+class TestEpochController:
+    def test_starts_at_min_fold(self):
+        assert EpochController(slo(min_fold=2)).fold_factor == 2
+
+    def test_deep_queue_doubles_up_to_max(self):
+        c = EpochController(slo())
+        for expected in (2, 4, 8, 16, 16):
+            assert c.observe(queue_depth=5, fold_ns=1 * MS, rows=1) == expected
+
+    def test_drained_queue_shrinks_additively(self):
+        c = EpochController(slo())
+        c.fold_factor = 4
+        assert c.observe(queue_depth=0, fold_ns=1 * MS, rows=4) == 3
+        assert c.observe(queue_depth=1, fold_ns=1 * MS, rows=3) == 2
+
+    def test_mid_band_queue_holds_steady(self):
+        c = EpochController(slo())
+        c.fold_factor = 4
+        assert c.observe(queue_depth=2, fold_ns=1 * MS, rows=4) == 4
+
+    def test_slo_breach_halves_and_beats_a_deep_queue(self):
+        c = EpochController(slo())
+        c.fold_factor = 8
+        # Queue says double, latency says halve: latency wins.
+        assert c.observe(queue_depth=100, fold_ns=11 * MS, rows=8) == 4
+        assert c.slo_breaches == 1
+
+    def test_new_errors_shrink_before_queue_grows(self):
+        c = EpochController(slo())
+        c.fold_factor = 4
+        assert (
+            c.observe(queue_depth=5, fold_ns=1 * MS, rows=4, errors_delta=2)
+            == 3
+        )
+
+    def test_error_bias_off_lets_the_burst_rule_win(self):
+        c = EpochController(slo(error_bias=False))
+        c.fold_factor = 4
+        assert (
+            c.observe(queue_depth=5, fold_ns=1 * MS, rows=4, errors_delta=2)
+            == 8
+        )
+
+    def test_never_shrinks_below_min_fold(self):
+        c = EpochController(slo(min_fold=2))
+        assert c.observe(queue_depth=0, fold_ns=50 * MS, rows=2) == 2
+
+    def test_replayed_observations_reproduce_decisions(self):
+        stream = [(5, 1 * MS, 0), (5, 1 * MS, 0), (0, 12 * MS, 1),
+                  (2, 1 * MS, 0), (0, 1 * MS, 0)]
+        runs = []
+        for _ in range(2):
+            c = EpochController(slo())
+            runs.append([
+                c.observe(queue_depth=q, fold_ns=ns, rows=1, errors_delta=e)
+                for q, ns, e in stream
+            ])
+        assert runs[0] == runs[1]
+
+
+def object_block(lid, tid, start, n, base=0):
+    return Block(
+        lid, tid, start,
+        instrs=tuple(Instr.write(base + k) for k in range(n)),
+    )
+
+
+class TestMergeBlockRun:
+    def test_single_block_passes_through(self):
+        blk = object_block(3, 0, 6, 4)
+        assert merge_block_run(3, [blk]) is blk
+
+    def test_single_block_is_relabelled_to_the_analysis_epoch(self):
+        blk = object_block(7, 1, 14, 4)
+        merged = merge_block_run(2, [blk])
+        assert (merged.lid, merged.tid, merged.start) == (2, 1, 14)
+        assert merged.instrs == blk.instrs
+
+    def test_object_blocks_concatenate_in_order(self):
+        a = object_block(0, 0, 0, 3, base=0)
+        b = object_block(1, 0, 3, 2, base=10)
+        merged = merge_block_run(0, [a, b])
+        assert len(merged) == 5
+        assert merged.instrs == a.instrs + b.instrs
+        # start inherited from the first block: global refs unchanged.
+        assert merged.start == 0
+        assert [merged.global_ref(i) for i in range(5)] == (
+            [a.global_ref(i) for i in range(3)]
+            + [b.global_ref(i) for i in range(2)]
+        )
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="columnar path needs numpy")
+    def test_all_columnar_inputs_stay_columnar(self):
+        a_instrs = tuple(Instr.write(k) for k in range(3))
+        b_instrs = (Instr.malloc(9, 1), Instr.write(9))
+        a = Block(0, 1, 0, columns=ColumnarBlock.from_instrs(a_instrs))
+        b = Block(1, 1, 3, columns=ColumnarBlock.from_instrs(b_instrs))
+        merged = merge_block_run(0, [a, b])
+        assert merged.has_columns
+        assert merged.instrs == a_instrs + b_instrs
+
+    def test_mixed_representations_fall_back_to_objects(self):
+        a = Block(
+            0, 0, 0,
+            columns=ColumnarBlock.from_instrs((Instr.write(1),)),
+        )
+        b = object_block(1, 0, 1, 2)
+        merged = merge_block_run(0, [a, b])
+        assert merged.instrs == a.instrs + b.instrs
+
+
+def adaptive_pair(program, h, fold, backend="serial"):
+    """An AdaptiveEngine with the fold factor pinned at ``fold``."""
+    partition = partition_auto(program, h)
+    guard = ButterflyAddrCheck(initially_allocated=program.preallocated)
+    engine = ButterflyEngine(guard, backend=backend)
+    engine.attach_source(
+        ShapeSource(
+            partition.num_threads,
+            num_epochs=None,
+            preallocated=program.preallocated,
+        )
+    )
+    controller = EpochController(slo(min_fold=fold, max_fold=fold))
+    return (
+        AdaptiveEngine(engine, controller, partition.num_threads),
+        guard,
+        partition,
+    )
+
+
+def error_identities(guard):
+    return [(r.kind, r.location, r.ref, r.block, r.detail)
+            for r in guard.errors]
+
+
+def feed_all(adaptive, partition):
+    for lid in range(partition.num_epochs):
+        adaptive.feed_blocks(lid, partition.epoch_blocks(lid))
+    adaptive.finish()
+
+
+class TestAdaptiveEngine:
+    def program(self, seed=5, threads=3, events=96):
+        return alloc_handoff_program(
+            random.Random(seed),
+            num_threads=threads,
+            events_per_thread=events,
+        )
+
+    def test_folds_every_fold_factor_rows(self):
+        prog = self.program()
+        adaptive, _, partition = adaptive_pair(prog, 4, fold=3)
+        try:
+            feed_all(adaptive, partition)
+        finally:
+            adaptive.close()
+        rows = partition.num_epochs
+        expected_epochs = (rows + 2) // 3
+        assert adaptive.rows_folded == rows
+        assert adaptive.stats.epochs_processed == expected_epochs
+        for tid, cuts in enumerate(adaptive.recorded_boundaries):
+            assert len(cuts) == expected_epochs
+            assert cuts[-1] == len(prog.threads[tid])
+            assert all(a <= b for a, b in zip(cuts, cuts[1:]))
+
+    def test_out_of_order_rows_are_rejected(self):
+        prog = self.program()
+        adaptive, _, partition = adaptive_pair(prog, 4, fold=3)
+        try:
+            adaptive.feed_blocks(0, partition.epoch_blocks(0))
+            with pytest.raises(AnalysisError, match="must arrive in order"):
+                adaptive.feed_blocks(2, partition.epoch_blocks(2))
+        finally:
+            adaptive.close()
+
+    def test_finish_flushes_a_partial_fold(self):
+        prog = self.program(events=40)
+        adaptive, _, partition = adaptive_pair(prog, 8, fold=4)
+        try:
+            feed_all(adaptive, partition)
+        finally:
+            adaptive.close()
+        rows = partition.num_epochs
+        assert rows % 4 != 0  # the last fold really is a remainder
+        assert adaptive.stats.epochs_processed == (rows + 3) // 4
+        assert adaptive.rows_folded == rows
+
+    def test_bit_identical_to_explicit_boundary_replay(self):
+        prog = self.program()
+        adaptive, guard, partition = adaptive_pair(prog, 4, fold=3)
+        try:
+            feed_all(adaptive, partition)
+        finally:
+            adaptive.close()
+        boundaries = [list(c) for c in adaptive.recorded_boundaries]
+
+        replay = partition_from_boundaries(prog, boundaries)
+        replay_guard = ButterflyAddrCheck(
+            initially_allocated=prog.preallocated
+        )
+        with ButterflyEngine(replay_guard) as engine:
+            stats = engine.run(replay)
+        assert error_identities(guard) == error_identities(replay_guard)
+        assert stats.epochs_processed == adaptive.stats.epochs_processed
+
+    def test_extra_state_round_trips(self):
+        prog = self.program()
+        adaptive, _, partition = adaptive_pair(prog, 4, fold=2)
+        try:
+            for lid in range(4):
+                adaptive.feed_blocks(lid, partition.epoch_blocks(lid))
+            extra = adaptive.extra_state()
+        finally:
+            adaptive.close()
+        assert extra["rows_folded"] == 4
+
+        other, _, _ = adaptive_pair(prog, 4, fold=2)
+        try:
+            other.restore_extra(extra)
+            assert other.rows_folded == 4
+            assert other.resume_position == 4
+            assert other.recorded_boundaries == extra["boundaries"]
+        finally:
+            other.close()
+
+    def test_failed_fold_rolls_back_bookkeeping(self):
+        class Exploding(ButterflyAnalysis):
+            def __init__(self):
+                self.armed = False
+                self.fed = 0
+
+            def first_pass(self, block):
+                if self.armed:
+                    raise RuntimeError("boom")
+                self.fed += 1
+                return None
+
+            def meet(self, butterfly, wing_summaries):
+                return None
+
+            def second_pass(self, butterfly, side_in):
+                pass
+
+            def epoch_update(self, lid, summaries):
+                pass
+
+        prog = self.program()
+        partition = partition_auto(prog, 4)
+        analysis = Exploding()
+        engine = ButterflyEngine(analysis)
+        engine.attach_source(
+            ShapeSource(partition.num_threads, num_epochs=None)
+        )
+        adaptive = AdaptiveEngine(
+            engine,
+            EpochController(slo(min_fold=2, max_fold=2)),
+            partition.num_threads,
+        )
+        adaptive.feed_blocks(0, partition.epoch_blocks(0))
+        adaptive.feed_blocks(1, partition.epoch_blocks(1))
+        committed_cuts = [list(c) for c in adaptive.recorded_boundaries]
+        assert adaptive.rows_folded == 2
+
+        analysis.armed = True
+        adaptive.feed_blocks(2, partition.epoch_blocks(2))
+        with pytest.raises(RuntimeError, match="boom"):
+            adaptive.feed_blocks(3, partition.epoch_blocks(3))
+        # The failed fold left no trace: progress, boundaries, and the
+        # buffered rows all read as if the fold never started.
+        assert adaptive.rows_folded == 2
+        assert adaptive.resume_position == 2
+        assert [list(c) for c in adaptive.recorded_boundaries] == (
+            committed_cuts
+        )
+        assert len(adaptive._pending) == 2
+
+
+class TestFitting:
+    def test_fit_line_recovers_an_exact_line(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        slope, intercept = fit_line(xs, [2 * x + 1 for x in xs])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_fit_line_degenerate_inputs(self):
+        assert fit_line([], []) == (0.0, 0.0)
+        assert fit_line([4.0], [7.0]) == (0.0, 7.0)
+        # Constant x: no slope to fit, intercept is the mean.
+        slope, intercept = fit_line([2.0, 2.0], [1.0, 3.0])
+        assert slope == 0.0
+        assert intercept == pytest.approx(2.0)
+
+    def point(self, h, fp_rate, mean_ms):
+        return TunePoint(
+            epoch_size=h, epochs=10, flagged=5, false_positives=3,
+            fp_rate=fp_rate, mean_epoch_ms=mean_ms, max_epoch_ms=mean_ms,
+            events_per_s=1000.0,
+        )
+
+    def test_fit_tradeoff_sorts_and_fits(self):
+        points = [
+            self.point(8, 0.3, 4.0),
+            self.point(2, 0.1, 1.0),
+            self.point(4, 0.2, 2.0),
+        ]
+        curve = fit_tradeoff(points)
+        assert [p.epoch_size for p in curve.points] == [2, 4, 8]
+        assert curve.fp_slope == pytest.approx(0.1)  # per log2(h) step
+        assert curve.latency_slope > 0
+        assert curve.fp_monotone
+        record = curve.to_record()
+        assert record["fit"]["fp_rate_vs_log2_h"]["slope"] == (
+            pytest.approx(0.1)
+        )
+        assert record["fp_monotone_nondecreasing"] is True
+
+    def test_fit_tradeoff_flags_non_monotone_fp(self):
+        curve = fit_tradeoff(
+            [self.point(2, 0.3, 1.0), self.point(4, 0.1, 2.0)]
+        )
+        assert not curve.fp_monotone
+
+
+class TestTuneWorkload:
+    def test_non_oracle_lifeguards_are_refused(self):
+        prog = alloc_handoff_program(
+            random.Random(1), num_threads=2, events_per_thread=24
+        )
+        with pytest.raises(ReproError, match="no sequential oracle"):
+            tune_workload(prog, [2, 4], lifeguard="race")
+
+    def test_handoff_sweep_has_rising_fp_curve(self):
+        prog = alloc_handoff_program(
+            random.Random(1), num_threads=4, events_per_thread=256
+        )
+        curve = tune_workload(prog, [2, 8, 32])
+        assert [p.epoch_size for p in curve.points] == [2, 8, 32]
+        assert all(p.epochs > 0 for p in curve.points)
+        # The handoff workload is error-free sequentially, so every
+        # flag is a false positive -- and FPs grow with the window.
+        assert all(
+            p.false_positives == p.flagged for p in curve.points
+        )
+        assert curve.fp_slope > 0

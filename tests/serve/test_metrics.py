@@ -43,6 +43,75 @@ class TestRenderer:
         text = render_snapshot({"gauges": {"g": 0.5}})
         assert "repro_g 0.5" in text
 
+    def test_nonfinite_floats_render_prometheus_spelling(self):
+        text = render_snapshot(
+            {
+                "gauges": {
+                    "a": float("nan"),
+                    "b": float("inf"),
+                    "c": float("-inf"),
+                }
+            }
+        )
+        assert "repro_a NaN" in text
+        assert "repro_b +Inf" in text
+        assert "repro_c -Inf" in text
+        # Python's own spellings must never leak onto the page.
+        assert "nan" not in text
+        assert " inf" not in text and " -inf" not in text
+
+    def test_colliding_counter_names_merge_into_one_family(self):
+        text = render_snapshot(
+            {
+                "counters": {
+                    "serve.shard-depth": 3,
+                    "serve.shard_depth": 4,
+                }
+            }
+        )
+        assert text.count("# TYPE repro_serve_shard_depth counter") == 1
+        assert "repro_serve_shard_depth 7" in text
+
+    def test_colliding_gauge_names_last_sorted_wins(self):
+        text = render_snapshot(
+            {"gauges": {"q-depth": 9, "q_depth": 2}}
+        )
+        assert text.count("# TYPE repro_q_depth gauge") == 1
+        # "q_depth" sorts after "q-depth"; its sample wins.
+        assert "repro_q_depth 2" in text
+
+    def test_colliding_span_names_merge_aggregates(self):
+        text = render_snapshot(
+            {
+                "spans": {
+                    "pass.first": {
+                        "count": 2, "total_ns": 100, "max_ns": 80
+                    },
+                    "pass-first": {
+                        "count": 1, "total_ns": 50, "max_ns": 90
+                    },
+                }
+            }
+        )
+        assert text.count("# TYPE repro_pass_first_count counter") == 1
+        assert "repro_pass_first_count 3" in text
+        assert "repro_pass_first_total_ns 150" in text
+        assert "repro_pass_first_max_ns 90" in text
+
+    def test_cross_kind_collision_emits_single_family(self):
+        text = render_snapshot(
+            {"counters": {"x.y": 1}, "gauges": {"x-y": 5}}
+        )
+        assert text.count("# TYPE repro_x_y") == 1
+        assert "# TYPE repro_x_y counter" in text
+        # Every # TYPE family appears exactly once page-wide.
+        families = [
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE")
+        ]
+        assert len(families) == len(set(families))
+
 
 def _scrape(address):
     host, port = address
